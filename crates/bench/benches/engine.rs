@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the simulation substrates: event-queue throughput,
+//! PRNG and distribution sampling, trace generation, and single BoT
+//! executions per middleware — the per-run costs that determine whether
+//! the paper's 25 000-execution campaign is tractable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use betrace::Preset;
+use botwork::{generate, BotClass, BotId};
+use dgrid::{GridSim, Middleware, NoQos, SimConfig};
+use simcore::{EventQueue, Prng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_100k", |b| {
+        let mut rng = Prng::seed_from(1);
+        let times: Vec<u64> = (0..100_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_millis(t), i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e as u64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("engine/prng_1m_u64", |b| {
+        b.iter_batched(
+            || Prng::seed_from(7),
+            |mut rng| {
+                let mut acc = 0u64;
+                for _ in 0..1_000_000 {
+                    acc = acc.wrapping_add(rng.next_u64());
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("engine/weibull_100k", |b| {
+        b.iter_batched(
+            || Prng::seed_from(7),
+            |mut rng| {
+                let mut acc = 0.0;
+                for _ in 0..100_000 {
+                    acc += rng.weibull(91.98, 0.57);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_trace_build(c: &mut Criterion) {
+    c.bench_function("engine/build_g5klyo_trace", |b| {
+        let spec = Preset::G5kLyon.spec();
+        b.iter(|| black_box(spec.build(42, 1.0).node_count()))
+    });
+    c.bench_function("engine/build_spot10_trace", |b| {
+        let spec = Preset::Spot10.spec();
+        b.iter(|| black_box(spec.build(42, 1.0).node_count()))
+    });
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run");
+    group.sample_size(10);
+    for (name, mw) in [
+        ("xwhep_g5klyo_big", Middleware::xwhep()),
+        ("boinc_g5klyo_big", Middleware::boinc()),
+    ] {
+        group.bench_function(name, |b| {
+            let bot = generate(BotClass::Big, BotId(0), 3);
+            b.iter(|| {
+                let dci = Preset::G5kLyon.spec().build(3, 0.5);
+                let sim = GridSim::new(dci, &bot, SimConfig::new(mw), 3, NoQos);
+                let (res, _) = sim.run();
+                black_box(res.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_trace_build,
+    bench_single_runs
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! One Criterion benchmark per paper experiment, at reduced scale: each
+//! measures the cost of regenerating that table/figure's underlying
+//! computation (the repro binaries run the same code at full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spq_bench::experiments::{calibration, edgi, performance, prediction, profiling, strategies};
+use spq_bench::Opts;
+
+/// Tiny configuration: one seed, shrunken infrastructures, temp output.
+fn tiny() -> Opts {
+    Opts {
+        seeds: 1,
+        scale: 0.2,
+        threads: 0,
+        out_dir: std::env::temp_dir().join("spq-bench"),
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1_example_profile", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(profiling::fig1(&opts).len()))
+    });
+    g.finish();
+}
+
+fn bench_fig2_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig2_tail_slowdown_cdf", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(profiling::fig2(&opts).0.len()))
+    });
+    g.bench_function("table1_tail_composition", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(profiling::table1(&opts).len()))
+    });
+    g.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table2_trace_stats", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(calibration::table2(&opts).len()))
+    });
+    g.bench_function("table3_bot_classes", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(calibration::table3(&opts).len()))
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig4_fig5_strategy_sweep_2combos", |b| {
+        let opts = tiny();
+        // Two representative combos instead of all 18 keeps the bench
+        // meaningful but bounded.
+        let combos = [
+            spequlos::StrategyCombo::parse("9C-C-R").expect("valid"),
+            spequlos::StrategyCombo::parse("9A-G-D").expect("valid"),
+        ];
+        b.iter(|| {
+            let sweep = spq_bench::strategy_sweep(&opts, &combos);
+            black_box(strategies::fig5(&sweep).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_performance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig6_fig7_default_combo_sweep", |b| {
+        let opts = tiny();
+        b.iter(|| {
+            let runs = performance::sweep_default_combo(&opts);
+            black_box(performance::fig6(&runs).len() + performance::fig7(&runs).0.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table4_prediction_success", |b| {
+        let mut opts = tiny();
+        opts.seeds = 3; // predictions need some history
+        b.iter(|| black_box(prediction::table4(&opts).len()))
+    });
+    g.finish();
+}
+
+fn bench_edgi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table5_edgi_deployment", |b| {
+        let opts = tiny();
+        b.iter(|| black_box(edgi::table5(&opts).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2_table1,
+    bench_calibration,
+    bench_strategies,
+    bench_performance,
+    bench_prediction,
+    bench_edgi
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Ablation: credit budget sweep (2.5%–20% of workload).
+use spq_bench::{experiments::ablations, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = ablations::credit(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("ablation_credit.txt"), &text).expect("write report");
+}

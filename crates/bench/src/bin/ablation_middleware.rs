@@ -1,0 +1,10 @@
+//! Ablation: middleware models (BOINC, XWHEP, Condor ± checkpointing).
+use spq_bench::{experiments::ablations, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = ablations::middleware(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("ablation_middleware.txt"), &text).expect("write report");
+}

@@ -1,0 +1,10 @@
+//! Ablation: trigger threshold sweep.
+use spq_bench::{experiments::ablations, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = ablations::threshold(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("ablation_threshold.txt"), &text).expect("write report");
+}

@@ -1,0 +1,10 @@
+//! Ablation: scheduler tick period sweep.
+use spq_bench::{experiments::ablations, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = ablations::tick(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("ablation_tick.txt"), &text).expect("write report");
+}

@@ -1,0 +1,10 @@
+//! Reproduces Fig. 1: an example BoT execution profile with its tail.
+use spq_bench::{experiments::profiling, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = profiling::fig1(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig1.txt"), &text).expect("write report");
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 2: CDF of tail slowdowns per middleware.
+use spq_bench::{experiments::profiling, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let (text, csv) = profiling::fig2(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig2.txt"), &text).expect("write report");
+    write_file(opts.out_dir.join("fig2.csv"), &csv).expect("write csv");
+}

@@ -1,0 +1,13 @@
+//! Reproduces Fig. 4: Tail Removal Efficiency CCDF for all 18 strategy
+//! combinations.
+use spq_bench::{experiments::strategies, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let sweep = strategies::sweep_all_combos(&opts);
+    let (text, csv) = strategies::fig4(&sweep);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig4.txt"), &text).expect("write report");
+    write_file(opts.out_dir.join("fig4.csv"), &csv).expect("write csv");
+}

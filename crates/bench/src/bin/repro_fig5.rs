@@ -1,0 +1,11 @@
+//! Reproduces Fig. 5: credit consumption per strategy combination.
+use spq_bench::{experiments::strategies, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let sweep = strategies::sweep_all_combos(&opts);
+    let text = strategies::fig5(&sweep);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig5.txt"), &text).expect("write report");
+}

@@ -1,0 +1,11 @@
+//! Reproduces Fig. 6: completion times with vs without SpeQuloS (9C-C-R).
+use spq_bench::{experiments::performance, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let runs = performance::sweep_default_combo(&opts);
+    let text = performance::fig6(&runs);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig6.txt"), &text).expect("write report");
+}

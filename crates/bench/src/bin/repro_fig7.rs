@@ -1,0 +1,12 @@
+//! Reproduces Fig. 7: execution stability (normalized completion times).
+use spq_bench::{experiments::performance, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let runs = performance::sweep_default_combo(&opts);
+    let (text, csv) = performance::fig7(&runs);
+    print!("{text}");
+    write_file(opts.out_dir.join("fig7.txt"), &text).expect("write report");
+    write_file(opts.out_dir.join("fig7.csv"), &csv).expect("write csv");
+}

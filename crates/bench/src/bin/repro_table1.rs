@@ -1,0 +1,10 @@
+//! Reproduces Table 1: tail composition per BE-DCI family × middleware.
+use spq_bench::{experiments::profiling, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = profiling::table1(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("table1.txt"), &text).expect("write report");
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 2: measured-vs-published BE-DCI trace statistics.
+use spq_bench::{experiments::calibration, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = calibration::table2(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("table2.txt"), &text).expect("write report");
+}

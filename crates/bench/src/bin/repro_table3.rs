@@ -1,0 +1,10 @@
+//! Reproduces Table 3: BoT workload class statistics.
+use spq_bench::{experiments::calibration, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = calibration::table3(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("table3.txt"), &text).expect("write report");
+}

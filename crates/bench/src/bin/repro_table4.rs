@@ -1,0 +1,12 @@
+//! Reproduces Table 4: prediction success rates at 50% completion.
+use spq_bench::{experiments::prediction, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let mut opts = Opts::from_args();
+    // Predictions need history: ensure a few runs per environment.
+    opts.seeds = opts.seeds.max(5);
+    let text = prediction::table4(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("table4.txt"), &text).expect("write report");
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 5: the EDGI-like composite deployment counts.
+use spq_bench::{experiments::edgi, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = edgi::table5(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("table5.txt"), &text).expect("write report");
+}

@@ -1,0 +1,11 @@
+//! One module per paper table/figure; each produces a plain-text report
+//! (and CSV where a figure needs curve data). The binaries in `src/bin`
+//! are thin wrappers around these functions.
+
+pub mod ablations;
+pub mod calibration;
+pub mod edgi;
+pub mod performance;
+pub mod prediction;
+pub mod profiling;
+pub mod strategies;

@@ -1,0 +1,132 @@
+//! §4.3 SpeQuloS performance with the selected 9C-C-R combination:
+//! Fig. 6 (completion times with vs without SpeQuloS) and Fig. 7
+//! (execution stability).
+
+use crate::grid::paired_metrics;
+use crate::opts::Opts;
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::Histogram;
+use spq_harness::{MwKind, PairedRun, Table};
+use spequlos::StrategyCombo;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Runs the 9C-C-R paired sweep once; Fig. 6 and Fig. 7 both read it.
+pub fn sweep_default_combo(opts: &Opts) -> Vec<PairedRun> {
+    paired_metrics(opts, StrategyCombo::paper_default())
+}
+
+/// Fig. 6: average completion time with and without SpeQuloS, one block
+/// per (middleware × BoT class), rows per BE-DCI.
+pub fn fig6(runs: &[PairedRun]) -> String {
+    let mut text = String::from(
+        "Fig. 6 — average completion time (s) with vs without SpeQuloS, strategy 9C-C-R\n\
+         paper anchors: SpeQuloS never slower; largest gains on volatile DCIs\n\
+         (seti, nd, g5klyo) and on SMALL/RANDOM BoTs; e.g. BOINC+seti+RANDOM\n\
+         28818 s -> 3195 s\n\n",
+    );
+    for mw in MwKind::ALL {
+        for class in BotClass::ALL {
+            let mut table = Table::new(["BE-DCI", "n", "no SpeQuloS", "SpeQuloS", "speed-up"]);
+            for preset in Preset::ALL {
+                let env = format!("{}/{}/{}", preset.spec().name, mw.name(), class.spec().name);
+                let sel: Vec<&PairedRun> = runs.iter().filter(|r| r.baseline.env == env).collect();
+                if sel.is_empty() {
+                    continue;
+                }
+                let base: Vec<f64> = sel.iter().map(|r| r.baseline.completion_secs).collect();
+                let speq: Vec<f64> = sel.iter().map(|r| r.speq.completion_secs).collect();
+                let mb = simcore::mean(&base);
+                let ms = simcore::mean(&speq);
+                table.row([
+                    preset.spec().name.to_string(),
+                    sel.len().to_string(),
+                    format!("{mb:.0}"),
+                    format!("{ms:.0}"),
+                    format!("{:.2}", if ms > 0.0 { mb / ms } else { 1.0 }),
+                ]);
+            }
+            let _ = writeln!(
+                text,
+                "({}) {} & {} BoT\n{}",
+                match (mw, class) {
+                    (MwKind::Boinc, BotClass::Small) => "a",
+                    (MwKind::Boinc, BotClass::Big) => "b",
+                    (MwKind::Boinc, BotClass::Random) => "c",
+                    (MwKind::Xwhep, BotClass::Small) => "d",
+                    (MwKind::Xwhep, BotClass::Big) => "e",
+                    (MwKind::Xwhep, BotClass::Random) => "f",
+                    _ => "-", // Condor is not part of the paper's Fig. 6
+                },
+                mw.name(),
+                class.spec().name,
+                table.render()
+            );
+        }
+    }
+    text
+}
+
+/// Fig. 7: repartition of completion times normalized by the
+/// per-environment average — the stability view. Returns `(text, csv)`.
+pub fn fig7(runs: &[PairedRun]) -> (String, String) {
+    let mut text = String::from(
+        "Fig. 7 — completion time normalized by same-environment average\n\
+         paper anchors: XWHEP already stable without SpeQuloS; BOINC unstable without\n\
+         (mass below 1 plus a long tail), very stable with SpeQuloS\n\n",
+    );
+    let mut csv = String::from("middleware,variant,bin_center,fraction\n");
+    for mw in MwKind::ALL {
+        for (variant, pick) in [
+            ("no-spequlos", 0usize),
+            ("spequlos", 1usize),
+        ] {
+            // Group by environment and normalize by the group mean.
+            let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+            for r in runs {
+                let m = if pick == 0 { &r.baseline } else { &r.speq };
+                if m.completed && m.env.contains(mw.name()) {
+                    groups.entry(&m.env).or_default().push(m.completion_secs);
+                }
+            }
+            let mut hist = Histogram::new(0.0, 5.0, 20);
+            let mut spread = simcore::OnlineStats::new();
+            for vals in groups.values() {
+                let mean = simcore::mean(vals);
+                if mean <= 0.0 {
+                    continue;
+                }
+                for v in vals {
+                    hist.push(v / mean);
+                    spread.push(v / mean);
+                }
+            }
+            let _ = writeln!(
+                text,
+                "{} / {:12}  n={}  std of normalized completion = {:.3}  frac>2x-avg = {:.3}",
+                mw.name(),
+                variant,
+                hist.total(),
+                spread.std_dev(),
+                (0..hist.bins())
+                    .filter(|&i| hist.bin_center(i) > 2.0)
+                    .map(|i| hist.fraction(i))
+                    .sum::<f64>()
+                    + hist.overflow() as f64 / hist.total().max(1) as f64,
+            );
+            for i in 0..hist.bins() {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{:.3},{:.4}",
+                    mw.name(),
+                    variant,
+                    hist.bin_center(i),
+                    hist.fraction(i)
+                );
+            }
+        }
+        let _ = writeln!(text);
+    }
+    (text, csv)
+}

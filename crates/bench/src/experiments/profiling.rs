@@ -1,0 +1,138 @@
+//! §2.2 profiling experiments: Fig. 1 (example execution with tail),
+//! Fig. 2 (tail-slowdown CDF) and Table 1 (tail composition).
+
+use crate::grid::baseline_metrics;
+use crate::opts::Opts;
+use betrace::{DciKind, Preset};
+use botwork::BotClass;
+use simcore::Cdf;
+use spq_harness::{run_baseline, MwKind, Scenario, Table};
+use std::fmt::Write as _;
+
+/// Fig. 1: one BoT execution profile with the ideal/actual completion
+/// annotations.
+pub fn fig1(opts: &Opts) -> String {
+    let mut sc = Scenario::new(Preset::Seti, MwKind::Xwhep, BotClass::Small, 1);
+    sc.scale = opts.scale;
+    let m = run_baseline(&sc);
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 1 — example BoT execution ({})", m.env);
+    let _ = writeln!(out, "completed: {}", m.completed);
+    if let Some(tail) = m.tail {
+        let _ = writeln!(out, "ideal completion time : {:>10.0} s", tail.ideal.as_secs_f64());
+        let _ = writeln!(out, "actual completion time: {:>10.0} s", tail.actual.as_secs_f64());
+        let _ = writeln!(out, "tail duration         : {:>10.0} s", tail.tail_duration.as_secs_f64());
+        let _ = writeln!(out, "tail slowdown         : {:>10.2}", tail.slowdown);
+        let _ = writeln!(
+            out,
+            "tasks in tail         : {:>10} ({:.1}% of BoT)",
+            tail.tasks_in_tail,
+            tail.frac_bot_in_tail * 100.0
+        );
+    }
+    let _ = writeln!(out, "\ntime(s)  completion ratio");
+    let pts = m.completed_series.points();
+    let step = (pts.len() / 40).max(1);
+    for (t, v) in pts.iter().step_by(step) {
+        let ratio = v / m.bot_size as f64;
+        let bar = "#".repeat((ratio * 50.0) as usize);
+        let _ = writeln!(out, "{:>8.0}  {:>5.3} {}", t.as_secs_f64(), ratio, bar);
+    }
+    out
+}
+
+/// Fig. 2: CDF of tail slowdowns per middleware, all traces and classes
+/// mixed. Returns `(text report, csv)`.
+pub fn fig2(opts: &Opts) -> (String, String) {
+    let runs = baseline_metrics(opts);
+    let mut table = Table::new([
+        "middleware",
+        "n",
+        "frac<=1.33",
+        "frac<=2",
+        "frac<=4",
+        "frac<=10",
+        "median",
+        "p75",
+        "p95",
+    ]);
+    let mut csv = String::from("middleware,slowdown,cdf\n");
+    for mw in MwKind::ALL {
+        let slowdowns: Vec<f64> = runs
+            .iter()
+            .filter(|m| m.completed && m.env.contains(mw.name()))
+            .filter_map(|m| m.tail.map(|t| t.slowdown))
+            .collect();
+        if slowdowns.is_empty() {
+            continue;
+        }
+        let cdf = Cdf::new(slowdowns);
+        table.row([
+            mw.name().to_string(),
+            cdf.len().to_string(),
+            format!("{:.3}", cdf.fraction_leq(1.33)),
+            format!("{:.3}", cdf.fraction_leq(2.0)),
+            format!("{:.3}", cdf.fraction_leq(4.0)),
+            format!("{:.3}", cdf.fraction_leq(10.0)),
+            format!("{:.2}", cdf.quantile(0.5)),
+            format!("{:.2}", cdf.quantile(0.75)),
+            format!("{:.2}", cdf.quantile(0.95)),
+        ]);
+        for &s in cdf.samples() {
+            let _ = writeln!(csv, "{},{:.4},{:.4}", mw.name(), s, cdf.fraction_leq(s));
+        }
+    }
+    let text = format!(
+        "Fig. 2 — tail slowdown CDF (completion time / ideal completion time)\n\
+         paper anchors: ~50% of executions <= 1.33; slowdown >= 2 for 25% (XWHEP) to 33% (BOINC);\n\
+         worst 5%: ~4x (XWHEP), ~10x (BOINC)\n\n{}",
+        table.render()
+    );
+    (text, csv)
+}
+
+/// Table 1: average fraction of tasks in the tail and of execution time
+/// in the tail, per BE-DCI family × middleware.
+pub fn table1(opts: &Opts) -> String {
+    let runs = baseline_metrics(opts);
+    let kind_of = |env: &str| -> DciKind {
+        let trace = env.split('/').next().expect("env format");
+        Preset::from_name(trace).expect("known trace").spec().kind
+    };
+    let mut table = Table::new([
+        "BE-DCI family",
+        "% BoT in tail (BOINC)",
+        "% BoT in tail (XWHEP)",
+        "% time in tail (BOINC)",
+        "% time in tail (XWHEP)",
+    ]);
+    for kind in [
+        DciKind::DesktopGrid,
+        DciKind::BestEffortGrid,
+        DciKind::SpotInstances,
+    ] {
+        let cell = |mw: MwKind, f: &dyn Fn(&spequlos::TailStats) -> f64| -> String {
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter(|m| m.completed && m.env.contains(mw.name()) && kind_of(&m.env) == kind)
+                .filter_map(|m| m.tail.as_ref().map(f))
+                .collect();
+            if vals.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.2}", 100.0 * simcore::mean(&vals))
+            }
+        };
+        table.row([
+            kind.label().to_string(),
+            cell(MwKind::Boinc, &|t| t.frac_bot_in_tail),
+            cell(MwKind::Xwhep, &|t| t.frac_bot_in_tail),
+            cell(MwKind::Boinc, &|t| t.frac_time_in_tail),
+            cell(MwKind::Xwhep, &|t| t.frac_time_in_tail),
+        ]);
+    }
+    format!(
+        "Table 1 — tail composition (paper: 2.9–6.4% of tasks in tail; 16–52% of time in tail)\n\n{}",
+        table.render()
+    )
+}

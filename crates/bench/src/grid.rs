@@ -1,0 +1,92 @@
+//! The evaluation grid: every (trace × middleware × BoT class)
+//! environment of §4.1.3, plus shared sweep helpers.
+
+use crate::opts::Opts;
+use betrace::Preset;
+use botwork::BotClass;
+use spq_harness::{
+    parallel_map, run_baseline, run_paired, ExecutionMetrics, MwKind, PairedRun, Scenario,
+};
+use spequlos::StrategyCombo;
+
+/// All 36 environments (6 traces × 2 middleware × 3 classes).
+pub fn all_envs() -> Vec<(Preset, MwKind, BotClass)> {
+    let mut v = Vec::with_capacity(36);
+    for preset in Preset::ALL {
+        for mw in MwKind::ALL {
+            for class in BotClass::ALL {
+                v.push((preset, mw, class));
+            }
+        }
+    }
+    v
+}
+
+/// Baseline scenarios over the whole grid.
+pub fn baseline_scenarios(opts: &Opts) -> Vec<Scenario> {
+    let mut v = Vec::new();
+    for (preset, mw, class) in all_envs() {
+        for seed in opts.seed_list() {
+            let mut sc = Scenario::new(preset, mw, class, seed);
+            sc.scale = opts.scale;
+            v.push(sc);
+        }
+    }
+    v
+}
+
+/// Runs every baseline scenario in parallel.
+pub fn baseline_metrics(opts: &Opts) -> Vec<ExecutionMetrics> {
+    let scenarios = baseline_scenarios(opts);
+    parallel_map(&scenarios, opts.threads, run_baseline)
+}
+
+/// Paired (with/without SpeQuloS) runs over the grid for one strategy.
+pub fn paired_metrics(opts: &Opts, strategy: StrategyCombo) -> Vec<PairedRun> {
+    let scenarios: Vec<Scenario> = baseline_scenarios(opts)
+        .into_iter()
+        .map(|sc| sc.with_strategy(strategy))
+        .collect();
+    parallel_map(&scenarios, opts.threads, run_paired)
+}
+
+/// Paired runs for several strategies, returned as
+/// `(strategy, paired-run)` pairs in deterministic order.
+pub fn strategy_sweep(opts: &Opts, combos: &[StrategyCombo]) -> Vec<(StrategyCombo, PairedRun)> {
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for &combo in combos {
+        for (preset, mw, class) in all_envs() {
+            for seed in opts.seed_list() {
+                let mut sc = Scenario::new(preset, mw, class, seed).with_strategy(combo);
+                sc.scale = opts.scale;
+                scenarios.push(sc);
+            }
+        }
+    }
+    let runs = parallel_map(&scenarios, opts.threads, run_paired);
+    scenarios
+        .iter()
+        .map(|sc| sc.strategy.expect("set above"))
+        .zip(runs)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_36_envs() {
+        let envs = all_envs();
+        assert_eq!(envs.len(), 36);
+    }
+
+    #[test]
+    fn baseline_scenarios_scale_with_seeds() {
+        let opts = Opts {
+            seeds: 2,
+            ..Opts::default()
+        };
+        assert_eq!(baseline_scenarios(&opts).len(), 72);
+    }
+}

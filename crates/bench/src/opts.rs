@@ -1,0 +1,88 @@
+//! Command-line options shared by every reproduction binary.
+
+use std::path::PathBuf;
+
+/// Options controlling experiment scale and output.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Seeds per configuration (each seed selects a trace window and
+    /// workload sample).
+    pub seeds: u64,
+    /// Infrastructure scale factor (1.0 = published node counts).
+    pub scale: f64,
+    /// Worker threads for sweeps (0 = auto).
+    pub threads: usize,
+    /// Output directory for text/CSV reports.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seeds: 3,
+            scale: 1.0,
+            threads: 0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--seeds N --scale F --threads N --out DIR --full` from the
+    /// process arguments. `--full` raises the seed count towards the
+    /// paper's campaign scale.
+    pub fn from_args() -> Opts {
+        let mut opts = Opts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seeds" => {
+                    opts.seeds = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seeds needs a number"));
+                }
+                "--scale" => {
+                    opts.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                }
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs a number"));
+                }
+                "--out" => {
+                    opts.out_dir = args
+                        .next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--out needs a path"));
+                }
+                "--full" => {
+                    opts.seeds = 10;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --seeds N (default 3)  --scale F (default 1.0)  \
+                         --threads N (default auto)  --out DIR (default results/)  --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown option {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Seed list for one configuration.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds).collect()
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\nrun with --help for options");
+    std::process::exit(2);
+}

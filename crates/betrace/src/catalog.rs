@@ -1,0 +1,394 @@
+//! The six BE-DCI trace presets of the paper's Table 2, and the machinery
+//! to turn a preset into a concrete infrastructure (node timelines plus
+//! per-node powers) from a seed.
+
+use crate::power::PowerModel;
+use crate::quantfit::{DurationSampler, QuartileSpec};
+use crate::renewal::RenewalSampler;
+use crate::spot::{BidLadder, MarketParams, PricePath, SpotTimeline};
+use crate::timeline::NodeTimeline;
+use simcore::{Prng, SimDuration};
+use std::sync::Arc;
+
+/// The three BE-DCI families of §2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DciKind {
+    /// Volunteer or institutional desktop grids (SETI@home, Notre Dame).
+    DesktopGrid,
+    /// Regular grids used through a best-effort queue (Grid'5000).
+    BestEffortGrid,
+    /// Variable-priced cloud instances (EC2 spot).
+    SpotInstances,
+}
+
+impl DciKind {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DciKind::DesktopGrid => "Desktop Grids",
+            DciKind::BestEffortGrid => "Best Effort Grids",
+            DciKind::SpotInstances => "Spot Instances",
+        }
+    }
+}
+
+/// How node availability is generated.
+#[derive(Clone, Debug)]
+pub enum TraceModel {
+    /// Per-node alternating renewal process fit to interval quartiles.
+    Renewal,
+    /// Spot-market bid ladder over a shared synthetic price path.
+    Spot {
+        /// Total renting cost per hour (`S` of §4.1.1), in dollars.
+        cost_per_hour: f64,
+        /// Price process parameters.
+        market: MarketParams,
+    },
+}
+
+/// Full specification of a BE-DCI trace: the published Table 2 statistics
+/// plus the generative model calibrated to them.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Short trace name as used in the paper (`seti`, `nd`, …).
+    pub name: &'static str,
+    /// Infrastructure family.
+    pub kind: DciKind,
+    /// Trace length.
+    pub length: SimDuration,
+    /// Published mean number of simultaneously available nodes.
+    pub nodes_mean: f64,
+    /// Published standard deviation of the node count.
+    pub nodes_std: f64,
+    /// Published minimum node count.
+    pub nodes_min: f64,
+    /// Published maximum node count.
+    pub nodes_max: f64,
+    /// Published availability-interval quartiles (seconds).
+    pub avail: QuartileSpec,
+    /// Published unavailability-interval quartiles (seconds).
+    pub unavail: QuartileSpec,
+    /// Node power model (instructions per second).
+    pub power: PowerModel,
+    /// Generative model.
+    pub model: TraceModel,
+}
+
+/// The six presets of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// SETI@home volunteer desktop grid (BOINC), from the FTA.
+    Seti,
+    /// University of Notre Dame Condor pool, from the FTA.
+    NotreDame,
+    /// Grid'5000 Lyon cluster best-effort queue, December 2010.
+    G5kLyon,
+    /// Grid'5000 Grenoble cluster best-effort queue, December 2010.
+    G5kGrenoble,
+    /// EC2 spot instances, $10/hour total renting cost.
+    Spot10,
+    /// EC2 spot instances, $100/hour total renting cost.
+    Spot100,
+}
+
+impl Preset {
+    /// All presets, in Table 2 order.
+    pub const ALL: [Preset; 6] = [
+        Preset::Seti,
+        Preset::NotreDame,
+        Preset::G5kLyon,
+        Preset::G5kGrenoble,
+        Preset::Spot10,
+        Preset::Spot100,
+    ];
+
+    /// The trace specification for this preset.
+    pub fn spec(self) -> TraceSpec {
+        match self {
+            Preset::Seti => TraceSpec {
+                name: "seti",
+                kind: DciKind::DesktopGrid,
+                length: SimDuration::from_days(120),
+                nodes_mean: 24391.0,
+                nodes_std: 6793.0,
+                nodes_min: 15868.0,
+                nodes_max: 31092.0,
+                avail: QuartileSpec::new(61.0, 531.0, 5407.0),
+                unavail: QuartileSpec::new(174.0, 501.0, 3078.0),
+                power: PowerModel::new(1000.0, 250.0),
+                model: TraceModel::Renewal,
+            },
+            Preset::NotreDame => TraceSpec {
+                name: "nd",
+                kind: DciKind::DesktopGrid,
+                length: SimDuration::from_secs((413.87 * 86400.0) as u64),
+                nodes_mean: 180.0,
+                nodes_std: 4.129,
+                nodes_min: 77.0,
+                nodes_max: 501.0,
+                avail: QuartileSpec::new(952.0, 3840.0, 26562.0),
+                unavail: QuartileSpec::new(640.0, 960.0, 1920.0),
+                power: PowerModel::new(1000.0, 250.0),
+                model: TraceModel::Renewal,
+            },
+            Preset::G5kLyon => TraceSpec {
+                name: "g5klyo",
+                kind: DciKind::BestEffortGrid,
+                length: SimDuration::from_days(31),
+                nodes_mean: 90.573,
+                nodes_std: 105.4,
+                nodes_min: 6.0,
+                nodes_max: 226.0,
+                avail: QuartileSpec::new(21.0, 51.0, 63.0),
+                unavail: QuartileSpec::new(191.0, 236.0, 480.0),
+                power: PowerModel::homogeneous(3000.0),
+                model: TraceModel::Renewal,
+            },
+            Preset::G5kGrenoble => TraceSpec {
+                name: "g5kgre",
+                kind: DciKind::BestEffortGrid,
+                length: SimDuration::from_days(31),
+                nodes_mean: 474.69,
+                nodes_std: 178.7,
+                nodes_min: 184.0,
+                nodes_max: 591.0,
+                avail: QuartileSpec::new(5.0, 182.0, 11268.0),
+                unavail: QuartileSpec::new(23.0, 547.0, 6891.0),
+                power: PowerModel::homogeneous(3000.0),
+                model: TraceModel::Renewal,
+            },
+            Preset::Spot10 => TraceSpec {
+                name: "spot10",
+                kind: DciKind::SpotInstances,
+                length: SimDuration::from_days(90),
+                nodes_mean: 82.186,
+                nodes_std: 3.814,
+                nodes_min: 29.0,
+                nodes_max: 87.0,
+                avail: QuartileSpec::new(4415.0, 5432.0, 17109.0),
+                unavail: QuartileSpec::new(4162.0, 5034.0, 9976.0),
+                power: PowerModel::new(3000.0, 300.0),
+                model: TraceModel::Spot {
+                    cost_per_hour: 10.0,
+                    // Base price S / mean-count so the ladder's running
+                    // count centers on the published mean.
+                    market: MarketParams {
+                        base_price: 10.0 / 82.186,
+                        ..MarketParams::default()
+                    },
+                },
+            },
+            Preset::Spot100 => TraceSpec {
+                name: "spot100",
+                kind: DciKind::SpotInstances,
+                length: SimDuration::from_days(90),
+                nodes_mean: 823.95,
+                nodes_std: 4.945,
+                nodes_min: 196.0,
+                nodes_max: 877.0,
+                avail: QuartileSpec::new(1063.0, 5566.0, 22490.0),
+                unavail: QuartileSpec::new(383.0, 1906.0, 10274.0),
+                power: PowerModel::new(3000.0, 300.0),
+                model: TraceModel::Spot {
+                    cost_per_hour: 100.0,
+                    market: MarketParams {
+                        base_price: 100.0 / 823.95,
+                        ..MarketParams::default()
+                    },
+                },
+            },
+        }
+    }
+
+    /// Preset by its paper name (`seti`, `nd`, `g5klyo`, `g5kgre`,
+    /// `spot10`, `spot100`).
+    pub fn from_name(name: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.spec().name == name)
+    }
+}
+
+/// A concrete BE-DCI: one availability timeline and one power per node.
+#[derive(Clone, Debug)]
+pub struct Dci {
+    /// Trace name.
+    pub name: String,
+    /// Infrastructure family.
+    pub kind: DciKind,
+    /// Per-node availability timelines.
+    pub timelines: Vec<NodeTimeline>,
+    /// Per-node computing power (instructions per second).
+    pub powers: Vec<f64>,
+}
+
+impl Dci {
+    /// Number of node slots.
+    pub fn node_count(&self) -> usize {
+        self.timelines.len()
+    }
+}
+
+impl TraceSpec {
+    /// Number of node slots: the published maximum node count (scaled) —
+    /// for renewal traces the machine population, for spot traces the bid
+    /// ladder size.
+    pub fn slot_count(&self, scale: f64) -> usize {
+        ((self.nodes_max * scale).round() as usize).max(1)
+    }
+
+    /// Interval samplers calibrated to both the published quartiles *and*
+    /// the published node counts: the quartiles fix the distribution body;
+    /// the tail of one side is then solved so the stationary availability
+    /// `E[up]/(E[up]+E[down])` equals `nodes_mean / nodes_max` — without
+    /// this, traces whose published quartiles are dominated by short
+    /// intervals (e.g. `g5klyo`, 21/51/63 s) could never sustain their
+    /// published mean node count, and long tasks could never complete on
+    /// them (see DESIGN.md §3).
+    pub fn renewal_samplers(&self) -> (DurationSampler, DurationSampler) {
+        let up = DurationSampler::from_quartiles(self.avail);
+        let down = DurationSampler::from_quartiles(self.unavail);
+        let f_target = (self.nodes_mean / self.nodes_max).clamp(0.02, 0.98);
+        let f0 = RenewalSampler::stationary_availability(&up, &down);
+        if f0 < f_target {
+            // Availability intervals must be longer than the body implies.
+            let target = f_target / (1.0 - f_target) * down.mean();
+            (
+                DurationSampler::solve_tail_for_mean(self.avail, target),
+                down,
+            )
+        } else {
+            // Nodes disappear for longer than the body implies.
+            let target = (1.0 - f_target) / f_target * up.mean();
+            (
+                up,
+                DurationSampler::solve_tail_for_mean(self.unavail, target),
+            )
+        }
+    }
+
+    /// Instantiates the infrastructure.
+    ///
+    /// `scale` multiplies the node count (and, for spot traces, the renting
+    /// cost) so experiments can run on smaller replicas of the published
+    /// infrastructures; `scale = 1.0` reproduces Table 2.
+    pub fn build(&self, seed: u64, scale: f64) -> Dci {
+        assert!(scale > 0.0, "scale must be positive");
+        let slots = self.slot_count(scale);
+        let mut power_rng = Prng::stream(seed, "power");
+        let powers: Vec<f64> = (0..slots).map(|_| self.power.sample(&mut power_rng)).collect();
+        let timelines = match &self.model {
+            TraceModel::Renewal => {
+                let (up, down) = self.renewal_samplers();
+                (0..slots)
+                    .map(|i| {
+                        let rng = Prng::substream(seed, "trace", i as u64);
+                        NodeTimeline::renewal(RenewalSampler::new(up.clone(), down.clone(), rng))
+                    })
+                    .collect()
+            }
+            TraceModel::Spot {
+                cost_per_hour,
+                market,
+            } => {
+                let mut market_rng = Prng::stream(seed, "spot-market");
+                let path = Arc::new(PricePath::generate(market, self.length, &mut market_rng));
+                let ladder = BidLadder {
+                    total_cost: cost_per_hour * scale,
+                    n: slots as u32,
+                };
+                (1..=slots as u32)
+                    .map(|i| NodeTimeline::spot(SpotTimeline::new(Arc::clone(&path), ladder.bid(i))))
+                    .collect()
+            }
+        };
+        Dci {
+            name: self.name.to_string(),
+            kind: self.kind,
+            timelines,
+            powers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    #[test]
+    fn all_presets_have_consistent_specs() {
+        for p in Preset::ALL {
+            let s = p.spec();
+            assert!(s.nodes_mean > 0.0);
+            assert!(s.nodes_min <= s.nodes_mean && s.nodes_mean <= s.nodes_max);
+            assert!(s.avail.q25 <= s.avail.q50 && s.avail.q50 <= s.avail.q75);
+            assert!(s.unavail.q25 <= s.unavail.q50 && s.unavail.q50 <= s.unavail.q75);
+        }
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_name(p.spec().name), Some(p));
+        }
+        assert_eq!(Preset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn slot_count_exceeds_mean_for_volatile_traces() {
+        // Renewal slots must outnumber the mean available count because
+        // each slot is only up a fraction of the time.
+        let s = Preset::Seti.spec();
+        assert!(s.slot_count(1.0) as f64 > s.nodes_mean);
+        // Spot slots equal the ladder size (published max).
+        let s = Preset::Spot10.spec();
+        assert_eq!(s.slot_count(1.0), 87);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = Preset::G5kLyon.spec();
+        let a = spec.build(99, 0.5);
+        let b = spec.build(99, 0.5);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.powers, b.powers);
+        // Same first toggles on a few nodes.
+        for i in [0usize, 3, 7] {
+            let mut ta = a.timelines[i].clone();
+            let mut tb = b.timelines[i].clone();
+            assert_eq!(ta.next_toggle(), tb.next_toggle());
+        }
+    }
+
+    #[test]
+    fn scale_shrinks_infrastructure() {
+        let spec = Preset::Seti.spec();
+        let full = spec.slot_count(1.0);
+        let tenth = spec.slot_count(0.1);
+        assert!((tenth as f64 - full as f64 * 0.1).abs() <= 1.0);
+    }
+
+    #[test]
+    fn g5k_powers_are_homogeneous() {
+        let dci = Preset::G5kGrenoble.spec().build(1, 0.2);
+        assert!(dci.powers.iter().all(|&p| p == 3000.0));
+    }
+
+    #[test]
+    fn spot_mean_available_near_published_mean() {
+        // Average concurrently-available instances over a window should be
+        // in the ballpark of Table 2's mean (82.186 for spot10).
+        let spec = Preset::Spot10.spec();
+        let dci = spec.build(7, 1.0);
+        let horizon = SimTime::from_days(10);
+        let total_up: f64 = dci
+            .timelines
+            .iter()
+            .map(|tl| tl.clone().availability_fraction(horizon))
+            .sum();
+        assert!(
+            (total_up - spec.nodes_mean).abs() / spec.nodes_mean < 0.25,
+            "mean available {total_up} vs published {}",
+            spec.nodes_mean
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! A Failure-Trace-Archive-style text format for availability traces.
+//!
+//! The paper's desktop-grid traces come from the Failure Trace Archive
+//! (Kondo et al., CCGrid 2010). This module defines a compact, documented
+//! text encoding so users who *do* have FTA-derived interval data can run
+//! the reproduction on real traces, and so generated traces can be exported
+//! and inspected.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! betrace v1
+//! trace <name> kind <desktop|begrid|spot>
+//! node <power-nops-per-sec>
+//! up <start-ms> <end-ms>
+//! up <start-ms> <end-ms>
+//! node <power>
+//! ...
+//! ```
+//!
+//! `up` lines belong to the most recent `node` line and must be sorted and
+//! disjoint.
+
+use crate::catalog::{Dci, DciKind};
+use crate::timeline::NodeTimeline;
+use simcore::SimTime;
+use std::fmt::Write as _;
+
+/// Errors from parsing the trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong magic header.
+    BadHeader,
+    /// Malformed line, with its 1-based number.
+    BadLine(usize),
+    /// `up` line before any `node` line, with its 1-based number.
+    IntervalBeforeNode(usize),
+    /// Intervals out of order or overlapping, with the line number.
+    UnsortedIntervals(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing `betrace v1` header"),
+            ParseError::BadLine(n) => write!(f, "malformed line {n}"),
+            ParseError::IntervalBeforeNode(n) => {
+                write!(f, "line {n}: `up` interval before any `node`")
+            }
+            ParseError::UnsortedIntervals(n) => {
+                write!(f, "line {n}: intervals must be sorted and disjoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn kind_tag(kind: DciKind) -> &'static str {
+    match kind {
+        DciKind::DesktopGrid => "desktop",
+        DciKind::BestEffortGrid => "begrid",
+        DciKind::SpotInstances => "spot",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<DciKind> {
+    match tag {
+        "desktop" => Some(DciKind::DesktopGrid),
+        "begrid" => Some(DciKind::BestEffortGrid),
+        "spot" => Some(DciKind::SpotInstances),
+        _ => None,
+    }
+}
+
+/// Serializes a built infrastructure, materializing each timeline up to
+/// `horizon`.
+pub fn to_text(dci: &Dci, horizon: SimTime) -> String {
+    let mut out = String::new();
+    out.push_str("betrace v1\n");
+    let _ = writeln!(out, "trace {} kind {}", dci.name, kind_tag(dci.kind));
+    for (tl, &power) in dci.timelines.iter().zip(&dci.powers) {
+        let _ = writeln!(out, "node {power}");
+        for (s, e) in tl.clone().up_intervals(horizon) {
+            let _ = writeln!(out, "up {} {}", s.as_millis(), e.as_millis());
+        }
+    }
+    out
+}
+
+/// Parses the text format into an infrastructure with `Fixed` timelines.
+pub fn from_text(text: &str) -> Result<Dci, ParseError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('#')
+    });
+
+    let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+    if header.trim() != "betrace v1" {
+        return Err(ParseError::BadHeader);
+    }
+
+    let mut name = String::from("unnamed");
+    let mut kind = DciKind::DesktopGrid;
+    let mut powers: Vec<f64> = Vec::new();
+    let mut nodes: Vec<Vec<(SimTime, SimTime)>> = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("trace") => {
+                name = parts.next().ok_or(ParseError::BadLine(lineno))?.to_string();
+                match (parts.next(), parts.next()) {
+                    (Some("kind"), Some(tag)) => {
+                        kind = kind_from_tag(tag).ok_or(ParseError::BadLine(lineno))?;
+                    }
+                    _ => return Err(ParseError::BadLine(lineno)),
+                }
+            }
+            Some("node") => {
+                let power: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                if power <= 0.0 {
+                    return Err(ParseError::BadLine(lineno));
+                }
+                powers.push(power);
+                nodes.push(Vec::new());
+            }
+            Some("up") => {
+                let s: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                let e: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                if e <= s {
+                    return Err(ParseError::BadLine(lineno));
+                }
+                let ivs = nodes
+                    .last_mut()
+                    .ok_or(ParseError::IntervalBeforeNode(lineno))?;
+                if let Some(&(_, prev_e)) = ivs.last() {
+                    if SimTime::from_millis(s) <= prev_e {
+                        return Err(ParseError::UnsortedIntervals(lineno));
+                    }
+                }
+                ivs.push((SimTime::from_millis(s), SimTime::from_millis(e)));
+            }
+            _ => return Err(ParseError::BadLine(lineno)),
+        }
+    }
+
+    let timelines = nodes.iter().map(|ivs| NodeTimeline::fixed(ivs)).collect();
+    Ok(Dci {
+        name,
+        kind,
+        timelines,
+        powers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Preset;
+
+    #[test]
+    fn roundtrip_preserves_intervals() {
+        let dci = Preset::G5kLyon.spec().build(11, 0.05);
+        let horizon = SimTime::from_secs(3600);
+        let text = to_text(&dci, horizon);
+        let parsed = from_text(&text).expect("own output must parse");
+        assert_eq!(parsed.name, dci.name);
+        assert_eq!(parsed.kind, dci.kind);
+        assert_eq!(parsed.node_count(), dci.node_count());
+        assert_eq!(parsed.powers, dci.powers);
+        for (a, b) in parsed.timelines.iter().zip(&dci.timelines) {
+            assert_eq!(
+                a.clone().up_intervals(horizon),
+                b.clone().up_intervals(horizon)
+            );
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# a comment\nbetrace v1\ntrace t kind desktop\n# node below\nnode 1000\nup 0 5000\n\nup 6000 9000\n";
+        let dci = from_text(text).expect("valid");
+        assert_eq!(dci.node_count(), 1);
+        assert_eq!(
+            dci.timelines[0].clone().up_intervals(SimTime::from_secs(100)),
+            vec![
+                (SimTime::ZERO, SimTime::from_secs(5)),
+                (SimTime::from_secs(6), SimTime::from_secs(9))
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(from_text("nope\n"), Err(ParseError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_interval_before_node() {
+        let text = "betrace v1\ntrace t kind spot\nup 0 10\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseError::IntervalBeforeNode(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_intervals() {
+        let text = "betrace v1\ntrace t kind begrid\nnode 3000\nup 100 200\nup 50 80\n";
+        assert!(matches!(
+            from_text(text),
+            Err(ParseError::UnsortedIntervals(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_interval() {
+        let text = "betrace v1\ntrace t kind begrid\nnode 3000\nup 100 100\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadLine(_))));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ParseError::UnsortedIntervals(7);
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Node computing-power models.
+//!
+//! Table 2 of the paper gives each BE-DCI an average node power (in
+//! instructions per second) and a standard deviation: desktop-grid nodes
+//! are three times slower than grid/cloud nodes on average, grid nodes are
+//! homogeneous, and desktop-grid/cloud nodes are heterogeneous with
+//! normally distributed power (following the paper's references [16, 21]).
+
+use simcore::Prng;
+
+/// Normally distributed node power, truncated to keep powers positive and
+/// bounded (±3σ, floored at a tenth of the mean).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Mean power in instructions per second.
+    pub mean: f64,
+    /// Standard deviation of power.
+    pub std_dev: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive or `std_dev` is negative.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "power mean must be positive");
+        assert!(std_dev >= 0.0, "power std dev must be non-negative");
+        PowerModel { mean, std_dev }
+    }
+
+    /// Homogeneous power (all nodes identical), as for Grid'5000 nodes.
+    pub fn homogeneous(mean: f64) -> Self {
+        PowerModel::new(mean, 0.0)
+    }
+
+    /// Draws one node's power.
+    pub fn sample(&self, rng: &mut Prng) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        let lo = (self.mean - 3.0 * self.std_dev).max(self.mean * 0.1);
+        let hi = self.mean + 3.0 * self.std_dev;
+        rng.normal_clamped(self.mean, self.std_dev, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_always_mean() {
+        let m = PowerModel::homogeneous(3000.0);
+        let mut rng = Prng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 3000.0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_matches_moments() {
+        let m = PowerModel::new(1000.0, 250.0);
+        let mut rng = Prng::seed_from(2);
+        let mut stats = simcore::OnlineStats::new();
+        for _ in 0..50_000 {
+            stats.push(m.sample(&mut rng));
+        }
+        assert!((stats.mean() - 1000.0).abs() < 10.0, "mean {}", stats.mean());
+        // Truncation shaves a little off the std dev.
+        assert!(
+            (stats.std_dev() - 250.0).abs() < 15.0,
+            "std {}",
+            stats.std_dev()
+        );
+        assert!(stats.min() >= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_mean() {
+        PowerModel::new(0.0, 1.0);
+    }
+}

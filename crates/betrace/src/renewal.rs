@@ -1,0 +1,123 @@
+//! Alternating-renewal availability process.
+//!
+//! Each node slot alternates between *available* and *unavailable* states;
+//! state sojourn times are drawn from [`DurationSampler`]s fit to the
+//! published quartiles (Table 2). Every node owns its PRNG substream, so a
+//! node's timeline is a pure function of `(master seed, node index)` —
+//! independent of anything else happening in the simulation. This is what
+//! lets a paired run with SpeQuloS see exactly the same infrastructure as
+//! the run without (paper §4.1.3).
+
+use crate::quantfit::DurationSampler;
+use simcore::{Prng, SimDuration};
+
+/// Per-node alternating renewal sampler.
+#[derive(Clone, Debug)]
+pub struct RenewalSampler {
+    up: DurationSampler,
+    down: DurationSampler,
+    rng: Prng,
+}
+
+impl RenewalSampler {
+    /// Creates a sampler; `rng` should be the node's private substream.
+    pub fn new(up: DurationSampler, down: DurationSampler, rng: Prng) -> Self {
+        RenewalSampler { up, down, rng }
+    }
+
+    /// Stationary probability of being available:
+    /// `E[up] / (E[up] + E[down])`.
+    pub fn stationary_availability(up: &DurationSampler, down: &DurationSampler) -> f64 {
+        let mu = up.mean();
+        let md = down.mean();
+        mu / (mu + md)
+    }
+
+    /// Samples the initial state and the residual duration until the first
+    /// toggle, both from the stationary distribution: the state with
+    /// probability `E[up]/(E[up]+E[down])`, and the residual as a uniform
+    /// fraction of a *length-biased* sojourn (renewal theory: the interval
+    /// covering a random observation point is length-biased, which matters
+    /// enormously for the heavy-tailed interval distributions of Table 2).
+    pub fn initial(&mut self) -> (bool, SimDuration) {
+        let p_up = Self::stationary_availability(&self.up, &self.down);
+        let up_now = self.rng.chance(p_up);
+        let full = if up_now {
+            self.up.sample_length_biased(&mut self.rng)
+        } else {
+            self.down.sample_length_biased(&mut self.rng)
+        };
+        let residual = full * self.rng.next_f64();
+        (up_now, SimDuration::from_secs_f64(residual.max(0.001)))
+    }
+
+    /// Samples the next sojourn duration for the given state.
+    pub fn sojourn(&mut self, up: bool) -> SimDuration {
+        let secs = if up {
+            self.up.sample(&mut self.rng)
+        } else {
+            self.down.sample(&mut self.rng)
+        };
+        SimDuration::from_secs_f64(secs.max(0.001))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantfit::QuartileSpec;
+
+    fn sampler(seed: u64) -> RenewalSampler {
+        let up = DurationSampler::from_quartiles(QuartileSpec::new(61.0, 531.0, 5407.0));
+        let down = DurationSampler::from_quartiles(QuartileSpec::new(174.0, 501.0, 3078.0));
+        RenewalSampler::new(up, down, Prng::seed_from(seed))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = sampler(5);
+        let mut b = sampler(5);
+        assert_eq!(a.initial(), b.initial());
+        for up in [true, false, true] {
+            assert_eq!(a.sojourn(up), b.sojourn(up));
+        }
+    }
+
+    #[test]
+    fn sojourns_are_positive() {
+        let mut s = sampler(7);
+        for i in 0..1000 {
+            assert!(!s.sojourn(i % 2 == 0).is_zero());
+        }
+    }
+
+    #[test]
+    fn stationary_fraction_matches_long_run() {
+        // Long-run fraction of time up should approach E[up]/(E[up]+E[down]).
+        let up = DurationSampler::from_quartiles(QuartileSpec::new(61.0, 531.0, 5407.0));
+        let down = DurationSampler::from_quartiles(QuartileSpec::new(174.0, 501.0, 3078.0));
+        let expect = RenewalSampler::stationary_availability(&up, &down);
+        let mut s = sampler(42);
+        let (mut t_up, mut t_down) = (0.0f64, 0.0f64);
+        for i in 0..200_000 {
+            let d = s.sojourn(i % 2 == 0).as_secs_f64();
+            if i % 2 == 0 {
+                t_up += d;
+            } else {
+                t_down += d;
+            }
+        }
+        let frac = t_up / (t_up + t_down);
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "long-run {frac} vs stationary {expect}"
+        );
+    }
+
+    #[test]
+    fn initial_residual_is_shorter_than_typical() {
+        let mut s = sampler(9);
+        let (_, residual) = s.initial();
+        assert!(!residual.is_zero());
+    }
+}

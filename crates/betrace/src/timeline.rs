@@ -1,0 +1,242 @@
+//! Unified node availability timelines.
+//!
+//! A [`NodeTimeline`] answers two questions for the middleware simulator:
+//! is the node up at t = 0, and when is its next state flip? Three backends
+//! implement the paper's three BE-DCI families (§2.1): alternating-renewal
+//! processes (desktop grids, best-effort grids), spot-market bid ladders
+//! (cloud spot instances), and explicit interval lists (traces loaded from
+//! files, and unit tests).
+
+use crate::renewal::RenewalSampler;
+use crate::spot::SpotTimeline;
+use simcore::SimTime;
+
+/// One node's availability over simulated time.
+#[derive(Clone, Debug)]
+pub struct NodeTimeline {
+    initial_up: bool,
+    inner: Inner,
+}
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Renewal {
+        /// Boxed: the sampler dwarfs the other variants and timelines are
+        /// moved around during construction.
+        sampler: Box<RenewalSampler>,
+        /// Time of the next toggle.
+        cursor: SimTime,
+        /// State the node is currently in (flips at `cursor`).
+        up: bool,
+    },
+    Spot(SpotTimeline),
+    Fixed {
+        /// Remaining toggle times, ascending.
+        toggles: std::vec::IntoIter<SimTime>,
+    },
+}
+
+impl NodeTimeline {
+    /// Builds a renewal-process timeline; draws the initial phase from the
+    /// sampler's stationary distribution.
+    pub fn renewal(mut sampler: RenewalSampler) -> Self {
+        let (up, residual) = sampler.initial();
+        NodeTimeline {
+            initial_up: up,
+            inner: Inner::Renewal {
+                sampler: Box::new(sampler),
+                cursor: SimTime::ZERO + residual,
+                up,
+            },
+        }
+    }
+
+    /// Builds a spot-instance timeline.
+    pub fn spot(tl: SpotTimeline) -> Self {
+        NodeTimeline {
+            initial_up: tl.initial_up(),
+            inner: Inner::Spot(tl),
+        }
+    }
+
+    /// Builds a timeline from explicit availability intervals
+    /// `[(start, end)]`, which must be sorted, disjoint and non-empty in
+    /// extent. The node is down outside the intervals and down forever
+    /// after the last one.
+    ///
+    /// # Panics
+    /// Panics if intervals are unsorted, overlapping or degenerate.
+    pub fn fixed(intervals: &[(SimTime, SimTime)]) -> Self {
+        let mut toggles = Vec::with_capacity(intervals.len() * 2);
+        let mut prev_end: Option<SimTime> = None;
+        for &(s, e) in intervals {
+            assert!(s < e, "degenerate interval {s:?}..{e:?}");
+            if let Some(pe) = prev_end {
+                assert!(s > pe, "intervals must be sorted and disjoint");
+            }
+            toggles.push(s);
+            toggles.push(e);
+            prev_end = Some(e);
+        }
+        let initial_up = toggles.first() == Some(&SimTime::ZERO);
+        if initial_up {
+            toggles.remove(0); // starting up: the t=0 boundary is not a flip
+        }
+        NodeTimeline {
+            initial_up,
+            inner: Inner::Fixed {
+                toggles: toggles.into_iter(),
+            },
+        }
+    }
+
+    /// State at simulation start.
+    pub fn initial_up(&self) -> bool {
+        self.initial_up
+    }
+
+    /// Time of the next state flip, advancing the timeline. `None` means
+    /// the node stays in its current state forever.
+    pub fn next_toggle(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Renewal { sampler, cursor, up } => {
+                let t = *cursor;
+                *up = !*up;
+                let sojourn = sampler.sojourn(*up);
+                *cursor = t + sojourn;
+                Some(t)
+            }
+            Inner::Spot(tl) => tl.next_toggle(),
+            Inner::Fixed { toggles } => toggles.next(),
+        }
+    }
+
+    /// Materializes the *up* intervals within `[0, horizon)`, consuming the
+    /// timeline. Used for trace export and calibration statistics.
+    pub fn up_intervals(mut self, horizon: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut up = self.initial_up;
+        let mut since = SimTime::ZERO;
+        loop {
+            match self.next_toggle() {
+                Some(t) if t < horizon => {
+                    if up {
+                        // Zero-length segments can occur when a residual
+                        // rounds to the same millisecond; skip them.
+                        if t > since {
+                            out.push((since, t));
+                        }
+                    }
+                    up = !up;
+                    since = t;
+                }
+                _ => {
+                    if up && horizon > since {
+                        out.push((since, horizon));
+                    }
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Fraction of `[0, horizon)` the node is up, consuming the timeline.
+    pub fn availability_fraction(self, horizon: SimTime) -> f64 {
+        let total: u64 = self
+            .up_intervals(horizon)
+            .iter()
+            .map(|&(s, e)| e.since(s).as_millis())
+            .sum();
+        total as f64 / horizon.as_millis() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantfit::{DurationSampler, QuartileSpec};
+    use simcore::Prng;
+
+    fn renewal_tl(seed: u64) -> NodeTimeline {
+        let up = DurationSampler::from_quartiles(QuartileSpec::new(600.0, 1200.0, 2400.0));
+        let down = DurationSampler::from_quartiles(QuartileSpec::new(300.0, 600.0, 1200.0));
+        NodeTimeline::renewal(RenewalSampler::new(up, down, Prng::seed_from(seed)))
+    }
+
+    #[test]
+    fn renewal_toggles_strictly_increase() {
+        let mut tl = renewal_tl(1);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = tl.next_toggle().expect("renewal is infinite");
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fixed_timeline_from_intervals() {
+        let s = SimTime::from_secs;
+        let mut tl = NodeTimeline::fixed(&[(s(0), s(10)), (s(20), s(30))]);
+        assert!(tl.initial_up());
+        assert_eq!(tl.next_toggle(), Some(s(10)));
+        assert_eq!(tl.next_toggle(), Some(s(20)));
+        assert_eq!(tl.next_toggle(), Some(s(30)));
+        assert_eq!(tl.next_toggle(), None);
+    }
+
+    #[test]
+    fn fixed_timeline_starting_down() {
+        let s = SimTime::from_secs;
+        let mut tl = NodeTimeline::fixed(&[(s(5), s(10))]);
+        assert!(!tl.initial_up());
+        assert_eq!(tl.next_toggle(), Some(s(5)));
+        assert_eq!(tl.next_toggle(), Some(s(10)));
+        assert_eq!(tl.next_toggle(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn fixed_rejects_overlap() {
+        let s = SimTime::from_secs;
+        NodeTimeline::fixed(&[(s(0), s(10)), (s(5), s(15))]);
+    }
+
+    #[test]
+    fn up_intervals_roundtrip_fixed() {
+        let s = SimTime::from_secs;
+        let ivs = vec![(s(0), s(10)), (s(20), s(30)), (s(45), s(60))];
+        let tl = NodeTimeline::fixed(&ivs);
+        assert_eq!(tl.up_intervals(s(100)), ivs);
+    }
+
+    #[test]
+    fn up_intervals_clip_at_horizon() {
+        let s = SimTime::from_secs;
+        let tl = NodeTimeline::fixed(&[(s(0), s(10)), (s(20), s(30))]);
+        assert_eq!(tl.up_intervals(s(25)), vec![(s(0), s(10)), (s(20), s(25))]);
+    }
+
+    #[test]
+    fn availability_fraction_of_half_up_trace() {
+        let s = SimTime::from_secs;
+        let tl = NodeTimeline::fixed(&[(s(0), s(50))]);
+        let f = tl.availability_fraction(s(100));
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renewal_long_run_availability_is_stationary() {
+        let up = DurationSampler::from_quartiles(QuartileSpec::new(600.0, 1200.0, 2400.0));
+        let down = DurationSampler::from_quartiles(QuartileSpec::new(300.0, 600.0, 1200.0));
+        let expect = RenewalSampler::stationary_availability(&up, &down);
+        // Average over many nodes to beat per-node variance.
+        let mut acc = 0.0;
+        let n = 64;
+        for i in 0..n {
+            acc += renewal_tl(1000 + i).availability_fraction(SimTime::from_days(3));
+        }
+        let got = acc / n as f64;
+        assert!((got - expect).abs() < 0.05, "got {got}, expected {expect}");
+    }
+}

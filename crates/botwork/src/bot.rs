@@ -1,0 +1,183 @@
+//! Bag-of-Tasks data model.
+//!
+//! Following the definition the paper adopts from Iosup et al. and
+//! Minh & Wolters (§4.1.2): a BoT is an ordered set of independent tasks
+//! with the same owner and group identifier, submitted within bounded
+//! inter-arrival times, all referring to the same registered application.
+
+use simcore::{SimDuration, SimTime};
+
+/// Identifier of a BoT within a SpeQuloS deployment (the `BoTId` returned
+/// by `registerQoS`, Fig. 3 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BotId(pub u64);
+
+impl std::fmt::Display for BotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bot-{}", self.0)
+    }
+}
+
+/// Index of a task within its BoT.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub u32);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// One independent task.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Task {
+    /// Index within the BoT.
+    pub id: TaskId,
+    /// Work to process, in instructions (`nops` in Table 3). A node of
+    /// power `p` instructions/second completes the task in `nops / p`
+    /// seconds.
+    pub nops: f64,
+    /// Submission time relative to the BoT's submission.
+    pub arrival: SimTime,
+}
+
+/// A Bag of Tasks.
+#[derive(Clone, Debug)]
+pub struct Bot {
+    /// Identifier used across SpeQuloS modules.
+    pub id: BotId,
+    /// Human-readable class name (`SMALL`, `BIG`, `RANDOM`, or custom).
+    pub class: String,
+    /// The tasks, ordered by arrival time.
+    pub tasks: Vec<Task>,
+    /// Per-task wall-clock limit: the user-declared upper bound on a single
+    /// task's execution time. The paper uses it to express the BoT workload
+    /// in CPU·hours when provisioning credits (§4.1.3).
+    pub wall_clock: SimDuration,
+}
+
+impl Bot {
+    /// Number of tasks.
+    pub fn size(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total work in instructions.
+    pub fn total_nops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.nops).sum()
+    }
+
+    /// BoT workload in CPU·hours, "given by its size multiplied by tasks'
+    /// wall clock time" (§4.1.3). This is the basis for the credit
+    /// provisioning rule (credits worth 10% of the workload).
+    pub fn workload_cpu_hours(&self) -> f64 {
+        self.size() as f64 * self.wall_clock.as_hours_f64()
+    }
+
+    /// Arrival time of the last task (the BoT is fully submitted then).
+    pub fn last_arrival(&self) -> SimTime {
+        self.tasks
+            .iter()
+            .map(|t| t.arrival)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Checks the structural invariants of a well-formed BoT: non-empty,
+    /// ids dense and ordered, arrivals non-decreasing, positive work.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tasks.is_empty() {
+            return Err("empty BoT".into());
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.id.0 as usize != i {
+                return Err(format!("task {} has id {}", i, t.id));
+            }
+            if !t.nops.is_finite() || t.nops <= 0.0 {
+                return Err(format!("task {} has non-positive nops", i));
+            }
+            if i > 0 && t.arrival < self.tasks[i - 1].arrival {
+                return Err(format!("task {} arrives before its predecessor", i));
+            }
+        }
+        if self.wall_clock.is_zero() {
+            return Err("zero wall-clock limit".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bot(nops: &[f64]) -> Bot {
+        Bot {
+            id: BotId(1),
+            class: "TEST".into(),
+            tasks: nops
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| Task {
+                    id: TaskId(i as u32),
+                    nops: n,
+                    arrival: SimTime::ZERO,
+                })
+                .collect(),
+            wall_clock: SimDuration::from_secs(100),
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let b = bot(&[10.0, 20.0, 30.0]);
+        assert_eq!(b.size(), 3);
+        assert_eq!(b.total_nops(), 60.0);
+        // 3 tasks × 100 s = 300 s = 1/12 CPU·hour.
+        assert!((b.workload_cpu_hours() - 300.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(bot(&[1.0, 2.0]).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert!(bot(&[]).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ids() {
+        let mut b = bot(&[1.0, 2.0]);
+        b.tasks[1].id = TaskId(5);
+        assert!(b.validate().unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn validate_rejects_unordered_arrivals() {
+        let mut b = bot(&[1.0, 2.0]);
+        b.tasks[0].arrival = SimTime::from_secs(10);
+        assert!(b.validate().unwrap_err().contains("arrives"));
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_nops() {
+        let mut b = bot(&[1.0]);
+        b.tasks[0].nops = 0.0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn last_arrival() {
+        let mut b = bot(&[1.0, 2.0, 3.0]);
+        b.tasks[2].arrival = SimTime::from_secs(42);
+        assert_eq!(b.last_arrival(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(BotId(3).to_string(), "bot-3");
+        assert_eq!(TaskId(9).to_string(), "task-9");
+    }
+}

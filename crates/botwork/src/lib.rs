@@ -1,0 +1,23 @@
+//! # botwork — Bag-of-Tasks workloads
+//!
+//! The workload substrate of the SpeQuloS reproduction: the BoT data model
+//! (§4.1.2 of the paper) and generators for the three evaluation classes
+//! of Table 3 (`SMALL`, `BIG`, `RANDOM`).
+//!
+//! ```
+//! use botwork::{generate, BotClass, BotId};
+//!
+//! let bot = generate(BotClass::Small, BotId(1), 42);
+//! assert_eq!(bot.size(), 1000);
+//! // SMALL: 1000 × 11000 s wall-clock ≈ 3056 CPU·hours of workload.
+//! assert!((bot.workload_cpu_hours() - 1000.0 * 11000.0 / 3600.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bot;
+pub mod classes;
+
+pub use bot::{Bot, BotId, Task, TaskId};
+pub use classes::{generate, ArrivalDist, BotClass, BotClassSpec, NopsDist, SizeDist};

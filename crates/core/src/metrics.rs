@@ -1,0 +1,213 @@
+//! Tail-effect metrics (§2.2, §4.2.1).
+//!
+//! * **Ideal completion time** — the completion time the BoT would have
+//!   achieved if the completion rate measured at 90% of completion had
+//!   held: `tc(0.9) / 0.9`.
+//! * **Tail slowdown** — `actual / ideal`, the factor by which the tail
+//!   stretches the execution (Fig. 2).
+//! * **Tail part** — the tasks completing later than the ideal time
+//!   (Table 1).
+//! * **Tail Removal Efficiency** — paired-run reduction of the tail:
+//!   `1 − (t_speq − t_ideal)/(t_nospeq − t_ideal)` (Fig. 4).
+
+use simcore::{SimDuration, SimTime, TimeSeries};
+
+/// Completion fraction at which the ideal rate is measured. The paper uses
+/// 90% because "except during start-up, the BoT completion rate remains
+/// approximately constant up to this stage".
+pub const IDEAL_FRACTION: f64 = 0.9;
+
+/// Ideal completion time `tc(0.9)/0.9` from a completed-count series.
+/// `None` if the series never reaches 90% of `size`.
+pub fn ideal_time(completed: &TimeSeries, size: u32) -> Option<SimTime> {
+    let tc90 = completed.time_to_reach(IDEAL_FRACTION * size as f64)?;
+    Some(SimTime::from_secs_f64(tc90.as_secs_f64() / IDEAL_FRACTION))
+}
+
+/// Tail slowdown `actual / ideal` (≥ 1 up to sampling noise).
+pub fn tail_slowdown(ideal: SimTime, actual: SimTime) -> f64 {
+    let i = ideal.as_secs_f64();
+    if i <= 0.0 {
+        return 1.0;
+    }
+    (actual.as_secs_f64() / i).max(1.0)
+}
+
+/// Aggregate description of one execution's tail.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailStats {
+    /// Ideal completion time.
+    pub ideal: SimTime,
+    /// Actual completion time.
+    pub actual: SimTime,
+    /// `actual / ideal`.
+    pub slowdown: f64,
+    /// `actual − ideal`.
+    pub tail_duration: SimDuration,
+    /// Tasks completing after the ideal time.
+    pub tasks_in_tail: u32,
+    /// Fraction of BoT tasks in the tail (Table 1, "% of BoT in tail").
+    pub frac_bot_in_tail: f64,
+    /// Fraction of execution time spent in the tail (Table 1, "% of time
+    /// in tail").
+    pub frac_time_in_tail: f64,
+}
+
+/// Computes tail statistics for one completed execution.
+///
+/// `completion_times` are per-task first-completion times; `actual` is the
+/// BoT completion time. Returns `None` if the series never reaches the 90%
+/// mark (incomplete run).
+pub fn tail_stats(
+    completed: &TimeSeries,
+    completion_times: &[Option<SimTime>],
+    actual: SimTime,
+) -> Option<TailStats> {
+    let size = completion_times.len() as u32;
+    let ideal = ideal_time(completed, size)?;
+    let tasks_in_tail = completion_times
+        .iter()
+        .filter(|t| matches!(t, Some(ct) if *ct > ideal))
+        .count() as u32;
+    let tail_duration = actual.since(ideal);
+    Some(TailStats {
+        ideal,
+        actual,
+        slowdown: tail_slowdown(ideal, actual),
+        tail_duration,
+        tasks_in_tail,
+        frac_bot_in_tail: if size == 0 {
+            0.0
+        } else {
+            tasks_in_tail as f64 / size as f64
+        },
+        frac_time_in_tail: if actual.as_secs_f64() <= 0.0 {
+            0.0
+        } else {
+            tail_duration.as_secs_f64() / actual.as_secs_f64()
+        },
+    })
+}
+
+/// Tail Removal Efficiency of a paired run (§4.2.1):
+/// `1 − (t_speq − t_ideal)/(t_nospeq − t_ideal)`, as a fraction in
+/// `(-∞, 1]`; 1 means the tail disappeared entirely. Returns `None` when
+/// the baseline has no tail to remove (denominator ≈ 0).
+pub fn tail_removal_efficiency(
+    ideal: SimTime,
+    t_nospeq: SimTime,
+    t_speq: SimTime,
+) -> Option<f64> {
+    let baseline_tail = t_nospeq.as_secs_f64() - ideal.as_secs_f64();
+    if baseline_tail <= 1e-9 {
+        return None;
+    }
+    let speq_tail = (t_speq.as_secs_f64() - ideal.as_secs_f64()).max(0.0);
+    Some(1.0 - speq_tail / baseline_tail)
+}
+
+/// Completion-time speed-up of a paired run: `t_nospeq / t_speq`.
+pub fn speedup(t_nospeq: SimTime, t_speq: SimTime) -> f64 {
+    let denom = t_speq.as_secs_f64();
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    t_nospeq.as_secs_f64() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Series reaching 90 tasks at t=900 then 100 at t=3000: ideal time is
+    /// 1000s, actual 3000s, slowdown 3.
+    fn tailed_series() -> (TimeSeries, Vec<Option<SimTime>>, SimTime) {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::ZERO, 0.0);
+        s.push(SimTime::from_secs(900), 90.0);
+        s.push(SimTime::from_secs(3000), 100.0);
+        let mut times: Vec<Option<SimTime>> = (0..90)
+            .map(|i| Some(SimTime::from_secs(10 * (i + 1))))
+            .collect();
+        // Ten tail tasks completing between 1200s and 3000s.
+        times.extend((0..10).map(|i| Some(SimTime::from_secs(1200 + i * 200))));
+        (s, times, SimTime::from_secs(3000))
+    }
+
+    #[test]
+    fn ideal_time_extrapolates_90pct_rate() {
+        let (s, _, _) = tailed_series();
+        assert_eq!(ideal_time(&s, 100), Some(SimTime::from_secs(1000)));
+    }
+
+    #[test]
+    fn tail_stats_of_tailed_run() {
+        let (s, times, actual) = tailed_series();
+        let st = tail_stats(&s, &times, actual).expect("reaches 90%");
+        assert_eq!(st.ideal, SimTime::from_secs(1000));
+        assert!((st.slowdown - 3.0).abs() < 1e-9);
+        assert_eq!(st.tasks_in_tail, 10);
+        assert!((st.frac_bot_in_tail - 0.10).abs() < 1e-9);
+        assert!((st.frac_time_in_tail - 2000.0 / 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_tail_means_slowdown_one() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::ZERO, 0.0);
+        s.push(SimTime::from_secs(1000), 100.0);
+        let times: Vec<Option<SimTime>> =
+            (0..100).map(|i| Some(SimTime::from_secs(10 * (i + 1)))).collect();
+        let st = tail_stats(&s, &times, SimTime::from_secs(1000)).expect("complete");
+        assert!((st.slowdown - 1.0).abs() < 0.02, "slowdown {}", st.slowdown);
+        assert!(st.frac_time_in_tail < 0.02);
+    }
+
+    #[test]
+    fn tre_full_and_partial() {
+        let ideal = SimTime::from_secs(1000);
+        let nospeq = SimTime::from_secs(3000);
+        // SpeQuloS erases the tail entirely.
+        assert_eq!(
+            tail_removal_efficiency(ideal, nospeq, SimTime::from_secs(1000)),
+            Some(1.0)
+        );
+        // Half the tail removed.
+        let tre = tail_removal_efficiency(ideal, nospeq, SimTime::from_secs(2000)).unwrap();
+        assert!((tre - 0.5).abs() < 1e-9);
+        // SpeQuloS finished *earlier* than ideal: still capped at 1.
+        assert_eq!(
+            tail_removal_efficiency(ideal, nospeq, SimTime::from_secs(900)),
+            Some(1.0)
+        );
+        // No baseline tail → undefined.
+        assert_eq!(
+            tail_removal_efficiency(ideal, SimTime::from_secs(1000), SimTime::from_secs(1000)),
+            None
+        );
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert!(
+            (speedup(SimTime::from_secs(3000), SimTime::from_secs(1500)) - 2.0).abs() < 1e-12
+        );
+    }
+
+    proptest! {
+        /// TRE is ≤ 1 and increases as the SpeQuloS run gets faster.
+        #[test]
+        fn prop_tre_monotone(ideal_s in 100u64..1000, tail in 1u64..5000, speq_tail in 0u64..5000) {
+            let ideal = SimTime::from_secs(ideal_s);
+            let nospeq = SimTime::from_secs(ideal_s + tail);
+            let speq = SimTime::from_secs(ideal_s + speq_tail);
+            if let Some(tre) = tail_removal_efficiency(ideal, nospeq, speq) {
+                prop_assert!(tre <= 1.0 + 1e-12);
+                let faster = SimTime::from_secs(ideal_s + speq_tail / 2);
+                let tre2 = tail_removal_efficiency(ideal, nospeq, faster).unwrap();
+                prop_assert!(tre2 >= tre - 1e-12);
+            }
+        }
+    }
+}

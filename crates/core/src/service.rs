@@ -1,0 +1,305 @@
+//! The SpeQuloS service façade: the module wiring of Fig. 3.
+//!
+//! One [`SpeQuloS`] instance is the multi-user, multi-BoT, multi-DCI
+//! service of §3.1: it owns the Information, Credit System, Oracle and
+//! Scheduler modules and exposes the user-facing protocol
+//! (`registerQoS` → `orderQoS` → monitoring → billing → `pay`). Every
+//! cross-module interaction is appended to a protocol log so the
+//! quickstart example can replay the paper's sequence diagram.
+
+use crate::credit::{CreditError, CreditSystem, UserId};
+use crate::info::Information;
+use crate::oracle::{Oracle, Prediction, StrategyCombo};
+use crate::progress::BotProgress;
+use crate::scheduler::{CloudAction, Scheduler};
+use botwork::BotId;
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// One entry of the protocol log (the arrows of Fig. 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogEvent {
+    /// User registered a BoT for QoS; the service returned its id.
+    RegisterQos {
+        /// Assigned BoT id.
+        bot: BotId,
+        /// Environment label.
+        env: String,
+    },
+    /// User provisioned credits for the BoT.
+    OrderQos {
+        /// The BoT.
+        bot: BotId,
+        /// Credits provisioned.
+        credits: f64,
+    },
+    /// User asked for a completion-time prediction.
+    Predicted {
+        /// The BoT.
+        bot: BotId,
+        /// Predicted completion, seconds since submission.
+        completion_secs: f64,
+        /// Historical success rate attached to the prediction.
+        success_rate: Option<f64>,
+    },
+    /// The Scheduler started cloud workers.
+    StartCloudWorkers {
+        /// The BoT.
+        bot: BotId,
+        /// Number of workers started.
+        count: u32,
+    },
+    /// The Scheduler stopped all cloud workers.
+    StopCloudWorkers {
+        /// The BoT.
+        bot: BotId,
+    },
+    /// The BoT completed.
+    Completed {
+        /// The BoT.
+        bot: BotId,
+    },
+    /// The order was paid and remaining credits refunded.
+    Paid {
+        /// The BoT.
+        bot: BotId,
+        /// Refund returned to the user.
+        refund: f64,
+    },
+}
+
+/// The assembled SpeQuloS service.
+#[derive(Clone, Debug, Default)]
+pub struct SpeQuloS {
+    /// Information module (monitoring + archive).
+    pub info: Information,
+    /// Credit System module (accounts + orders).
+    pub credits: CreditSystem,
+    /// Oracle module (prediction + strategies).
+    pub oracle: Oracle,
+    /// Scheduler module (Algorithms 1 & 2).
+    pub scheduler: Scheduler,
+    strategies: HashMap<u64, StrategyCombo>,
+    users: HashMap<u64, UserId>,
+    next_bot: u64,
+    log: Vec<(SimTime, LogEvent)>,
+}
+
+impl SpeQuloS {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `registerQoS(BoT)`: registers a BoT execution in environment `env`
+    /// and returns the `BoTId` the user must tag submissions with.
+    pub fn register_qos(&mut self, env: &str, size: u32, user: UserId, now: SimTime) -> BotId {
+        let bot = BotId(self.next_bot);
+        self.next_bot += 1;
+        self.info.register(bot, env, size, now);
+        self.users.insert(bot.0, user);
+        self.log.push((
+            now,
+            LogEvent::RegisterQos {
+                bot,
+                env: env.to_string(),
+            },
+        ));
+        bot
+    }
+
+    /// `orderQoS(BoTId, credit)`: provisions credits and selects the
+    /// provisioning strategy for this BoT.
+    pub fn order_qos(
+        &mut self,
+        bot: BotId,
+        credits: f64,
+        strategy: StrategyCombo,
+        now: SimTime,
+    ) -> Result<(), CreditError> {
+        let user = *self.users.get(&bot.0).ok_or(CreditError::NoOrder)?;
+        self.credits.order_qos(bot, user, credits)?;
+        self.strategies.insert(bot.0, strategy);
+        self.log.push((now, LogEvent::OrderQos { bot, credits }));
+        Ok(())
+    }
+
+    /// `getQoSInformation(BoTId)`: predicted completion time with its
+    /// historical success rate (§3.4).
+    pub fn predict(&mut self, bot: BotId, now: SimTime) -> Option<Prediction> {
+        let record = self.info.record(bot)?;
+        let history = self.info.history(&record.env);
+        let p = Oracle::predict_completion(record, history, now)?;
+        self.log.push((
+            now,
+            LogEvent::Predicted {
+                bot,
+                completion_secs: p.completion_secs,
+                success_rate: p.success_rate,
+            },
+        ));
+        Some(p)
+    }
+
+    /// One monitoring period: stores the progress sample and runs the
+    /// scheduler loops. `tick_hours` is the billing granularity.
+    pub fn on_progress(
+        &mut self,
+        bot: BotId,
+        progress: &BotProgress,
+        tick_hours: f64,
+    ) -> CloudAction {
+        self.info.sample(bot, progress);
+        let Some(&strategy) = self.strategies.get(&bot.0) else {
+            return CloudAction::None; // monitored but no QoS ordered
+        };
+        let action = self.scheduler.tick(
+            bot,
+            progress,
+            &self.info,
+            &mut self.oracle,
+            &mut self.credits,
+            strategy,
+            tick_hours,
+        );
+        match action {
+            CloudAction::Start(n) => {
+                self.log
+                    .push((progress.now, LogEvent::StartCloudWorkers { bot, count: n }));
+            }
+            CloudAction::StopAll => {
+                self.log.push((progress.now, LogEvent::StopCloudWorkers { bot }));
+            }
+            CloudAction::None => {}
+        }
+        action
+    }
+
+    /// BoT completion: archives the execution, closes the order (refunding
+    /// unspent credits) and clears per-BoT state.
+    pub fn on_complete(&mut self, bot: BotId, now: SimTime) {
+        self.info.mark_complete(bot, now);
+        self.log.push((now, LogEvent::Completed { bot }));
+        self.oracle.forget(bot);
+        self.scheduler.forget(bot);
+        if let Ok(refund) = self.credits.pay(bot) {
+            self.log.push((now, LogEvent::Paid { bot, refund }));
+        }
+    }
+
+    /// The protocol log (Fig. 3).
+    pub fn log(&self) -> &[(SimTime, LogEvent)] {
+        &self.log
+    }
+
+    /// The strategy selected for a BoT, if QoS was ordered.
+    pub fn strategy(&self, bot: BotId) -> Option<StrategyCombo> {
+        self.strategies.get(&bot.0).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(now_s: u64, size: u32, completed: u32, cloud: u32) -> BotProgress {
+        BotProgress {
+            now: SimTime::from_secs(now_s),
+            size,
+            completed,
+            dispatched: size,
+            queued: 0,
+            running: size - completed,
+            cloud_running: cloud,
+        }
+    }
+
+    #[test]
+    fn full_protocol_cycle() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(1);
+        spq.credits.deposit(user, 1000.0);
+
+        let bot = spq.register_qos("seti/XWHEP/SMALL", 100, user, SimTime::ZERO);
+        spq.order_qos(bot, 150.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .expect("credits available");
+        assert_eq!(spq.credits.balance(user), 850.0);
+
+        // Steady progress; no cloud action yet.
+        for i in 1..=89u64 {
+            let a = spq.on_progress(bot, &progress(i * 60, 100, i as u32, 0), 1.0 / 60.0);
+            assert_eq!(a, CloudAction::None, "tick {i}");
+        }
+        // Prediction mid-run.
+        let p = spq.predict(bot, SimTime::from_secs(3000)).expect("r > 0");
+        assert!(p.completion_secs > 0.0);
+
+        // 90% completion triggers the fleet.
+        let a = spq.on_progress(bot, &progress(5400, 100, 90, 0), 1.0 / 60.0);
+        let CloudAction::Start(n) = a else {
+            panic!("expected Start, got {a:?}");
+        };
+        assert!(n >= 1);
+
+        // Billing while running.
+        let spent0 = spq.credits.spent(bot);
+        let _ = spq.on_progress(bot, &progress(5460, 100, 95, n), 1.0 / 60.0);
+        assert!(spq.credits.spent(bot) > spent0);
+
+        // Completion: stop + pay + refund.
+        let a = spq.on_progress(bot, &progress(5520, 100, 100, n), 1.0 / 60.0);
+        assert_eq!(a, CloudAction::StopAll);
+        spq.on_complete(bot, SimTime::from_secs(5520));
+        assert!(spq.credits.balance(user) > 850.0, "refund returned");
+        assert_eq!(spq.info.history("seti/XWHEP/SMALL").len(), 1);
+
+        // Log contains the Fig. 3 protocol sequence in order.
+        let kinds: Vec<&'static str> = spq
+            .log()
+            .iter()
+            .map(|(_, e)| match e {
+                LogEvent::RegisterQos { .. } => "register",
+                LogEvent::OrderQos { .. } => "order",
+                LogEvent::Predicted { .. } => "predict",
+                LogEvent::StartCloudWorkers { .. } => "start",
+                LogEvent::StopCloudWorkers { .. } => "stop",
+                LogEvent::Completed { .. } => "complete",
+                LogEvent::Paid { .. } => "pay",
+            })
+            .collect();
+        let order = ["register", "order", "predict", "start", "stop", "complete", "pay"];
+        let mut last = 0;
+        for k in order {
+            let pos = kinds.iter().position(|&x| x == k).unwrap_or_else(|| panic!("{k} missing"));
+            assert!(pos >= last, "{k} out of order");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn monitoring_without_order_is_passive() {
+        let mut spq = SpeQuloS::new();
+        let bot = spq.register_qos("env", 10, UserId(2), SimTime::ZERO);
+        let a = spq.on_progress(bot, &progress(60, 10, 9, 0), 1.0 / 60.0);
+        assert_eq!(a, CloudAction::None);
+        assert_eq!(spq.strategy(bot), None);
+    }
+
+    #[test]
+    fn multiple_bots_are_independent() {
+        let mut spq = SpeQuloS::new();
+        let u1 = UserId(1);
+        let u2 = UserId(2);
+        spq.credits.deposit(u1, 100.0);
+        spq.credits.deposit(u2, 100.0);
+        let b1 = spq.register_qos("envA", 10, u1, SimTime::ZERO);
+        let b2 = spq.register_qos("envB", 10, u2, SimTime::ZERO);
+        assert_ne!(b1, b2);
+        spq.order_qos(b1, 50.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .unwrap();
+        // b2 has no order; progress on b2 never starts workers.
+        let a = spq.on_progress(b2, &progress(60, 10, 9, 0), 1.0 / 60.0);
+        assert_eq!(a, CloudAction::None);
+        assert_eq!(spq.credits.balance(u2), 100.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! 3G-Bridge model: grid ↔ desktop-grid interoperability.
+//!
+//! In the EDGI infrastructure (paper §3.7, §5), tasks submitted to a
+//! regular grid computing element can be transparently redirected to a
+//! desktop grid through SZTAKI's 3G-Bridge. For SpeQuloS the bridge had to
+//! be extended to carry the QoS BoT identifier (`batchid` in BOINC,
+//! `xwgroup` in XWHEP) so cloud workers only compute tasks of the BoT
+//! whose owner paid for QoS.
+//!
+//! The simulation needs the bridge's bookkeeping, not its wire protocols:
+//! this module models task provenance (which submission route a task took)
+//! and the tag propagation, and is what the Table 5 reproduction counts.
+
+use botwork::{Bot, BotId, TaskId};
+use std::collections::HashMap;
+
+/// Submission route of a task into a desktop grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Submitted natively to the DG server (XtremWeb-HEP / BOINC client).
+    Native,
+    /// Submitted to a grid computing element and redirected by the
+    /// 3G-Bridge (e.g. EGI → XW@LAL in the EDGI deployment).
+    Bridged {
+        /// Name of the source grid (e.g. "EGI").
+        grid: &'static str,
+    },
+}
+
+/// The QoS tag carried with each bridged task, mirroring the middleware
+/// field used to group a BoT (`batchid` / `xwgroup`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QosTag {
+    /// The SpeQuloS BoT identifier.
+    pub bot: BotId,
+}
+
+/// Per-route task counters plus tag bookkeeping for one desktop grid.
+#[derive(Debug, Default)]
+pub struct ThreeGBridge {
+    origins: HashMap<u32, Origin>,
+    tags: HashMap<u32, QosTag>,
+    native_count: u64,
+    bridged_count: u64,
+}
+
+impl ThreeGBridge {
+    /// Creates an empty bridge ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a whole BoT entering the DG through `origin`, tagged with
+    /// its QoS BoT id.
+    pub fn register_bot(&mut self, bot: &Bot, origin: Origin) {
+        for task in &bot.tasks {
+            self.register_task(task.id, origin, QosTag { bot: bot.id });
+        }
+    }
+
+    /// Records one task.
+    pub fn register_task(&mut self, task: TaskId, origin: Origin, tag: QosTag) {
+        let prev = self.origins.insert(task.0, origin);
+        assert!(prev.is_none(), "task {task} registered twice");
+        self.tags.insert(task.0, tag);
+        match origin {
+            Origin::Native => self.native_count += 1,
+            Origin::Bridged { .. } => self.bridged_count += 1,
+        }
+    }
+
+    /// Origin of a task, if registered.
+    pub fn origin(&self, task: TaskId) -> Option<Origin> {
+        self.origins.get(&task.0).copied()
+    }
+
+    /// QoS tag of a task, if registered. Cloud workers must only compute
+    /// tasks whose tag matches the BoT they were paid for.
+    pub fn tag(&self, task: TaskId) -> Option<QosTag> {
+        self.tags.get(&task.0).copied()
+    }
+
+    /// Tasks submitted natively.
+    pub fn native_count(&self) -> u64 {
+        self.native_count
+    }
+
+    /// Tasks redirected from a grid.
+    pub fn bridged_count(&self) -> u64 {
+        self.bridged_count
+    }
+
+    /// Tasks bridged from a specific grid.
+    pub fn bridged_from(&self, grid: &str) -> u64 {
+        self.origins
+            .values()
+            .filter(|o| matches!(o, Origin::Bridged { grid: g } if *g == grid))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwork::{generate, BotClass};
+
+    #[test]
+    fn counts_routes() {
+        let mut bridge = ThreeGBridge::new();
+        let native = generate(BotClass::Big, BotId(1), 1);
+        bridge.register_bot(&native, Origin::Native);
+        assert_eq!(bridge.native_count(), 10_000);
+        assert_eq!(bridge.bridged_count(), 0);
+        assert_eq!(bridge.origin(TaskId(0)), Some(Origin::Native));
+        assert_eq!(bridge.tag(TaskId(5)), Some(QosTag { bot: BotId(1) }));
+    }
+
+    #[test]
+    fn bridged_tasks_keep_grid_name() {
+        let mut bridge = ThreeGBridge::new();
+        bridge.register_task(TaskId(0), Origin::Bridged { grid: "EGI" }, QosTag { bot: BotId(9) });
+        bridge.register_task(TaskId(1), Origin::Bridged { grid: "EGI" }, QosTag { bot: BotId(9) });
+        bridge.register_task(TaskId(2), Origin::Native, QosTag { bot: BotId(9) });
+        assert_eq!(bridge.bridged_from("EGI"), 2);
+        assert_eq!(bridge.bridged_from("ARC"), 0);
+        assert_eq!(bridge.bridged_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut bridge = ThreeGBridge::new();
+        bridge.register_task(TaskId(0), Origin::Native, QosTag { bot: BotId(0) });
+        bridge.register_task(TaskId(0), Origin::Native, QosTag { bot: BotId(0) });
+    }
+}

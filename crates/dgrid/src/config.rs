@@ -1,0 +1,222 @@
+//! Middleware and simulation configuration.
+//!
+//! Defaults are exactly the paper's §4.1.3 settings: BOINC with
+//! `target_nresult = 3`, `min_quorum = 2`, `one_result_per_user_per_wu = 1`
+//! and `delay_bound = 86400 s`; XtremWeb-HEP with `keep_alive_period = 60 s`
+//! and `worker_timeout = 900 s`.
+
+use simcore::SimDuration;
+
+/// BOINC server parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoincConfig {
+    /// Replicas created per workunit at submission (`target_nresult`).
+    pub target_nresult: u32,
+    /// Results required to complete a workunit (`min_quorum`). Validation
+    /// is assumed to always succeed, as in the paper's simulations.
+    pub min_quorum: u32,
+    /// Forbid two replicas of a workunit on the same worker
+    /// (`one_result_per_user_per_wu`).
+    pub one_result_per_worker: bool,
+    /// Time allotted to a replica before the server issues a replacement
+    /// (`delay_bound`).
+    pub delay_bound: SimDuration,
+    /// Re-send lost results to their host when it reconnects
+    /// (`resend_lost_results`). Enabled on production BOINC projects;
+    /// without it, any workunit losing `target_nresult − min_quorum + 1`
+    /// replicas stalls for the full `delay_bound` (the paper's simulator
+    /// appears to run without it — see DESIGN.md).
+    pub resend_lost_results: bool,
+}
+
+impl Default for BoincConfig {
+    fn default() -> Self {
+        BoincConfig {
+            target_nresult: 3,
+            min_quorum: 2,
+            one_result_per_worker: true,
+            delay_bound: SimDuration::from_days(1),
+            resend_lost_results: true,
+        }
+    }
+}
+
+/// XtremWeb-HEP server parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct XwhepConfig {
+    /// Worker keep-alive message period (documented; failure detection is
+    /// driven by `worker_timeout`).
+    pub keep_alive_period: SimDuration,
+    /// Silence duration after which a worker is declared dead and its task
+    /// is reassigned (`worker_timeout`).
+    pub worker_timeout: SimDuration,
+}
+
+impl Default for XwhepConfig {
+    fn default() -> Self {
+        XwhepConfig {
+            keep_alive_period: SimDuration::from_secs(60),
+            worker_timeout: SimDuration::from_secs(900),
+        }
+    }
+}
+
+/// Condor-like middleware parameters (signaled preemption +
+/// checkpoint/restart; the paper's third candidate middleware, §2.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CondorConfig {
+    /// Delay between a node's eviction and the server learning about it
+    /// (preemption is an explicit signal, not a missed heartbeat).
+    pub preempt_notice: SimDuration,
+    /// Periodic checkpointing: preempted tasks resume from their last
+    /// checkpoint instead of restarting.
+    pub checkpointing: bool,
+    /// Checkpoint period: only whole periods of executed work survive a
+    /// preemption.
+    pub checkpoint_period: SimDuration,
+}
+
+impl Default for CondorConfig {
+    fn default() -> Self {
+        CondorConfig {
+            preempt_notice: SimDuration::from_secs(5),
+            checkpointing: true,
+            checkpoint_period: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// Which desktop-grid middleware manages the BE-DCI.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Middleware {
+    /// BOINC: deadline-driven replication (volunteer computing).
+    Boinc(BoincConfig),
+    /// XtremWeb-HEP: heartbeat failure detection, no replication.
+    Xwhep(XwhepConfig),
+    /// Condor-like: signaled preemption with checkpoint/restart.
+    Condor(CondorConfig),
+}
+
+impl Middleware {
+    /// BOINC with the paper's default parameters.
+    pub fn boinc() -> Self {
+        Middleware::Boinc(BoincConfig::default())
+    }
+
+    /// XtremWeb-HEP with the paper's default parameters.
+    pub fn xwhep() -> Self {
+        Middleware::Xwhep(XwhepConfig::default())
+    }
+
+    /// Condor-like middleware with default parameters.
+    pub fn condor() -> Self {
+        Middleware::Condor(CondorConfig::default())
+    }
+
+    /// Short name as used in the paper's tables (`BOINC` / `XWHEP`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Middleware::Boinc(_) => "BOINC",
+            Middleware::Xwhep(_) => "XWHEP",
+            Middleware::Condor(_) => "CONDOR",
+        }
+    }
+}
+
+/// How Cloud workers are put to work (§3.5: Flat / Reschedule / Cloud
+/// Duplication).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Cloud workers are indistinguishable from regular workers and compete
+    /// for the remaining ready tasks.
+    Flat,
+    /// The server serves Cloud workers first with pending tasks, then with
+    /// duplicates of tasks running on regular workers (requires a patched
+    /// scheduler in the real systems).
+    Reschedule,
+    /// Uncompleted tasks are duplicated to a dedicated server hosted in the
+    /// cloud; Cloud workers only talk to that server; results merge.
+    CloudDuplication,
+}
+
+impl Deployment {
+    /// One-letter code used in strategy-combination names (F/R/D).
+    pub fn code(self) -> char {
+        match self {
+            Deployment::Flat => 'F',
+            Deployment::Reschedule => 'R',
+            Deployment::CloudDuplication => 'D',
+        }
+    }
+}
+
+/// Full simulation configuration for one BoT execution.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Desktop-grid middleware and its parameters.
+    pub middleware: Middleware,
+    /// Cloud-worker deployment strategy (only relevant when a QoS hook
+    /// starts cloud workers).
+    pub deployment: Deployment,
+    /// Monitoring/scheduling period: Information samples and the SpeQuloS
+    /// scheduler loop run at this cadence (the paper transmits BoT samples
+    /// every minute, §3.2).
+    pub tick: SimDuration,
+    /// Delay between a cloud-worker start order and the instance being
+    /// ready to compute (instance boot + middleware start).
+    pub cloud_boot_delay: SimDuration,
+    /// Mean/std of cloud worker power, instructions per second. Table 2
+    /// models cloud nodes at 3000 ± 300.
+    pub cloud_power_mean: f64,
+    /// Standard deviation of cloud worker power.
+    pub cloud_power_std: f64,
+    /// Stop cloud workers that request work and receive none (the *Greedy*
+    /// provisioning behaviour of §3.5).
+    pub stop_idle_cloud: bool,
+    /// Hard cap on simulated time, a safety net against pathological
+    /// configurations.
+    pub max_sim_time: SimDuration,
+}
+
+impl SimConfig {
+    /// Paper-default configuration for the given middleware.
+    pub fn new(middleware: Middleware) -> Self {
+        SimConfig {
+            middleware,
+            deployment: Deployment::Reschedule,
+            tick: SimDuration::from_secs(60),
+            cloud_boot_delay: SimDuration::from_secs(120),
+            cloud_power_mean: 3000.0,
+            cloud_power_std: 300.0,
+            stop_idle_cloud: false,
+            max_sim_time: SimDuration::from_days(120),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let b = BoincConfig::default();
+        assert_eq!(b.target_nresult, 3);
+        assert_eq!(b.min_quorum, 2);
+        assert!(b.one_result_per_worker);
+        assert_eq!(b.delay_bound, SimDuration::from_secs(86_400));
+
+        let x = XwhepConfig::default();
+        assert_eq!(x.keep_alive_period, SimDuration::from_secs(60));
+        assert_eq!(x.worker_timeout, SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn names_and_codes() {
+        assert_eq!(Middleware::boinc().name(), "BOINC");
+        assert_eq!(Middleware::xwhep().name(), "XWHEP");
+        assert_eq!(Deployment::Flat.code(), 'F');
+        assert_eq!(Deployment::Reschedule.code(), 'R');
+        assert_eq!(Deployment::CloudDuplication.code(), 'D');
+    }
+}

@@ -1,0 +1,85 @@
+//! QoS hook: the narrow interface between the middleware simulator and
+//! SpeQuloS.
+//!
+//! The paper's central design claim (§3.2, §6) is that SpeQuloS treats
+//! infrastructures as black boxes: it sees only BoT-level progress counts
+//! sampled once a minute, and can only start or stop cloud workers. This
+//! trait enforces exactly that boundary — the hook receives a [`TickView`]
+//! and answers with a [`CloudCommand`]; it cannot reach into the servers.
+
+use simcore::SimTime;
+
+/// What the QoS service observes at each monitoring tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TickView {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Total BoT size (tasks that will eventually be submitted).
+    pub bot_size: u32,
+    /// Tasks submitted so far.
+    pub arrived: u32,
+    /// Tasks completed (merged across servers under Cloud-Duplication).
+    pub completed: u32,
+    /// Distinct tasks assigned to a worker at least once.
+    pub dispatched: u32,
+    /// Task instances waiting in scheduler queues.
+    pub ready: u32,
+    /// Tasks currently being executed.
+    pub running: u32,
+    /// Cloud workers currently provisioned (booting or computing).
+    pub cloud_running: u32,
+}
+
+/// Command returned by the QoS service at a tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloudCommand {
+    /// Do nothing.
+    None,
+    /// Start this many additional cloud workers.
+    Start(u32),
+    /// Stop all cloud workers (credits exhausted or QoS order closed).
+    StopAll,
+}
+
+/// The QoS side of a simulated BoT execution.
+pub trait QosHook {
+    /// Called every monitoring tick (the paper's per-minute monitoring
+    /// loop, §3.2/§3.6).
+    fn on_tick(&mut self, view: &TickView) -> CloudCommand;
+
+    /// Called once when the run ends (BoT completed or simulation gave
+    /// up); lets the hook close billing.
+    fn on_finish(&mut self, _now: SimTime) {}
+}
+
+/// Baseline hook: no QoS support — the plain BE-DCI execution the paper
+/// compares against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoQos;
+
+impl QosHook for NoQos {
+    fn on_tick(&mut self, _view: &TickView) -> CloudCommand {
+        CloudCommand::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noqos_never_starts_workers() {
+        let mut h = NoQos;
+        let view = TickView {
+            now: SimTime::from_secs(60),
+            bot_size: 100,
+            arrived: 100,
+            completed: 99,
+            dispatched: 100,
+            ready: 0,
+            running: 1,
+            cloud_running: 0,
+        };
+        assert_eq!(h.on_tick(&view), CloudCommand::None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Identifiers shared across the middleware simulator.
+
+/// Identifier of a worker agent (volatile BE-DCI node or cloud worker).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of one task assignment (a task instance handed to a worker).
+/// Unique across the whole run; never reused, which is how stale completion
+/// events are filtered out.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AssignmentId(pub u64);
+
+impl std::fmt::Display for AssignmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Which server an assignment belongs to when Cloud-Duplication runs a
+/// second, cloud-hosted server (§3.5 deployment strategy *D*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Side {
+    /// The desktop-grid server managing the BE-DCI.
+    Main,
+    /// The dedicated server hosted in the cloud.
+    Cloud,
+}
+
+/// The kind of resource behind a worker agent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkerClass {
+    /// A best-effort node driven by an availability timeline.
+    Volatile,
+    /// A stable cloud instance started by SpeQuloS.
+    Cloud,
+}

@@ -1,0 +1,47 @@
+//! # dgrid — desktop-grid middleware simulators
+//!
+//! Trace-driven models of the two middleware the SpeQuloS paper evaluates
+//! (§2.2, §4.1.3):
+//!
+//! * **BOINC** — replication (`target_nresult = 3`, `min_quorum = 2`, one
+//!   result per worker per workunit) with `delay_bound` deadlines;
+//! * **XtremWeb-HEP** — single-copy tasks with keep-alive failure
+//!   detection (`worker_timeout = 900 s`).
+//!
+//! A [`GridSim`] executes one Bag of Tasks over a [`betrace::Dci`]
+//! infrastructure, reproducing the tail effect of §2.2, and exposes the
+//! black-box monitoring/actuation interface ([`QosHook`]) SpeQuloS plugs
+//! into: per-minute progress samples in, cloud-worker start/stop commands
+//! out, with the three deployment strategies of §3.5 (Flat, Reschedule,
+//! Cloud Duplication) implemented at the scheduler level.
+//!
+//! ```
+//! use betrace::Preset;
+//! use botwork::{generate, BotClass, BotId};
+//! use dgrid::{GridSim, Middleware, NoQos, SimConfig};
+//!
+//! let dci = Preset::G5kLyon.spec().build(42, 0.5);
+//! let bot = generate(BotClass::Big, BotId(0), 42);
+//! let sim = GridSim::new(dci, &bot, SimConfig::new(Middleware::xwhep()), 42, NoQos);
+//! let (result, _) = sim.run();
+//! assert!(result.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod config;
+pub mod hook;
+pub mod ids;
+pub mod result;
+pub mod server;
+pub mod sim;
+
+pub use bridge::{Origin, QosTag, ThreeGBridge};
+pub use config::{BoincConfig, CondorConfig, Deployment, Middleware, SimConfig, XwhepConfig};
+pub use hook::{CloudCommand, NoQos, QosHook, TickView};
+pub use ids::{AssignmentId, Side, WorkerClass, WorkerId};
+pub use result::{CloudUsage, RunResult};
+pub use server::{Assignment, BoincServer, CompleteOutcome, CondorServer, LostOutcome, Server, ServerProgress, XwhepServer};
+pub use sim::{Ev, GridSim};

@@ -1,0 +1,55 @@
+//! Outcome of one simulated BoT execution.
+
+use simcore::{SimTime, TimeSeries};
+
+/// Cloud resource usage accumulated during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CloudUsage {
+    /// Total cloud worker time, in CPU·hours (billed from start order to
+    /// stop, boot included, as IaaS providers do).
+    pub cpu_hours: f64,
+    /// Cloud workers started over the whole run.
+    pub workers_started: u32,
+    /// Task instances assigned to cloud workers.
+    pub tasks_assigned: u32,
+    /// Tasks whose first completion came from a cloud worker.
+    pub tasks_completed: u32,
+    /// Maximum cloud workers provisioned at once.
+    pub peak_running: u32,
+}
+
+/// Everything measured during one BoT execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Whether the BoT completed before the simulation cap.
+    pub completed: bool,
+    /// BoT completion time (time of the last task's first result).
+    pub completion_time: Option<SimTime>,
+    /// Completed-task count sampled at every monitoring tick (plus a final
+    /// sample at completion): the Information module's view, used to
+    /// compute `tc(x)`.
+    pub completed_series: TimeSeries,
+    /// Cumulative distinct-tasks-dispatched count per tick: `ta(x)`.
+    pub dispatched_series: TimeSeries,
+    /// Per-task first-completion times.
+    pub completion_times: Vec<Option<SimTime>>,
+    /// Events processed by the simulation engine.
+    pub events: u64,
+    /// Cloud usage (all zeros for runs without SpeQuloS).
+    pub cloud: CloudUsage,
+    /// Total instructions of completed first results.
+    pub nops_done: f64,
+    /// Instructions of first results computed by cloud workers.
+    pub nops_done_cloud: f64,
+}
+
+impl RunResult {
+    /// Fraction of completed work executed by cloud workers.
+    pub fn cloud_work_fraction(&self) -> f64 {
+        if self.nops_done <= 0.0 {
+            0.0
+        } else {
+            self.nops_done_cloud / self.nops_done
+        }
+    }
+}

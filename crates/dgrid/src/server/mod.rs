@@ -1,0 +1,217 @@
+//! Desktop-grid server simulators.
+//!
+//! Two middleware models, following §2.2 and §4.1.3 of the paper:
+//!
+//! * [`boinc`] — deadline-driven replication: every workunit gets
+//!   `target_nresult` replicas, completes at `min_quorum` results, and
+//!   silently lost replicas are only replaced when their `delay_bound`
+//!   deadline expires.
+//! * [`xwhep`] — heartbeat failure detection: tasks run as single copies;
+//!   a worker silent for `worker_timeout` is declared dead and its task is
+//!   requeued.
+//!
+//! Both servers speak the same pull-model protocol to the simulator
+//! ([`Server`] enum): workers request work, return results, and vanish;
+//! the simulator relays timer events (failure detection, deadlines) back.
+//! Cloud workers are distinguished only by a boolean, which the servers
+//! exploit exactly as the paper's deployment strategies allow (§3.5):
+//! under *Reschedule* a cloud worker with no pending task receives a
+//! duplicate of a task running on a regular worker.
+
+pub mod boinc;
+pub mod condor;
+pub mod xwhep;
+
+use crate::config::Middleware;
+use crate::ids::{AssignmentId, WorkerId};
+use botwork::TaskId;
+use simcore::{SimDuration, SimTime};
+
+pub use boinc::BoincServer;
+pub use condor::CondorServer;
+pub use xwhep::XwhepServer;
+
+/// A task instance handed to a worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Assignment {
+    /// Unique assignment id (never reused).
+    pub aid: AssignmentId,
+    /// The task being executed.
+    pub task: TaskId,
+    /// Work amount, in instructions.
+    pub nops: f64,
+    /// For BOINC, the replica deadline (`delay_bound`): the simulator
+    /// schedules a deadline-expiry timer this far in the future.
+    pub deadline: Option<SimDuration>,
+}
+
+/// Result of a worker returning a completed assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// This result completed the task (first completion).
+    TaskCompleted(TaskId),
+    /// Result accepted but the task needs more results (BOINC quorum).
+    Accepted,
+    /// The task was already complete or the assignment was superseded; the
+    /// result is discarded.
+    Stale,
+}
+
+/// What the server wants the simulator to do about a vanished worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LostOutcome {
+    /// XtremWeb-HEP: schedule a failure-detection timer this far in the
+    /// future (`worker_timeout`); on expiry call
+    /// [`Server::failure_detected`].
+    DetectAfter(SimDuration),
+    /// BOINC: nothing to schedule — the replica's existing deadline timer
+    /// will issue a replacement.
+    AwaitDeadline,
+}
+
+/// Snapshot of a server's Bag-of-Tasks bookkeeping. This is the *only*
+/// information SpeQuloS sees about an infrastructure (paper §3.2: the
+/// Information module stores completed / assigned / queued counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerProgress {
+    /// Tasks submitted so far.
+    pub submitted: u32,
+    /// Tasks completed.
+    pub completed: u32,
+    /// Distinct tasks assigned to a worker at least once (the paper's
+    /// "assigned" count used by the 9A trigger and `ta(x)`).
+    pub dispatched: u32,
+    /// Task instances currently waiting in the scheduler queue.
+    pub ready: u32,
+    /// Tasks with at least one live assignment and no completion yet.
+    pub running: u32,
+}
+
+/// A desktop-grid server (enum dispatch over the middleware models).
+#[derive(Debug)]
+pub enum Server {
+    /// BOINC server.
+    Boinc(BoincServer),
+    /// XtremWeb-HEP server.
+    Xwhep(XwhepServer),
+    /// Condor-like server (signaled preemption, checkpoint/restart).
+    Condor(CondorServer),
+}
+
+impl Server {
+    /// Creates a server for `capacity` tasks.
+    ///
+    /// `reschedule` enables the cloud-duplicate path of the *Reschedule*
+    /// deployment strategy (it models the scheduler patch of §3.7).
+    pub fn new(middleware: Middleware, reschedule: bool, capacity: usize) -> Server {
+        match middleware {
+            Middleware::Boinc(cfg) => Server::Boinc(BoincServer::new(cfg, reschedule, capacity)),
+            Middleware::Xwhep(cfg) => Server::Xwhep(XwhepServer::new(cfg, reschedule, capacity)),
+            Middleware::Condor(cfg) => {
+                Server::Condor(CondorServer::new(cfg, reschedule, capacity))
+            }
+        }
+    }
+
+    /// Submits a task (it becomes ready for assignment).
+    pub fn submit(&mut self, task: TaskId, nops: f64) {
+        match self {
+            Server::Boinc(s) => s.submit(task, nops),
+            Server::Xwhep(s) => s.submit(task, nops),
+            Server::Condor(s) => s.submit(task, nops),
+        }
+    }
+
+    /// A worker asks for work. Returns `None` if nothing is assignable to
+    /// this worker right now.
+    pub fn request_work(
+        &mut self,
+        worker: WorkerId,
+        is_cloud: bool,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        match self {
+            Server::Boinc(s) => s.request_work(worker, is_cloud, now),
+            Server::Xwhep(s) => s.request_work(worker, is_cloud, now),
+            Server::Condor(s) => s.request_work(worker, is_cloud, now),
+        }
+    }
+
+    /// A worker returns a result.
+    pub fn complete(&mut self, aid: AssignmentId, now: SimTime) -> CompleteOutcome {
+        match self {
+            Server::Boinc(s) => s.complete(aid, now),
+            Server::Xwhep(s) => s.complete(aid, now),
+            Server::Condor(s) => s.complete(aid, now),
+        }
+    }
+
+    /// The simulator observed the worker executing `aid` going down after
+    /// executing `executed_nops` of the assignment's work (used by
+    /// checkpointing middleware; BOINC and XtremWeb-HEP discard partial
+    /// work).
+    pub fn worker_lost(&mut self, aid: AssignmentId, executed_nops: f64) -> LostOutcome {
+        match self {
+            Server::Boinc(s) => s.worker_lost(aid),
+            Server::Xwhep(s) => s.worker_lost(aid),
+            Server::Condor(s) => s.worker_lost(aid, executed_nops),
+        }
+    }
+
+    /// Failure-detection / preemption-notice timer expired for `aid`.
+    /// Returns `true` if a task was requeued (the simulator should
+    /// re-dispatch).
+    pub fn failure_detected(&mut self, aid: AssignmentId) -> bool {
+        match self {
+            Server::Boinc(_) => false,
+            Server::Xwhep(s) => s.failure_detected(aid),
+            Server::Condor(s) => s.failure_detected(aid),
+        }
+    }
+
+    /// BOINC deadline timer expired for `aid`. Returns `true` if a
+    /// replacement replica was issued (the simulator should re-dispatch).
+    pub fn deadline_expired(&mut self, aid: AssignmentId) -> bool {
+        match self {
+            Server::Boinc(s) => s.deadline_expired(aid),
+            Server::Xwhep(_) | Server::Condor(_) => false,
+        }
+    }
+
+    /// Cancels a task (Cloud-Duplication coordination: the other server
+    /// completed it first). Live assignments become stale.
+    pub fn cancel_task(&mut self, task: TaskId) {
+        match self {
+            Server::Boinc(s) => s.cancel_task(task),
+            Server::Xwhep(s) => s.cancel_task(task),
+            Server::Condor(s) => s.cancel_task(task),
+        }
+    }
+
+    /// Current bookkeeping snapshot.
+    pub fn progress(&self) -> ServerProgress {
+        match self {
+            Server::Boinc(s) => s.progress(),
+            Server::Xwhep(s) => s.progress(),
+            Server::Condor(s) => s.progress(),
+        }
+    }
+
+    /// True if at least one task instance is waiting for a worker.
+    pub fn has_ready_work(&self) -> bool {
+        match self {
+            Server::Boinc(s) => s.has_ready_work(),
+            Server::Xwhep(s) => s.has_ready_work(),
+            Server::Condor(s) => s.has_ready_work(),
+        }
+    }
+
+    /// True if `task` has completed (or been canceled) on this server.
+    pub fn task_closed(&self, task: TaskId) -> bool {
+        match self {
+            Server::Boinc(s) => s.task_closed(task),
+            Server::Xwhep(s) => s.task_closed(task),
+            Server::Condor(s) => s.task_closed(task),
+        }
+    }
+}

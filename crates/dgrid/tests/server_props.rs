@@ -1,0 +1,189 @@
+//! Property tests: middleware servers maintain their bookkeeping
+//! invariants under arbitrary interleavings of worker requests, results,
+//! failures, detections, deadlines and cancellations.
+
+use botwork::TaskId;
+use dgrid::{
+    AssignmentId, BoincConfig, CompleteOutcome, CondorConfig, Middleware, Server, WorkerId,
+    XwhepConfig,
+};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Worker `w % pool` asks for work (cloud if the flag is set).
+    Request(u8, bool),
+    /// Complete the oldest outstanding assignment.
+    CompleteOldest,
+    /// Worker of the oldest outstanding assignment dies.
+    LoseOldest,
+    /// Fire failure detection for the oldest lost assignment.
+    DetectOldest,
+    /// Fire the deadline of the oldest outstanding assignment.
+    DeadlineOldest,
+    /// Cancel task `t % size`.
+    Cancel(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<bool>()).prop_map(|(w, c)| Op::Request(w, c)),
+        Just(Op::CompleteOldest),
+        Just(Op::LoseOldest),
+        Just(Op::DetectOldest),
+        Just(Op::DeadlineOldest),
+        any::<u8>().prop_map(Op::Cancel),
+    ]
+}
+
+/// Drives a server through an op sequence, checking invariants throughout.
+fn drive(mut server: Server, size: u32, pool: u8, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    for i in 0..size {
+        server.submit(TaskId(i), 1000.0);
+    }
+    let now = SimTime::from_secs(1);
+    let mut outstanding: Vec<AssignmentId> = Vec::new();
+    let mut lost: Vec<AssignmentId> = Vec::new();
+    let mut completed_tasks = 0u32;
+
+    for op in ops {
+        match op {
+            Op::Request(w, cloud) => {
+                let worker = WorkerId(u32::from(w % pool));
+                if let Some(a) = server.request_work(worker, cloud, now) {
+                    prop_assert!(a.task.0 < size, "assignment for unknown task");
+                    outstanding.push(a.aid);
+                }
+            }
+            Op::CompleteOldest => {
+                if !outstanding.is_empty() {
+                    let aid = outstanding.remove(0);
+                    match server.complete(aid, now) {
+                        CompleteOutcome::TaskCompleted(t) => {
+                            prop_assert!(t.0 < size);
+                            completed_tasks += 1;
+                        }
+                        CompleteOutcome::Accepted | CompleteOutcome::Stale => {}
+                    }
+                }
+            }
+            Op::LoseOldest => {
+                if !outstanding.is_empty() {
+                    let aid = outstanding.remove(0);
+                    let _ = server.worker_lost(aid, 500.0);
+                    lost.push(aid);
+                }
+            }
+            Op::DetectOldest => {
+                if !lost.is_empty() {
+                    let aid = lost.remove(0);
+                    let _ = server.failure_detected(aid);
+                }
+            }
+            Op::DeadlineOldest => {
+                if let Some(&aid) = outstanding.first().or(lost.first()) {
+                    let _ = server.deadline_expired(aid);
+                }
+            }
+            Op::Cancel(t) => {
+                server.cancel_task(TaskId(u32::from(t) % size));
+            }
+        }
+        // Invariants that must hold after every operation.
+        let p = server.progress();
+        prop_assert_eq!(p.submitted, size);
+        prop_assert!(p.completed <= p.submitted, "completed > submitted");
+        prop_assert!(p.dispatched <= p.submitted, "dispatched > submitted");
+        prop_assert!(p.running <= p.submitted, "running > submitted");
+        prop_assert_eq!(
+            p.ready > 0,
+            server.has_ready_work(),
+            "ready counter out of sync with has_ready_work"
+        );
+        // Completion events reported to us never exceed the server's own
+        // count (a task completes at most once).
+        prop_assert!(completed_tasks <= p.completed + 1);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xwhep_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let server = Server::new(Middleware::Xwhep(XwhepConfig::default()), false, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    #[test]
+    fn xwhep_reschedule_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let server = Server::new(Middleware::Xwhep(XwhepConfig::default()), true, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    #[test]
+    fn boinc_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let server = Server::new(Middleware::Boinc(BoincConfig::default()), false, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    #[test]
+    fn boinc_reschedule_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let server = Server::new(Middleware::Boinc(BoincConfig::default()), true, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    #[test]
+    fn boinc_no_resend_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let cfg = BoincConfig { resend_lost_results: false, ..BoincConfig::default() };
+        let server = Server::new(Middleware::Boinc(cfg), false, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    #[test]
+    fn condor_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let server = Server::new(Middleware::Condor(CondorConfig::default()), true, 10);
+        drive(server, 10, 6, ops)?;
+    }
+
+    /// Enough workers and completions always finish the whole BoT, for
+    /// both middleware: completing every assignment the server hands out
+    /// must eventually close every task.
+    #[test]
+    fn servers_drain_to_completion(mw_boinc in any::<bool>(), size in 1u32..30) {
+        let mw = if mw_boinc {
+            Middleware::Boinc(BoincConfig::default())
+        } else {
+            Middleware::Xwhep(XwhepConfig::default())
+        };
+        let mut server = Server::new(mw, false, size as usize);
+        for i in 0..size {
+            server.submit(TaskId(i), 1000.0);
+        }
+        let now = SimTime::from_secs(1);
+        let mut done = 0;
+        let mut guard = 0;
+        // Plenty of distinct workers, completing immediately.
+        'outer: for w in 0.. {
+            loop {
+                guard += 1;
+                prop_assert!(guard < 100_000, "did not drain");
+                let Some(a) = server.request_work(WorkerId(w), false, now) else {
+                    break;
+                };
+                if let CompleteOutcome::TaskCompleted(_) = server.complete(a.aid, now) {
+                    done += 1;
+                    if done == size {
+                        break 'outer;
+                    }
+                }
+            }
+            if !server.has_ready_work() && done == size {
+                break;
+            }
+        }
+        prop_assert_eq!(server.progress().completed, size);
+    }
+}

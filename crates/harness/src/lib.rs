@@ -1,0 +1,40 @@
+//! # spq-harness — experiment harness for the SpeQuloS reproduction
+//!
+//! Composes the substrates (traces, workloads, middleware, clouds) and the
+//! SpeQuloS service into runnable scenarios, mirroring the paper's
+//! evaluation methodology (§4.1): seed-paired executions with and without
+//! SpeQuloS, parallel sweeps over the (trace × middleware × BoT class ×
+//! strategy) space, prediction-quality scoring, and the EDGI composite
+//! deployment of §5.
+//!
+//! ```
+//! use betrace::Preset;
+//! use botwork::BotClass;
+//! use spq_harness::{run_paired, MwKind, Scenario};
+//! use spequlos::StrategyCombo;
+//!
+//! let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
+//!     .with_strategy(StrategyCombo::paper_default());
+//! sc.scale = 0.3; // shrink the cluster for a quick run
+//! let paired = run_paired(&sc);
+//! assert!(paired.baseline.completed && paired.speq.completed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edgi;
+pub mod prediction;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
+
+pub use edgi::{run_edgi, EdgiReport};
+pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
+pub use report::{pct, secs, write_file, Table};
+pub use runner::{
+    bot_of, run_baseline, run_paired, run_with_spequlos, ExecutionMetrics, PairedRun, SpqHook,
+};
+pub use scenario::{deployment_of, MwKind, Scenario};
+pub use sweep::parallel_map;

@@ -1,0 +1,296 @@
+//! Executes scenarios: baseline runs, SpeQuloS runs, and the seed-paired
+//! combination the Tail-Removal-Efficiency metric requires.
+
+use crate::scenario::Scenario;
+use botwork::{generate, Bot, BotId};
+use dgrid::{CloudCommand, CloudUsage, GridSim, NoQos, QosHook, TickView};
+use simcore::{SimTime, TimeSeries};
+use spequlos::{
+    tail_removal_efficiency, tail_stats, BotProgress, CloudAction, SpeQuloS, StrategyCombo,
+    TailStats, UserId, CREDITS_PER_CPU_HOUR,
+};
+
+/// Adapter: drives a [`SpeQuloS`] service from the simulator's QoS hook,
+/// translating the simulator's tick view into the service's progress
+/// snapshots and the service's actions into simulator commands.
+pub struct SpqHook {
+    /// The service (recovered after the run for billing/α state).
+    pub spq: SpeQuloS,
+    bot: BotId,
+    tick_hours: f64,
+    /// Ask the Oracle for a completion-time prediction once this
+    /// completion ratio is reached (the `getQoSInformation` arrow of
+    /// Fig. 3; also what Table 4 scores).
+    predict_at: Option<f64>,
+    predicted: bool,
+}
+
+impl SpqHook {
+    /// Wraps a service around one registered BoT; a prediction is
+    /// requested once at 50% completion, as in the paper's evaluation.
+    pub fn new(spq: SpeQuloS, bot: BotId, tick_hours: f64) -> Self {
+        SpqHook {
+            spq,
+            bot,
+            tick_hours,
+            predict_at: Some(0.5),
+            predicted: false,
+        }
+    }
+}
+
+impl QosHook for SpqHook {
+    fn on_tick(&mut self, view: &TickView) -> CloudCommand {
+        let progress = BotProgress {
+            now: view.now,
+            size: view.bot_size,
+            completed: view.completed,
+            dispatched: view.dispatched,
+            queued: view.ready,
+            running: view.running,
+            cloud_running: view.cloud_running,
+        };
+        if let Some(ratio) = self.predict_at {
+            if !self.predicted && progress.completion_ratio() >= ratio {
+                self.predicted = true;
+                let _ = self.spq.predict(self.bot, view.now);
+            }
+        }
+        match self.spq.on_progress(self.bot, &progress, self.tick_hours) {
+            CloudAction::None => CloudCommand::None,
+            CloudAction::Start(n) => CloudCommand::Start(n),
+            CloudAction::StopAll => CloudCommand::StopAll,
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        self.spq.on_complete(self.bot, now);
+    }
+}
+
+/// Everything measured about one executed scenario.
+#[derive(Clone, Debug)]
+pub struct ExecutionMetrics {
+    /// Environment label (`trace/middleware/class`).
+    pub env: String,
+    /// Strategy used (`None` = baseline).
+    pub strategy: Option<StrategyCombo>,
+    /// Seed.
+    pub seed: u64,
+    /// Whether the BoT completed within the simulation cap.
+    pub completed: bool,
+    /// Completion time in seconds (cap value if not completed).
+    pub completion_secs: f64,
+    /// Tail statistics (requires completion past the 90% mark).
+    pub tail: Option<TailStats>,
+    /// Credits provisioned for the run (0 for baselines).
+    pub credits_provisioned: f64,
+    /// Credits actually spent.
+    pub credits_spent: f64,
+    /// Cloud usage counters.
+    pub cloud: CloudUsage,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Completed-count time series (for `tc(x)` and predictions).
+    pub completed_series: TimeSeries,
+    /// BoT size.
+    pub bot_size: u32,
+    /// Fraction of completed work executed in the cloud.
+    pub cloud_work_fraction: f64,
+}
+
+impl ExecutionMetrics {
+    /// `tc(x)`: time at which fraction `x` of the BoT was complete.
+    pub fn tc(&self, x: f64) -> Option<SimTime> {
+        self.completed_series
+            .time_to_reach(x * self.bot_size as f64)
+    }
+}
+
+/// Generates the BoT of a scenario (deterministic in `(class, seed)`).
+pub fn bot_of(scenario: &Scenario) -> Bot {
+    generate(scenario.class, BotId(0), scenario.seed)
+}
+
+fn metrics_from(
+    scenario: &Scenario,
+    result: &dgrid::RunResult,
+    credits_provisioned: f64,
+    credits_spent: f64,
+    bot_size: u32,
+) -> ExecutionMetrics {
+    let completion = result
+        .completion_time
+        .unwrap_or(SimTime::ZERO + scenario.max_sim_time);
+    let tail = result
+        .completion_time
+        .and_then(|t| tail_stats(&result.completed_series, &result.completion_times, t));
+    ExecutionMetrics {
+        env: scenario.env(),
+        strategy: scenario.strategy,
+        seed: scenario.seed,
+        completed: result.completed,
+        completion_secs: completion.as_secs_f64(),
+        tail,
+        credits_provisioned,
+        credits_spent,
+        cloud: result.cloud,
+        events: result.events,
+        completed_series: result.completed_series.clone(),
+        bot_size,
+        cloud_work_fraction: result.cloud_work_fraction(),
+    }
+}
+
+/// Runs the scenario without SpeQuloS (the paper's baseline).
+pub fn run_baseline(scenario: &Scenario) -> ExecutionMetrics {
+    let bot = bot_of(scenario);
+    let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
+    let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, NoQos);
+    let (result, _) = sim.run();
+    metrics_from(scenario, &result, 0.0, 0.0, bot.size() as u32)
+}
+
+/// Runs the scenario with SpeQuloS using `service` (pass a fresh service,
+/// or one carrying history/credit state across runs). Returns the metrics
+/// and the service back.
+///
+/// # Panics
+/// Panics if the scenario has no strategy.
+pub fn run_with_spequlos(
+    scenario: &Scenario,
+    mut service: SpeQuloS,
+) -> (ExecutionMetrics, SpeQuloS) {
+    let strategy = scenario
+        .strategy
+        .expect("run_with_spequlos requires a strategy");
+    let bot = bot_of(scenario);
+    let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
+
+    // Credits worth `credit_fraction` of the BoT workload (§4.1.3).
+    let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
+    let user = UserId(0);
+    service.credits.deposit(user, credits);
+    let bot_id = service.register_qos(&scenario.env(), bot.size() as u32, user, SimTime::ZERO);
+    service
+        .order_qos(bot_id, credits, strategy, SimTime::ZERO)
+        .expect("freshly deposited credits cover the order");
+
+    let tick_hours = scenario.tick.as_hours_f64();
+    let hook = SpqHook::new(service, bot_id, tick_hours);
+    let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
+    let (result, hook) = sim.run();
+    let service = hook.spq;
+    let spent = service.credits.spent(bot_id);
+    let metrics = metrics_from(scenario, &result, credits, spent, bot.size() as u32);
+    (metrics, service)
+}
+
+/// A seed-paired baseline + SpeQuloS comparison (§4.2.1: "using the same
+/// seed value allows a fair comparison").
+#[derive(Clone, Debug)]
+pub struct PairedRun {
+    /// The run without SpeQuloS.
+    pub baseline: ExecutionMetrics,
+    /// The run with SpeQuloS.
+    pub speq: ExecutionMetrics,
+    /// Tail Removal Efficiency (`None` if the baseline had no tail or
+    /// either run did not complete).
+    pub tre: Option<f64>,
+    /// Completion-time speed-up `t_baseline / t_speq`.
+    pub speedup: f64,
+}
+
+/// Runs the same scenario with and without SpeQuloS on the same seed.
+///
+/// # Panics
+/// Panics if the scenario has no strategy.
+pub fn run_paired(scenario: &Scenario) -> PairedRun {
+    let mut base_sc = scenario.clone();
+    base_sc.strategy = None;
+    let baseline = run_baseline(&base_sc);
+    let (speq, _service) = run_with_spequlos(scenario, SpeQuloS::new());
+    let tre = match (&baseline.tail, baseline.completed, speq.completed) {
+        (Some(tail), true, true) => tail_removal_efficiency(
+            tail.ideal,
+            SimTime::from_secs_f64(baseline.completion_secs),
+            SimTime::from_secs_f64(speq.completion_secs),
+        ),
+        _ => None,
+    };
+    let speedup = if speq.completion_secs > 0.0 {
+        baseline.completion_secs / speq.completion_secs
+    } else {
+        1.0
+    };
+    PairedRun {
+        baseline,
+        speq,
+        tre,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MwKind;
+    use betrace::Preset;
+    use botwork::BotClass;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
+        s.scale = 0.5;
+        s
+    }
+
+    #[test]
+    fn baseline_completes_and_uses_no_cloud() {
+        let m = run_baseline(&quick_scenario(1));
+        assert!(m.completed);
+        assert_eq!(m.cloud.workers_started, 0);
+        assert_eq!(m.credits_spent, 0.0);
+        assert!(m.completion_secs > 0.0);
+        assert_eq!(m.env, "g5klyo/XWHEP/BIG");
+    }
+
+    #[test]
+    fn spequlos_run_bills_credits_within_provision() {
+        let sc = quick_scenario(2).with_strategy(StrategyCombo::paper_default());
+        let (m, service) = run_with_spequlos(&sc, SpeQuloS::new());
+        assert!(m.completed);
+        assert!(m.credits_provisioned > 0.0);
+        assert!(m.credits_spent <= m.credits_provisioned + 1e-9);
+        // The service archived the execution for future predictions.
+        assert_eq!(service.info.history(&sc.env()).len(), 1);
+    }
+
+    #[test]
+    fn paired_run_baseline_not_slower_much() {
+        // SpeQuloS must never make the execution dramatically worse; on a
+        // churny trace it should usually help.
+        let sc = quick_scenario(3).with_strategy(StrategyCombo::paper_default());
+        let p = run_paired(&sc);
+        assert!(p.baseline.completed && p.speq.completed);
+        assert!(
+            p.speq.completion_secs <= p.baseline.completion_secs * 1.05,
+            "speq {} vs baseline {}",
+            p.speq.completion_secs,
+            p.baseline.completion_secs
+        );
+        if let Some(tre) = p.tre {
+            assert!(tre <= 1.0);
+        }
+    }
+
+    #[test]
+    fn paired_runs_share_the_pre_trigger_trajectory() {
+        // Same seed ⇒ identical completion curve up to (shortly before)
+        // the trigger point: compare tc(0.5) of both runs.
+        let sc = quick_scenario(4).with_strategy(StrategyCombo::paper_default());
+        let p = run_paired(&sc);
+        let b = p.baseline.tc(0.5).expect("baseline reaches 50%");
+        let s = p.speq.tc(0.5).expect("speq reaches 50%");
+        assert_eq!(b, s, "pre-trigger trajectories must match");
+    }
+}

@@ -1,0 +1,212 @@
+//! Scenario definitions: one point of the paper's evaluation space.
+//!
+//! The §4.1.3 campaign is the cartesian product of six BE-DCI traces, two
+//! middleware, three BoT classes, an optional SpeQuloS strategy
+//! combination, and a seed selecting a time window of the trace. A
+//! [`Scenario`] captures one such point plus the knobs the ablation
+//! experiments sweep.
+
+use betrace::Preset;
+use botwork::BotClass;
+use dgrid::{BoincConfig, CondorConfig, Deployment, Middleware, SimConfig, XwhepConfig};
+use simcore::SimDuration;
+use spequlos::{DeployMode, StrategyCombo};
+
+/// Middleware choice (parameters come from the scenario knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MwKind {
+    /// BOINC.
+    Boinc,
+    /// XtremWeb-HEP.
+    Xwhep,
+    /// Condor-like (signaled preemption + checkpoint/restart) — the
+    /// paper's third candidate middleware (§2.2); not part of the paper's
+    /// evaluation grid, used by the middleware ablation.
+    Condor,
+}
+
+impl MwKind {
+    /// The paper's evaluation grid: BOINC and XtremWeb-HEP.
+    pub const ALL: [MwKind; 2] = [MwKind::Boinc, MwKind::Xwhep];
+
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MwKind::Boinc => "BOINC",
+            MwKind::Xwhep => "XWHEP",
+            MwKind::Condor => "CONDOR",
+        }
+    }
+}
+
+/// One BoT execution configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// BE-DCI trace preset.
+    pub preset: Preset,
+    /// Desktop-grid middleware.
+    pub mw: MwKind,
+    /// BoT class.
+    pub class: BotClass,
+    /// SpeQuloS strategy; `None` runs the bare BE-DCI baseline.
+    pub strategy: Option<StrategyCombo>,
+    /// Master seed: selects the trace window, workload sample and all
+    /// scheduling randomness.
+    pub seed: u64,
+    /// Infrastructure scale factor (1.0 = the published node counts).
+    pub scale: f64,
+    /// Credits provisioned as a fraction of the BoT workload in
+    /// CPU·hours (the paper fixes 10%, §4.1.3).
+    pub credit_fraction: f64,
+    /// Monitoring/billing period.
+    pub tick: SimDuration,
+    /// Cloud instance boot delay.
+    pub boot_delay: SimDuration,
+    /// XtremWeb-HEP failure-detection timeout.
+    pub worker_timeout: SimDuration,
+    /// BOINC replica deadline.
+    pub delay_bound: SimDuration,
+    /// BOINC `resend_lost_results` (see `dgrid::BoincConfig`).
+    pub boinc_resend: bool,
+    /// Condor checkpoint/restart (see `dgrid::CondorConfig`).
+    pub condor_checkpointing: bool,
+    /// Simulation-time cap.
+    pub max_sim_time: SimDuration,
+}
+
+impl Scenario {
+    /// A scenario with the paper's default parameters.
+    pub fn new(preset: Preset, mw: MwKind, class: BotClass, seed: u64) -> Self {
+        Scenario {
+            preset,
+            mw,
+            class,
+            strategy: None,
+            seed,
+            scale: 1.0,
+            credit_fraction: 0.10,
+            tick: SimDuration::from_secs(60),
+            boot_delay: SimDuration::from_secs(120),
+            worker_timeout: SimDuration::from_secs(900),
+            delay_bound: SimDuration::from_days(1),
+            boinc_resend: true,
+            condor_checkpointing: true,
+            max_sim_time: SimDuration::from_days(120),
+        }
+    }
+
+    /// Same scenario with a SpeQuloS strategy enabled.
+    pub fn with_strategy(mut self, strategy: StrategyCombo) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Environment label used as the Information-module archive key:
+    /// `trace/middleware/class`.
+    pub fn env(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.preset.spec().name,
+            self.mw.name(),
+            self.class.spec().name
+        )
+    }
+
+    /// The middleware configuration with this scenario's knobs applied.
+    pub fn middleware(&self) -> Middleware {
+        match self.mw {
+            MwKind::Boinc => Middleware::Boinc(BoincConfig {
+                delay_bound: self.delay_bound,
+                resend_lost_results: self.boinc_resend,
+                ..BoincConfig::default()
+            }),
+            MwKind::Xwhep => Middleware::Xwhep(XwhepConfig {
+                worker_timeout: self.worker_timeout,
+                ..XwhepConfig::default()
+            }),
+            MwKind::Condor => Middleware::Condor(CondorConfig {
+                checkpointing: self.condor_checkpointing,
+                ..CondorConfig::default()
+            }),
+        }
+    }
+
+    /// The simulator configuration for this scenario.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(self.middleware());
+        cfg.tick = self.tick;
+        cfg.boot_and_strategy(self);
+        cfg.max_sim_time = self.max_sim_time;
+        cfg
+    }
+}
+
+/// Maps the core crate's middleware-independent deployment mode onto the
+/// simulator's.
+pub fn deployment_of(mode: DeployMode) -> Deployment {
+    match mode {
+        DeployMode::Flat => Deployment::Flat,
+        DeployMode::Reschedule => Deployment::Reschedule,
+        DeployMode::CloudDuplication => Deployment::CloudDuplication,
+    }
+}
+
+/// Helper trait to keep `SimConfig` assembly in one place.
+trait SimConfigExt {
+    fn boot_and_strategy(&mut self, sc: &Scenario);
+}
+
+impl SimConfigExt for SimConfig {
+    fn boot_and_strategy(&mut self, sc: &Scenario) {
+        self.cloud_boot_delay = sc.boot_delay;
+        if let Some(strategy) = sc.strategy {
+            self.deployment = deployment_of(strategy.deployment);
+            self.stop_idle_cloud = strategy.provisioning == spequlos::Provisioning::Greedy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spequlos::Provisioning;
+
+    #[test]
+    fn env_label_format() {
+        let s = Scenario::new(Preset::Seti, MwKind::Xwhep, BotClass::Small, 1);
+        assert_eq!(s.env(), "seti/XWHEP/SMALL");
+    }
+
+    #[test]
+    fn middleware_uses_knobs() {
+        let mut s = Scenario::new(Preset::Seti, MwKind::Xwhep, BotClass::Small, 1);
+        s.worker_timeout = SimDuration::from_secs(300);
+        match s.middleware() {
+            Middleware::Xwhep(cfg) => assert_eq!(cfg.worker_timeout, SimDuration::from_secs(300)),
+            _ => panic!("wrong middleware"),
+        }
+        let mut s = Scenario::new(Preset::Seti, MwKind::Boinc, BotClass::Small, 1);
+        s.delay_bound = SimDuration::from_hours(6);
+        match s.middleware() {
+            Middleware::Boinc(cfg) => assert_eq!(cfg.delay_bound, SimDuration::from_hours(6)),
+            _ => panic!("wrong middleware"),
+        }
+    }
+
+    #[test]
+    fn sim_config_follows_strategy() {
+        let s = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 2)
+            .with_strategy(StrategyCombo::paper_default());
+        let cfg = s.sim_config();
+        assert_eq!(cfg.deployment, Deployment::Reschedule);
+        assert!(!cfg.stop_idle_cloud, "Conservative keeps idle workers");
+
+        let mut combo = StrategyCombo::paper_default();
+        combo.provisioning = Provisioning::Greedy;
+        combo.deployment = DeployMode::CloudDuplication;
+        let s = s.with_strategy(combo);
+        let cfg = s.sim_config();
+        assert_eq!(cfg.deployment, Deployment::CloudDuplication);
+        assert!(cfg.stop_idle_cloud, "Greedy stops idle workers");
+    }
+}

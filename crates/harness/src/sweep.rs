@@ -1,0 +1,95 @@
+//! Parallel sweep executor.
+//!
+//! The paper's evaluation runs > 25 000 BoT executions (§4.1.3); each is
+//! an independent simulation, so the sweep is embarrassingly parallel.
+//! Scoped crossbeam threads pull indices from an atomic counter and write
+//! results into pre-sized slots — result order is deterministic
+//! (index-addressed) regardless of thread interleaving.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `threads` worker threads, preserving order.
+/// `threads = 0` selects the available parallelism.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..200).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn auto_parallelism() {
+        let items: Vec<u32> = (0..50).collect();
+        let out = parallel_map(&items, 0, |&x| x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = vec![];
+        let out: Vec<u32> = parallel_map(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn propagates_panics() {
+        let items = vec![1u32, 2, 3, 4];
+        parallel_map(&items, 2, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulation driver: pops events from the queue and hands them to a
+//! [`World`] until the queue drains, a deadline passes, or the world stops
+//! the run.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// What the world wants the driver to do after handling an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run immediately (e.g. the observed BoT completed).
+    Stop,
+}
+
+/// A simulated system: owns all entity state and reacts to events.
+///
+/// The driver passes the queue back into `handle` so the world can schedule
+/// follow-up events; the world must not retain the queue.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Reacts to one event at time `now`.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        queue: &mut EventQueue<Self::Event>,
+    ) -> Control;
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events processed.
+    pub events: u64,
+    /// Clock value when the run ended.
+    pub end_time: SimTime,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The world returned [`Control::Stop`].
+    Stopped,
+    /// The deadline was reached before the queue drained.
+    DeadlineReached,
+}
+
+/// Runs `world` until the queue drains, `until` is passed, or the world
+/// stops. Events with timestamps beyond `until` are left unprocessed.
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    until: Option<SimTime>,
+) -> RunStats {
+    let deadline = until.unwrap_or(SimTime::MAX);
+    let mut events = 0u64;
+    loop {
+        match queue.peek_time() {
+            None => {
+                return RunStats {
+                    events,
+                    end_time: queue.now(),
+                    outcome: RunOutcome::QueueEmpty,
+                }
+            }
+            Some(t) if t > deadline => {
+                return RunStats {
+                    events,
+                    end_time: queue.now(),
+                    outcome: RunOutcome::DeadlineReached,
+                }
+            }
+            Some(_) => {}
+        }
+        let (now, ev) = queue.pop().expect("peeked event must pop");
+        events += 1;
+        if world.handle(now, ev, queue) == Control::Stop {
+            return RunStats {
+                events,
+                end_time: now,
+                outcome: RunOutcome::Stopped,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that counts down: each event schedules the next one until the
+    /// counter reaches zero.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Countdown {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) -> Control {
+            self.fired_at.push(now);
+            if self.remaining == 0 {
+                return Control::Stop;
+            }
+            self.remaining -= 1;
+            q.schedule_after(SimDuration::from_secs(1), ());
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn runs_until_stop() {
+        let mut w = Countdown {
+            remaining: 5,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut w, &mut q, None);
+        assert_eq!(stats.outcome, RunOutcome::Stopped);
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.end_time, SimTime::from_secs(5));
+        assert_eq!(w.fired_at.len(), 6);
+    }
+
+    #[test]
+    fn runs_until_queue_empty() {
+        struct Sink;
+        impl World for Sink {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, _: u32, _: &mut EventQueue<u32>) -> Control {
+                Control::Continue
+            }
+        }
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_secs(i), i as u32);
+        }
+        let stats = run(&mut Sink, &mut q, None);
+        assert_eq!(stats.outcome, RunOutcome::QueueEmpty);
+        assert_eq!(stats.events, 10);
+    }
+
+    #[test]
+    fn respects_deadline() {
+        let mut w = Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let stats = run(&mut w, &mut q, Some(SimTime::from_secs(3)));
+        assert_eq!(stats.outcome, RunOutcome::DeadlineReached);
+        // Events at t=0,1,2,3 fire; the one at t=4 stays queued.
+        assert_eq!(stats.events, 4);
+        assert_eq!(q.len(), 1);
+    }
+}

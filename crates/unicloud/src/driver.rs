@@ -1,0 +1,259 @@
+//! Unified cloud driver: instance lifecycle and CPU·hour metering.
+//!
+//! Models the slice of libcloud SpeQuloS uses (§3.6): start an instance,
+//! stop an instance, and know what is running — plus the metering the
+//! Credit System bills from (1 CPU·hour of cloud worker = 15 credits,
+//! §3.3). Instances are billed from the start order to the stop order,
+//! boot time included, as IaaS providers do.
+
+use crate::provider::ProviderSpec;
+use simcore::SimTime;
+use std::collections::HashMap;
+
+/// Identifier of a cloud instance within one driver.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// Lifecycle state of an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Ordered, still booting (until `ready_at`).
+    Booting,
+    /// Computing-capable.
+    Running,
+    /// Stopped; retains its billing record.
+    Stopped,
+}
+
+#[derive(Clone, Debug)]
+struct Instance {
+    started_at: SimTime,
+    ready_at: SimTime,
+    stopped_at: Option<SimTime>,
+}
+
+/// Errors from driver operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloudError {
+    /// The provider's instance cap would be exceeded.
+    CapacityExceeded,
+    /// Unknown instance id.
+    NoSuchInstance,
+    /// The instance is already stopped.
+    AlreadyStopped,
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::CapacityExceeded => write!(f, "provider capacity exceeded"),
+            CloudError::NoSuchInstance => write!(f, "no such instance"),
+            CloudError::AlreadyStopped => write!(f, "instance already stopped"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// A connection to one IaaS cloud service.
+#[derive(Clone, Debug)]
+pub struct CloudDriver {
+    spec: ProviderSpec,
+    instances: HashMap<u64, Instance>,
+    next_id: u64,
+    active: u32,
+    /// Closed billing, milliseconds.
+    billed_ms: u64,
+}
+
+impl CloudDriver {
+    /// Connects to a provider.
+    pub fn new(spec: ProviderSpec) -> Self {
+        CloudDriver {
+            spec,
+            instances: HashMap::new(),
+            next_id: 0,
+            active: 0,
+            billed_ms: 0,
+        }
+    }
+
+    /// Provider description.
+    pub fn spec(&self) -> &ProviderSpec {
+        &self.spec
+    }
+
+    /// Orders a new instance at `now`. It becomes ready after the
+    /// provider's boot delay (the returned time).
+    pub fn start_instance(&mut self, now: SimTime) -> Result<(InstanceId, SimTime), CloudError> {
+        if let Some(cap) = self.spec.max_instances {
+            if self.active >= cap {
+                return Err(CloudError::CapacityExceeded);
+            }
+        }
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        let ready_at = now + self.spec.boot_delay;
+        self.instances.insert(
+            id.0,
+            Instance {
+                started_at: now,
+                ready_at,
+                stopped_at: None,
+            },
+        );
+        self.active += 1;
+        Ok((id, ready_at))
+    }
+
+    /// Stops an instance at `now`, closing its billing.
+    pub fn stop_instance(&mut self, id: InstanceId, now: SimTime) -> Result<(), CloudError> {
+        let inst = self
+            .instances
+            .get_mut(&id.0)
+            .ok_or(CloudError::NoSuchInstance)?;
+        if inst.stopped_at.is_some() {
+            return Err(CloudError::AlreadyStopped);
+        }
+        inst.stopped_at = Some(now);
+        self.billed_ms += now.since(inst.started_at).as_millis();
+        self.active -= 1;
+        Ok(())
+    }
+
+    /// Stops every active instance at `now`; returns how many were
+    /// stopped.
+    pub fn stop_all(&mut self, now: SimTime) -> u32 {
+        let ids: Vec<u64> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.stopped_at.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        let n = ids.len() as u32;
+        for id in ids {
+            let _ = self.stop_instance(InstanceId(id), now);
+        }
+        n
+    }
+
+    /// State of an instance at time `now`.
+    pub fn state(&self, id: InstanceId, now: SimTime) -> Result<InstanceState, CloudError> {
+        let inst = self.instances.get(&id.0).ok_or(CloudError::NoSuchInstance)?;
+        Ok(if inst.stopped_at.is_some() {
+            InstanceState::Stopped
+        } else if now < inst.ready_at {
+            InstanceState::Booting
+        } else {
+            InstanceState::Running
+        })
+    }
+
+    /// Instances currently active (booting or running).
+    pub fn active_count(&self) -> u32 {
+        self.active
+    }
+
+    /// Instances ever started.
+    pub fn started_count(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Total billed CPU·hours as of `now` (closed billing plus the accrual
+    /// of still-active instances).
+    pub fn cpu_hours(&self, now: SimTime) -> f64 {
+        let open_ms: u64 = self
+            .instances
+            .values()
+            .filter(|i| i.stopped_at.is_none())
+            .map(|i| now.since(i.started_at).as_millis())
+            .sum();
+        (self.billed_ms + open_ms) as f64 / 3_600_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver() -> CloudDriver {
+        CloudDriver::new(ProviderSpec::stratuslab())
+    }
+
+    #[test]
+    fn start_boot_run_stop() {
+        let mut d = driver();
+        let t0 = SimTime::from_secs(100);
+        let (id, ready) = d.start_instance(t0).expect("capacity");
+        assert_eq!(ready, t0 + d.spec().boot_delay);
+        assert_eq!(d.state(id, t0).unwrap(), InstanceState::Booting);
+        assert_eq!(d.state(id, ready).unwrap(), InstanceState::Running);
+        assert_eq!(d.active_count(), 1);
+        d.stop_instance(id, SimTime::from_secs(4000)).expect("stop");
+        assert_eq!(d.state(id, SimTime::from_secs(5000)).unwrap(), InstanceState::Stopped);
+        assert_eq!(d.active_count(), 0);
+        // Billed from order (t=100) to stop (t=4000): 3900 s.
+        assert!((d.cpu_hours(SimTime::from_secs(9999)) - 3900.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_instances_accrue() {
+        let mut d = driver();
+        let (_, _) = d.start_instance(SimTime::ZERO).expect("ok");
+        assert!((d.cpu_hours(SimTime::from_hours(2)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut d = CloudDriver::new(ProviderSpec::opennebula());
+        let cap = d.spec().max_instances.unwrap();
+        for _ in 0..cap {
+            d.start_instance(SimTime::ZERO).expect("within cap");
+        }
+        assert_eq!(
+            d.start_instance(SimTime::ZERO),
+            Err(CloudError::CapacityExceeded)
+        );
+        // Stopping one frees a slot.
+        d.stop_instance(InstanceId(0), SimTime::from_secs(60)).unwrap();
+        assert!(d.start_instance(SimTime::from_secs(60)).is_ok());
+    }
+
+    #[test]
+    fn double_stop_rejected() {
+        let mut d = driver();
+        let (id, _) = d.start_instance(SimTime::ZERO).unwrap();
+        d.stop_instance(id, SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            d.stop_instance(id, SimTime::from_secs(20)),
+            Err(CloudError::AlreadyStopped)
+        );
+    }
+
+    #[test]
+    fn stop_all_counts() {
+        let mut d = driver();
+        for _ in 0..5 {
+            d.start_instance(SimTime::ZERO).unwrap();
+        }
+        assert_eq!(d.stop_all(SimTime::from_secs(30)), 5);
+        assert_eq!(d.active_count(), 0);
+        assert_eq!(d.started_count(), 5);
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let mut d = driver();
+        assert_eq!(
+            d.stop_instance(InstanceId(99), SimTime::ZERO),
+            Err(CloudError::NoSuchInstance)
+        );
+        assert!(d.state(InstanceId(99), SimTime::ZERO).is_err());
+    }
+}

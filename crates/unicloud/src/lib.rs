@@ -1,0 +1,30 @@
+//! # unicloud — unified IaaS cloud simulator
+//!
+//! SpeQuloS provisions cloud workers through libcloud so that a single
+//! code path drives Amazon EC2, Eucalyptus, Rackspace, OpenNebula,
+//! StratusLab, Nimbus and even Grid'5000-as-a-cloud (paper §3.6–3.7).
+//! This crate is the simulated counterpart: provider presets
+//! ([`ProviderSpec`]) capturing what differs between services (boot
+//! latency, power, capacity), and a [`CloudDriver`] implementing the
+//! instance lifecycle with the CPU·hour metering the Credit System bills
+//! from.
+//!
+//! ```
+//! use simcore::SimTime;
+//! use unicloud::{CloudDriver, ProviderSpec};
+//!
+//! let mut ec2 = CloudDriver::new(ProviderSpec::amazon_ec2());
+//! let (vm, ready_at) = ec2.start_instance(SimTime::ZERO).unwrap();
+//! assert!(ready_at > SimTime::ZERO); // instances take time to boot
+//! ec2.stop_instance(vm, SimTime::from_hours(1)).unwrap();
+//! assert!((ec2.cpu_hours(SimTime::from_hours(2)) - 1.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod provider;
+
+pub use driver::{CloudDriver, CloudError, InstanceId, InstanceState};
+pub use provider::{ProviderSpec, Technology};

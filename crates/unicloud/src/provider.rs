@@ -1,0 +1,168 @@
+//! IaaS provider descriptions.
+//!
+//! SpeQuloS reaches clouds through the libcloud library so that one code
+//! path drives every IaaS technology the EDGI deployment offers (§3.7):
+//! Amazon EC2 and Eucalyptus, Rackspace, OpenNebula and StratusLab (OCCI),
+//! Nimbus, plus a custom driver the authors wrote for Grid'5000. The
+//! presets here model what differs between them for the simulation:
+//! instance boot latency, node power, and capacity limits.
+
+use simcore::SimDuration;
+
+/// Static description of an IaaS cloud service.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProviderSpec {
+    /// Provider name as in the paper.
+    pub name: &'static str,
+    /// Cloud technology family (for reports).
+    pub technology: Technology,
+    /// Delay between a start order and the worker computing (instance
+    /// scheduling + boot + middleware worker start-up).
+    pub boot_delay: SimDuration,
+    /// Mean instance power, instructions per second (Table 2 models cloud
+    /// nodes at 3× desktop-grid power).
+    pub power_mean: f64,
+    /// Instance power standard deviation.
+    pub power_std: f64,
+    /// Maximum simultaneously running instances SpeQuloS may hold on this
+    /// provider (`None` = unbounded, e.g. public EC2).
+    pub max_instances: Option<u32>,
+}
+
+/// IaaS technology families supported through the unified driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Amazon EC2 API (EC2 itself and Eucalyptus private clouds).
+    Ec2Compatible,
+    /// Rackspace commercial cloud.
+    Rackspace,
+    /// Open Cloud Computing Interface (OpenNebula, StratusLab).
+    Occi,
+    /// Nimbus science cloud.
+    Nimbus,
+    /// Grid'5000 used as an IaaS cloud (custom libcloud driver, §3.7).
+    Grid5000,
+}
+
+impl ProviderSpec {
+    /// Amazon EC2: commercial, effectively unbounded capacity, fast boot.
+    pub fn amazon_ec2() -> Self {
+        ProviderSpec {
+            name: "Amazon EC2",
+            technology: Technology::Ec2Compatible,
+            boot_delay: SimDuration::from_secs(120),
+            power_mean: 3000.0,
+            power_std: 300.0,
+            max_instances: None,
+        }
+    }
+
+    /// Eucalyptus: EC2-compatible private cloud, modest capacity.
+    pub fn eucalyptus() -> Self {
+        ProviderSpec {
+            name: "Eucalyptus",
+            technology: Technology::Ec2Compatible,
+            boot_delay: SimDuration::from_secs(180),
+            power_mean: 3000.0,
+            power_std: 300.0,
+            max_instances: Some(64),
+        }
+    }
+
+    /// Rackspace commercial cloud.
+    pub fn rackspace() -> Self {
+        ProviderSpec {
+            name: "Rackspace",
+            technology: Technology::Rackspace,
+            boot_delay: SimDuration::from_secs(240),
+            power_mean: 3000.0,
+            power_std: 300.0,
+            max_instances: None,
+        }
+    }
+
+    /// OpenNebula private cloud (OCCI), as deployed for SZTAKI's DG.
+    pub fn opennebula() -> Self {
+        ProviderSpec {
+            name: "OpenNebula",
+            technology: Technology::Occi,
+            boot_delay: SimDuration::from_secs(180),
+            power_mean: 3000.0,
+            power_std: 150.0,
+            max_instances: Some(32),
+        }
+    }
+
+    /// StratusLab (OCCI), the cloud supporting XW@LAL in the EDGI
+    /// deployment (§5).
+    pub fn stratuslab() -> Self {
+        ProviderSpec {
+            name: "StratusLab",
+            technology: Technology::Occi,
+            boot_delay: SimDuration::from_secs(180),
+            power_mean: 3000.0,
+            power_std: 150.0,
+            max_instances: Some(32),
+        }
+    }
+
+    /// Nimbus science cloud.
+    pub fn nimbus() -> Self {
+        ProviderSpec {
+            name: "Nimbus",
+            technology: Technology::Nimbus,
+            boot_delay: SimDuration::from_secs(300),
+            power_mean: 3000.0,
+            power_std: 300.0,
+            max_instances: Some(32),
+        }
+    }
+
+    /// Grid'5000 used as an IaaS cloud through the custom driver.
+    pub fn grid5000() -> Self {
+        ProviderSpec {
+            name: "Grid5000",
+            technology: Technology::Grid5000,
+            boot_delay: SimDuration::from_secs(90),
+            power_mean: 3000.0,
+            power_std: 0.0,
+            max_instances: Some(200),
+        }
+    }
+
+    /// All presets.
+    pub fn all() -> Vec<ProviderSpec> {
+        vec![
+            Self::amazon_ec2(),
+            Self::eucalyptus(),
+            Self::rackspace(),
+            Self::opennebula(),
+            Self::stratuslab(),
+            Self::nimbus(),
+            Self::grid5000(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for p in ProviderSpec::all() {
+            assert!(!p.name.is_empty());
+            assert!(!p.boot_delay.is_zero());
+            assert!(p.power_mean > 0.0);
+            assert!(p.power_std >= 0.0);
+            if let Some(m) = p.max_instances {
+                assert!(m > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn grid5000_is_homogeneous() {
+        assert_eq!(ProviderSpec::grid5000().power_std, 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The EDGI-like composite deployment of paper §5 (Fig. 8, Table 5).
+//!
+//! Two XtremWeb-HEP desktop grids — XW@LRI harvesting a Grid'5000-like
+//! best-effort cluster with an EC2-like supporting cloud, and XW@LAL on a
+//! campus desktop grid with a StratusLab-like cloud — share one SpeQuloS
+//! service. Part of the XW@LAL workload arrives through the 3G-Bridge
+//! from an EGI-like grid, and still benefits from QoS support: "BoTs
+//! submitted through XtremWeb-HEP to EGI can eventually benefit from the
+//! QoS support provided by SpeQuloS using resources from StratusLab".
+//!
+//! Run with: `cargo run --release --example edgi_deployment`
+
+use spq_harness::run_edgi;
+
+fn main() {
+    println!("EDGI-like deployment (paper §5)");
+    println!("===============================\n");
+    let report = run_edgi(7, 3, 0.5);
+
+    println!("{:<34} {:>10}", "infrastructure", "# tasks");
+    println!("{}", "-".repeat(46));
+    for (name, count) in [
+        ("XW@LAL (campus desktop grid)", report.lal_tasks),
+        ("XW@LRI (best-effort grid)", report.lri_tasks),
+        ("EGI (bridged into XW@LAL)", report.egi_tasks),
+        ("StratusLab (cloud via SpeQuloS)", report.stratuslab_tasks),
+        ("Amazon EC2 (cloud via SpeQuloS)", report.ec2_tasks),
+    ] {
+        println!("{name:<34} {count:>10}");
+    }
+    println!(
+        "\ncloud consumption: StratusLab {:.2} CPU·h, EC2 {:.2} CPU·h",
+        report.stratuslab_cpu_hours, report.ec2_cpu_hours
+    );
+
+    println!("\nper-BoT executions:");
+    for (label, completed, secs, credits) in &report.bots {
+        println!(
+            "  {label:<28} {}  completion {:>9.0} s  credits spent {:>7.1}",
+            if *completed { "ok " } else { "STUCK" },
+            secs,
+            credits
+        );
+    }
+
+    println!(
+        "\nShape check vs Table 5: DG-native tasks dominate, bridged EGI tasks are a\n\
+         minority, and cloud-assigned tasks are a small fraction of the total —\n\
+         the cloud only absorbs each BoT's tail."
+    );
+}

@@ -1,0 +1,101 @@
+//! Quickstart: one QoS-supported BoT execution, end to end.
+//!
+//! Replays the paper's Fig. 3 sequence — `registerQoS` → `orderQoS` →
+//! monitoring → prediction → cloud burst → billing → `pay` — on a
+//! simulated Grid'5000-like best-effort cluster running XtremWeb-HEP,
+//! then prints the protocol log and the QoS outcome.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use betrace::Preset;
+use botwork::BotClass;
+use spq_harness::{run_paired, MwKind, Scenario};
+use spequlos::{LogEvent, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
+
+fn main() {
+    // A SMALL BoT (1000 × 1h tasks) on a churny best-effort cluster.
+    let mut scenario = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Small, 42)
+        .with_strategy(StrategyCombo::paper_default());
+    scenario.scale = 0.5;
+
+    println!("SpeQuloS quickstart");
+    println!("===================");
+    println!("environment : {}", scenario.env());
+    println!("strategy    : {}", StrategyCombo::paper_default());
+    let bot = spq_harness::bot_of(&scenario);
+    println!(
+        "BoT         : {} tasks, {:.0} CPU·h workload, credits = 10% = {:.0} credits\n",
+        bot.size(),
+        bot.workload_cpu_hours(),
+        0.10 * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR,
+    );
+
+    // Paired execution: the same seed with and without SpeQuloS.
+    let paired = run_paired(&scenario);
+
+    println!("without SpeQuloS : completed in {:>8.0} s", paired.baseline.completion_secs);
+    println!("with SpeQuloS    : completed in {:>8.0} s", paired.speq.completion_secs);
+    println!("speed-up         : {:.2}×", paired.speedup);
+    if let Some(tre) = paired.tre {
+        println!("tail removal     : {:.0}%", tre * 100.0);
+    }
+    if let Some(tail) = &paired.baseline.tail {
+        println!(
+            "baseline tail    : slowdown {:.2}, {:.1}% of tasks, {:.1}% of time",
+            tail.slowdown,
+            tail.frac_bot_in_tail * 100.0,
+            tail.frac_time_in_tail * 100.0
+        );
+    }
+    println!(
+        "cloud usage      : {} workers, {:.2} CPU·h, {:.1} of {:.0} credits spent ({:.1}% of workload offloaded)\n",
+        paired.speq.cloud.workers_started,
+        paired.speq.cloud.cpu_hours,
+        paired.speq.credits_spent,
+        paired.speq.credits_provisioned,
+        paired.speq.cloud_work_fraction * 100.0,
+    );
+
+    // Replay the protocol (Fig. 3) on a fresh service to show the module
+    // interactions, including a mid-run prediction.
+    println!("protocol walk-through (Fig. 3)");
+    println!("------------------------------");
+    let mut service = SpeQuloS::new();
+    let user = UserId(1);
+    service.credits.deposit(user, 10_000.0);
+    let (metrics, service) = {
+        let mut sc = scenario.clone();
+        sc.seed = 43;
+        spq_harness::run_with_spequlos(&sc, service)
+    };
+    let _ = user;
+    for (t, ev) in service.log() {
+        let line = match ev {
+            LogEvent::RegisterQos { bot, env } => format!("user -> scheduler : registerQoS({env}) = {bot}"),
+            LogEvent::OrderQos { bot, credits } => {
+                format!("user -> credit    : orderQoS({bot}, {credits:.0} credits)")
+            }
+            LogEvent::Predicted {
+                bot,
+                completion_secs,
+                success_rate,
+            } => format!(
+                "user <- oracle    : prediction({bot}) = {completion_secs:.0}s (history success: {})",
+                success_rate.map(|r| format!("{:.0}%", r * 100.0)).unwrap_or_else(|| "n/a".into())
+            ),
+            LogEvent::StartCloudWorkers { bot, count } => {
+                format!("scheduler -> cloud: startCloudWorkers({bot}) × {count}")
+            }
+            LogEvent::StopCloudWorkers { bot } => format!("scheduler -> cloud: stopCloudWorkers({bot})"),
+            LogEvent::Completed { bot } => format!("infrastructure    : {bot} completed"),
+            LogEvent::Paid { bot, refund } => {
+                format!("credit system     : pay({bot}), refund {refund:.1} credits")
+            }
+        };
+        println!("  t={:>7.0}s  {line}", t.as_secs_f64());
+    }
+    println!(
+        "\nsecond run completed in {:.0} s using {:.1} credits",
+        metrics.completion_secs, metrics.credits_spent
+    );
+}

@@ -1,0 +1,65 @@
+//! Cloud spot instances as a best-effort infrastructure (paper §2.1,
+//! §4.1.1).
+//!
+//! Demonstrates the spot-market substrate: a synthetic price process, the
+//! paper's persistent bid ladder (n bids at S/i for a constant total
+//! renting cost S), the resulting instance churn, and a BoT execution on
+//! the spot infrastructure with and without SpeQuloS.
+//!
+//! Run with: `cargo run --release --example spot_market`
+
+use betrace::{BidLadder, MarketParams, Preset, PricePath, SimDuration, SimTime};
+use botwork::BotClass;
+use simcore::Prng;
+use spq_harness::{run_paired, MwKind, Scenario};
+use spequlos::StrategyCombo;
+
+fn main() {
+    println!("Spot-market best-effort infrastructure");
+    println!("======================================\n");
+
+    // 1. The price process and bid ladder.
+    let params = MarketParams::default();
+    let mut rng = Prng::stream(11, "spot-market");
+    let path = PricePath::generate(&params, SimDuration::from_days(7), &mut rng);
+    let ladder = BidLadder {
+        total_cost: 10.0,
+        n: 87,
+    };
+    println!("bid ladder: total cost S = ${}/h over {} bids (bid_i = S/i)", 10, 87);
+    println!("first bids: {:.2} {:.2} {:.2} ... last bid: {:.3}\n", ladder.bid(1), ladder.bid(2), ladder.bid(3), ladder.bid(87));
+    println!("hour  price($)  instances running");
+    for h in (0..7 * 24).step_by(6) {
+        let t = SimTime::from_hours(h);
+        let price = path.price_at(t);
+        let n = ladder.running_at_price(price);
+        println!(
+            "{h:>4}  {price:>8.3}  {n:>3} {}",
+            "*".repeat((n / 2) as usize)
+        );
+    }
+
+    // 2. A BoT on spot instances, with and without SpeQuloS.
+    println!("\nBoT execution on spot10 (XWHEP, RANDOM class)");
+    println!("---------------------------------------------");
+    let scenario = Scenario::new(Preset::Spot10, MwKind::Xwhep, BotClass::Random, 5)
+        .with_strategy(StrategyCombo::paper_default());
+    let paired = run_paired(&scenario);
+    println!(
+        "without SpeQuloS: {:>8.0} s (tail slowdown {:.2})",
+        paired.baseline.completion_secs,
+        paired.baseline.tail.map(|t| t.slowdown).unwrap_or(1.0)
+    );
+    println!(
+        "with SpeQuloS   : {:>8.0} s ({} cloud workers, {:.1}% of credits spent)",
+        paired.speq.completion_secs,
+        paired.speq.cloud.workers_started,
+        100.0 * paired.speq.credits_spent / paired.speq.credits_provisioned.max(1e-9),
+    );
+    println!("speed-up        : {:.2}×", paired.speedup);
+    if let Some(tre) = paired.tre {
+        println!("tail removal    : {:.0}%", tre * 100.0);
+    } else {
+        println!("tail removal    : n/a (baseline had no measurable tail)");
+    }
+}

@@ -1,0 +1,72 @@
+//! Working with BE-DCI availability traces (paper §2.1, §4.1.1, Table 2).
+//!
+//! Shows the trace substrate as a standalone tool: build a calibrated
+//! synthetic infrastructure, audit its statistics against the published
+//! Table 2 values, export it to the `betrace v1` text format, and load it
+//! back (the same path users would take to run the reproduction on real
+//! Failure-Trace-Archive-derived interval data).
+//!
+//! Run with: `cargo run --release --example trace_toolkit`
+
+use betrace::{fta, measure, Preset, SimDuration, SimTime};
+
+fn main() {
+    println!("BE-DCI trace toolkit");
+    println!("====================\n");
+
+    // 1. Audit each preset against its published statistics.
+    println!(
+        "{:<8} {:>7} {:>12} {:>14} {:>24} {:>24}",
+        "trace", "slots", "mean nodes", "(published)", "avail q25/q50/q75", "unavail q25/q50/q75"
+    );
+    for preset in Preset::ALL {
+        let spec = preset.spec();
+        let dci = spec.build(2024, 1.0);
+        let stats = measure(&dci, SimDuration::from_days(3), SimDuration::from_secs(300));
+        let q = |q: Option<simcore::Quartiles>| {
+            q.map(|q| format!("{:.0}/{:.0}/{:.0}", q.q25, q.q50, q.q75))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<8} {:>7} {:>12.0} {:>14.0} {:>24} {:>24}",
+            spec.name,
+            dci.node_count(),
+            stats.nodes_mean,
+            spec.nodes_mean,
+            q(stats.avail_quartiles),
+            q(stats.unavail_quartiles),
+        );
+    }
+
+    // 2. Export a small infrastructure to the text format and reload it.
+    let dci = Preset::G5kLyon.spec().build(7, 0.1);
+    let horizon = SimTime::from_hours(6);
+    let text = fta::to_text(&dci, horizon);
+    println!(
+        "\nexported {} nodes over 6h -> {} bytes of `betrace v1` text",
+        dci.node_count(),
+        text.len()
+    );
+    let reloaded = fta::from_text(&text).expect("own export must parse");
+    assert_eq!(reloaded.node_count(), dci.node_count());
+    println!("reloaded: {} nodes, kind {:?}", reloaded.node_count(), reloaded.kind);
+
+    // First lines of the export, as documentation of the format.
+    println!("\nformat sample:");
+    for line in text.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // 3. Availability fractions per node (the churn SpeQuloS fights).
+    let fracs: Vec<f64> = dci
+        .timelines
+        .iter()
+        .map(|tl| tl.clone().availability_fraction(horizon))
+        .collect();
+    println!(
+        "\nper-node availability over 6h: min {:.2}  mean {:.2}  max {:.2}",
+        fracs.iter().cloned().fold(f64::INFINITY, f64::min),
+        simcore::mean(&fracs),
+        fracs.iter().cloned().fold(0.0, f64::max),
+    );
+}

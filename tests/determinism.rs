@@ -1,0 +1,88 @@
+//! Reproducibility guarantees: the paper's methodology replays the same
+//! seed with and without SpeQuloS for fair comparison (§4.1.3). These
+//! tests pin that property across the whole stack.
+
+use betrace::Preset;
+use botwork::BotClass;
+use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
+use spequlos::{SpeQuloS, StrategyCombo};
+
+fn scenario(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
+    sc.scale = 0.4;
+    sc
+}
+
+#[test]
+fn baseline_runs_are_bit_identical() {
+    let a = run_baseline(&scenario(11));
+    let b = run_baseline(&scenario(11));
+    assert_eq!(a.completion_secs, b.completion_secs);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.completed_series.points(), b.completed_series.points());
+}
+
+#[test]
+fn spequlos_runs_are_bit_identical() {
+    let sc = scenario(12).with_strategy(StrategyCombo::paper_default());
+    let (a, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    let (b, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    assert_eq!(a.completion_secs, b.completion_secs);
+    assert_eq!(a.credits_spent, b.credits_spent);
+    assert_eq!(a.cloud, b.cloud);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_baseline(&scenario(13));
+    let b = run_baseline(&scenario(14));
+    assert_ne!(a.completion_secs, b.completion_secs);
+}
+
+#[test]
+fn boinc_is_deterministic_too() {
+    let mut sc = Scenario::new(Preset::NotreDame, MwKind::Boinc, BotClass::Big, 15);
+    sc.scale = 1.0;
+    let a = run_baseline(&sc);
+    let b = run_baseline(&sc);
+    assert_eq!(a.completion_secs, b.completion_secs);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn paired_runs_share_infrastructure_behaviour() {
+    // The baseline and the SpeQuloS run must see identical BE-DCI
+    // behaviour before the cloud trigger: their completion curves agree
+    // at 25%, 50% and 75% (the 9C trigger fires at 90%).
+    for seed in [21, 22, 23] {
+        let sc = scenario(seed).with_strategy(StrategyCombo::paper_default());
+        let p = run_paired(&sc);
+        for frac in [0.25, 0.5, 0.75] {
+            let b = p.baseline.tc(frac);
+            let s = p.speq.tc(frac);
+            assert_eq!(b, s, "seed {seed}: tc({frac}) diverged before the trigger");
+        }
+    }
+}
+
+#[test]
+fn trace_generation_is_stable_across_calls() {
+    // Regenerating the same preset from the same seed yields the same
+    // infrastructure — required for paired runs and for reproducing the
+    // published tables from a seed.
+    for preset in Preset::ALL {
+        let a = preset.spec().build(99, 0.2);
+        let b = preset.spec().build(99, 0.2);
+        assert_eq!(a.powers, b.powers, "{}", preset.spec().name);
+        let horizon = betrace::SimTime::from_hours(12);
+        for i in [0usize, a.node_count() / 2] {
+            assert_eq!(
+                a.timelines[i].clone().up_intervals(horizon),
+                b.timelines[i].clone().up_intervals(horizon),
+                "{} node {i}",
+                preset.spec().name
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: full executions across crates, checking the
+//! cross-module invariants the paper's design relies on.
+
+use betrace::Preset;
+use botwork::BotClass;
+use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
+use spequlos::{SpeQuloS, StrategyCombo, CREDITS_PER_CPU_HOUR};
+
+fn scenario(preset: Preset, mw: MwKind, class: BotClass, seed: u64, scale: f64) -> Scenario {
+    let mut sc = Scenario::new(preset, mw, class, seed);
+    sc.scale = scale;
+    sc
+}
+
+#[test]
+fn baseline_completes_on_every_middleware() {
+    for mw in [MwKind::Boinc, MwKind::Xwhep, MwKind::Condor] {
+        let m = run_baseline(&scenario(Preset::G5kLyon, mw, BotClass::Big, 1, 0.5));
+        assert!(m.completed, "{} must complete", mw.name());
+        assert!(m.completion_secs > 0.0);
+        assert_eq!(m.cloud.workers_started, 0);
+    }
+}
+
+#[test]
+fn condor_checkpointing_shortens_volatile_executions() {
+    // SMALL tasks on the churny g5klyo queue: without checkpoints every
+    // preemption restarts the task from zero; with them, progress
+    // accumulates across preemptions.
+    let mut with = scenario(Preset::G5kLyon, MwKind::Condor, BotClass::Small, 2, 0.4);
+    with.condor_checkpointing = true;
+    let mut without = with.clone();
+    without.condor_checkpointing = false;
+    let m_with = run_baseline(&with);
+    let m_without = run_baseline(&without);
+    assert!(m_with.completed && m_without.completed);
+    assert!(
+        m_with.completion_secs < m_without.completion_secs,
+        "checkpointing must help on preemption-heavy queues: {} vs {}",
+        m_with.completion_secs,
+        m_without.completion_secs
+    );
+}
+
+#[test]
+fn spequlos_credits_never_exceed_provision() {
+    for seed in 1..=3 {
+        let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Big, seed, 1.0)
+            .with_strategy(StrategyCombo::paper_default());
+        let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        assert!(m.completed, "seed {seed}");
+        assert!(
+            m.credits_spent <= m.credits_provisioned + 1e-6,
+            "seed {seed}: spent {} > provisioned {}",
+            m.credits_spent,
+            m.credits_provisioned
+        );
+    }
+}
+
+#[test]
+fn billing_matches_cloud_cpu_time_within_tick() {
+    // The Scheduler bills cloud workers per tick; the simulator meters
+    // exact CPU time. They must agree within one tick per worker plus
+    // the boot delay (billed by the cloud but invisible to per-tick
+    // billing until the next tick).
+    let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 2, 1.0)
+        .with_strategy(StrategyCombo::paper_default());
+    let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    if m.cloud.workers_started == 0 {
+        return; // nothing to compare in this window
+    }
+    let billed_hours = m.credits_spent / CREDITS_PER_CPU_HOUR;
+    let metered_hours = m.cloud.cpu_hours;
+    let slack_hours = (m.cloud.workers_started as f64) * (60.0 + 120.0) / 3600.0;
+    assert!(
+        (billed_hours - metered_hours).abs() <= slack_hours + 0.05 * metered_hours,
+        "billed {billed_hours:.3} vs metered {metered_hours:.3} (slack {slack_hours:.3})"
+    );
+}
+
+#[test]
+fn cloud_duplication_strategy_completes_and_merges() {
+    let combo = StrategyCombo::parse("9C-G-D").expect("valid");
+    let sc = scenario(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 3, 0.5).with_strategy(combo);
+    let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    assert!(m.completed);
+}
+
+#[test]
+fn every_deployment_strategy_runs_on_boinc() {
+    for name in ["9C-C-F", "9C-C-R", "9C-C-D"] {
+        let combo = StrategyCombo::parse(name).expect("valid");
+        let sc =
+            scenario(Preset::G5kLyon, MwKind::Boinc, BotClass::Big, 4, 0.3).with_strategy(combo);
+        let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        assert!(m.completed, "{name} must complete");
+    }
+}
+
+#[test]
+fn service_archives_history_across_runs() {
+    // One service carried across executions accumulates per-environment
+    // history, enabling α-learning — the deployment mode of §5.
+    let mut service = SpeQuloS::new();
+    for seed in 1..=3 {
+        let sc = scenario(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed, 0.4)
+            .with_strategy(StrategyCombo::paper_default());
+        let (m, svc) = run_with_spequlos(&sc, service);
+        service = svc;
+        assert!(m.completed);
+        assert_eq!(
+            service.info.history("g5klyo/XWHEP/BIG").len(),
+            seed as usize
+        );
+    }
+}
+
+#[test]
+fn random_class_with_arrivals_completes() {
+    let m = run_baseline(&scenario(
+        Preset::G5kGrenoble,
+        MwKind::Xwhep,
+        BotClass::Random,
+        5,
+        0.5,
+    ));
+    assert!(m.completed);
+}
+
+#[test]
+fn spot_infrastructure_executes_bots() {
+    let m = run_baseline(&scenario(Preset::Spot10, MwKind::Boinc, BotClass::Big, 6, 1.0));
+    assert!(m.completed);
+}
+
+#[test]
+fn paired_run_reports_tre_only_with_tail() {
+    let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 7, 1.0)
+        .with_strategy(StrategyCombo::paper_default());
+    let p = run_paired(&sc);
+    if let Some(tre) = p.tre {
+        assert!(tre <= 1.0);
+        let tail = p.baseline.tail.expect("TRE implies baseline tail stats");
+        assert!(tail.slowdown >= 1.0);
+    }
+}

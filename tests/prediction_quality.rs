@@ -1,0 +1,78 @@
+//! Integration test of the Oracle's completion-time prediction across the
+//! full stack (paper §3.4, Table 4): run several executions of one
+//! environment, learn α from the archive, and check the success rate.
+
+use betrace::Preset;
+use botwork::BotClass;
+use spq_harness::{
+    archive_of, parallel_map, prediction_success_rate, run_baseline, MwKind, Scenario,
+};
+use spequlos::oracle::{learn_alpha, raw_estimate};
+
+fn runs_for(preset: Preset, mw: MwKind, class: BotClass, n: u64) -> Vec<spq_harness::ExecutionMetrics> {
+    let scenarios: Vec<Scenario> = (1..=n)
+        .map(|seed| {
+            let mut sc = Scenario::new(preset, mw, class, seed);
+            sc.scale = 0.5;
+            sc
+        })
+        .collect();
+    parallel_map(&scenarios, 0, run_baseline)
+}
+
+#[test]
+fn stable_environment_predicts_above_half() {
+    // BIG on a best-effort grid: short tasks, regular progress — the
+    // constant-rate extrapolation should work well.
+    let runs = runs_for(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 8);
+    assert!(runs.iter().all(|m| m.completed));
+    let rate = prediction_success_rate(&runs, 0.5).expect("history exists");
+    assert!(rate >= 0.5, "success rate {rate} too low for a stable env");
+}
+
+#[test]
+fn alpha_learning_beats_raw_extrapolation_on_tailed_envs() {
+    // SMALL on the volatile campus grid: tails make the raw tc(r)/r
+    // estimate systematically optimistic; α must correct upward.
+    let runs = runs_for(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 8);
+    let completed: Vec<_> = runs.iter().filter(|m| m.completed).collect();
+    assert!(completed.len() >= 6, "most runs should complete");
+    let archive = archive_of(&runs);
+    let alpha = learn_alpha(&archive, 0.5);
+    assert!(
+        alpha >= 1.0,
+        "tailed environments need upward correction, got α = {alpha}"
+    );
+    // With α, the mean absolute relative error must not exceed the raw
+    // estimator's.
+    let mut raw_err = 0.0;
+    let mut cor_err = 0.0;
+    let mut n = 0.0;
+    for exec in &archive {
+        let Some(tc) = exec.tc(0.5) else { continue };
+        let Some(raw) = raw_estimate(tc.as_secs_f64(), 0.5) else {
+            continue;
+        };
+        let actual = exec.completion.as_secs_f64();
+        raw_err += (raw - actual).abs() / actual;
+        cor_err += (alpha * raw - actual).abs() / actual;
+        n += 1.0;
+    }
+    assert!(n > 0.0);
+    assert!(
+        cor_err <= raw_err + 1e-9,
+        "α-corrected error {cor_err} worse than raw {raw_err}"
+    );
+}
+
+#[test]
+fn prediction_rate_is_defined_for_every_class() {
+    for class in BotClass::ALL {
+        let runs = runs_for(Preset::G5kGrenoble, MwKind::Boinc, class, 5);
+        let rate = prediction_success_rate(&runs, 0.5);
+        assert!(
+            rate.is_some(),
+            "no prediction rate for {class:?} (did runs reach 50%?)"
+        );
+    }
+}

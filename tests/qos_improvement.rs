@@ -1,0 +1,118 @@
+//! The headline claims, verified end to end on volatile infrastructures:
+//! SpeQuloS reduces completion time, removes most of the tail, and does
+//! it with a small fraction of the workload offloaded to the cloud
+//! (paper abstract and §4.3).
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::Cdf;
+use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario};
+use spequlos::StrategyCombo;
+
+fn paired_runs(preset: Preset, mw: MwKind, class: BotClass, seeds: u64) -> Vec<PairedRun> {
+    let scenarios: Vec<Scenario> = (1..=seeds)
+        .map(|seed| {
+            Scenario::new(preset, mw, class, seed).with_strategy(StrategyCombo::paper_default())
+        })
+        .collect();
+    parallel_map(&scenarios, 0, run_paired)
+}
+
+#[test]
+fn spequlos_speeds_up_volatile_desktop_grid() {
+    // nd + XWHEP + SMALL: long tasks on a churny campus grid — a
+    // configuration where the paper reports large gains.
+    let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 4);
+    let mean_base = simcore::mean(
+        &runs.iter().map(|r| r.baseline.completion_secs).collect::<Vec<_>>(),
+    );
+    let mean_speq = simcore::mean(
+        &runs.iter().map(|r| r.speq.completion_secs).collect::<Vec<_>>(),
+    );
+    assert!(
+        mean_speq < mean_base,
+        "SpeQuloS must reduce the average completion time: {mean_speq} vs {mean_base}"
+    );
+    // And never be dramatically slower on any single run.
+    for r in &runs {
+        assert!(
+            r.speq.completion_secs <= r.baseline.completion_secs * 1.05,
+            "seed {}: {} vs {}",
+            r.baseline.seed,
+            r.speq.completion_secs,
+            r.baseline.completion_secs
+        );
+    }
+}
+
+#[test]
+fn tail_removal_is_substantial_with_reschedule() {
+    let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 5);
+    let tres: Vec<f64> = runs.iter().filter_map(|r| r.tre).collect();
+    assert!(!tres.is_empty(), "volatile DG runs must exhibit tails");
+    let median = Cdf::new(tres).quantile(0.5);
+    assert!(
+        median >= 0.4,
+        "median TRE should remove a large part of the tail, got {median}"
+    );
+}
+
+#[test]
+fn cloud_offload_stays_small() {
+    // The paper's selling point: big QoS gains for < 2.5% of the workload
+    // offloaded (credits = 10% of workload, < 25% of credits spent).
+    let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 4);
+    for r in &runs {
+        assert!(
+            r.speq.cloud_work_fraction <= 0.15,
+            "offload fraction {} too large",
+            r.speq.cloud_work_fraction
+        );
+        assert!(r.speq.credits_spent <= r.speq.credits_provisioned + 1e-6);
+    }
+    let mean_offload = simcore::mean(
+        &runs.iter().map(|r| r.speq.cloud_work_fraction).collect::<Vec<_>>(),
+    );
+    assert!(
+        mean_offload <= 0.08,
+        "mean offload {mean_offload} should stay in the few-percent range"
+    );
+}
+
+#[test]
+fn boinc_benefits_too() {
+    let runs = paired_runs(Preset::G5kLyon, MwKind::Boinc, BotClass::Big, 3);
+    let mean_base = simcore::mean(
+        &runs.iter().map(|r| r.baseline.completion_secs).collect::<Vec<_>>(),
+    );
+    let mean_speq = simcore::mean(
+        &runs.iter().map(|r| r.speq.completion_secs).collect::<Vec<_>>(),
+    );
+    assert!(
+        mean_speq <= mean_base * 1.02,
+        "BOINC with SpeQuloS must not be slower: {mean_speq} vs {mean_base}"
+    );
+}
+
+#[test]
+fn stability_improves_or_holds() {
+    // Normalized completion spread with SpeQuloS should not exceed the
+    // baseline spread (Fig. 7's message).
+    let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Random, 5);
+    let spread = |vals: &[f64]| -> f64 {
+        let mean = simcore::mean(vals);
+        let mut s = simcore::OnlineStats::new();
+        for v in vals {
+            s.push(v / mean);
+        }
+        s.std_dev()
+    };
+    let base: Vec<f64> = runs.iter().map(|r| r.baseline.completion_secs).collect();
+    let speq: Vec<f64> = runs.iter().map(|r| r.speq.completion_secs).collect();
+    assert!(
+        spread(&speq) <= spread(&base) * 1.2 + 0.02,
+        "stability regressed: {} vs {}",
+        spread(&speq),
+        spread(&base)
+    );
+}
