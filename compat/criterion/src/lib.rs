@@ -1,0 +1,213 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no cargo registry access, so this local crate
+//! implements the surface the workspace's `harness = false` bench targets
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples, and a mean per-iteration wall
+//! time is printed. Statistical rigour (outlier analysis, HTML reports) is
+//! out of scope — the goal is that `cargo bench` runs, produces numbers,
+//! and catches perf-path bitrot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How setup output is batched in [`Bencher::iter_batched`]; all variants
+/// behave identically here (one setup per timed iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Accumulated (total_time, iterations) for reporting.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's sample count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up run keeps cold-start effects out of the measurement.
+        let _ = routine();
+        let iters = self.samples as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = routine();
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        let iters = self.samples as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            total += start.elapsed();
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>) {
+    match measured {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            println!(
+                "bench: {name:<50} {:>12.3} ms/iter ({iters} iters)",
+                per_iter * 1e3
+            );
+        }
+        _ => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Group-scoped, as upstream: must not leak into the parent past finish().
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for upstream API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, samples: usize, mut f: F) {
+        let mut b = Bencher {
+            samples,
+            measured: None,
+        };
+        f(&mut b);
+        report(name, b.measured);
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.sample_size;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Final configuration hook (kept for upstream API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export of [`std::hint::black_box`], as upstream provides.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).sum()
+    }
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("sum", |b| b.iter(|| black_box(sum_to(1000))));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 100u64, |n| black_box(sum_to(n)), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak() {
+        let mut c = Criterion::default();
+        let mut grouped_runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("inner", |b| b.iter(|| grouped_runs += 1));
+            g.finish();
+        }
+        assert_eq!(grouped_runs, 4, "1 warm-up + 3 samples");
+        let mut standalone_runs = 0;
+        c.bench_function("outer", |b| b.iter(|| standalone_runs += 1));
+        assert_eq!(standalone_runs, 11, "1 warm-up + default 10 samples");
+    }
+}

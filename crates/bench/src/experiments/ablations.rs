@@ -6,8 +6,8 @@ use crate::opts::Opts;
 use betrace::Preset;
 use botwork::BotClass;
 use simcore::SimDuration;
-use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario, Table};
 use spequlos::{StrategyCombo, Trigger};
+use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario, Table};
 
 /// A named scenario tweak: one variant of an ablation sweep.
 type Variant = (String, Box<dyn Fn(&mut Scenario) + Sync>);

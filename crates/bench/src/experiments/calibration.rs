@@ -93,7 +93,11 @@ pub fn table3(opts: &Opts) -> String {
         let (size_pub, nops_pub, arrival_pub) = match class {
             BotClass::Small => ("1000", "3600000", "0"),
             BotClass::Big => ("10000", "60000", "0"),
-            BotClass::Random => ("norm(1000,200)", "norm(60000,10000)", "weib(91.98,0.57) CDF"),
+            BotClass::Random => (
+                "norm(1000,200)",
+                "norm(60000,10000)",
+                "weib(91.98,0.57) CDF",
+            ),
         };
         table.row([
             spec.name.to_string(),

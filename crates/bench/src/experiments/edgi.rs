@@ -15,8 +15,14 @@ pub fn table5(opts: &Opts) -> String {
         .row(["XW@LAL (desktop grid)", &report.lal_tasks.to_string()])
         .row(["XW@LRI (best-effort grid)", &report.lri_tasks.to_string()])
         .row(["EGI (bridged into XW@LAL)", &report.egi_tasks.to_string()])
-        .row(["StratusLab (cloud, via SpeQuloS)", &report.stratuslab_tasks.to_string()])
-        .row(["Amazon EC2 (cloud, via SpeQuloS)", &report.ec2_tasks.to_string()]);
+        .row([
+            "StratusLab (cloud, via SpeQuloS)",
+            &report.stratuslab_tasks.to_string(),
+        ])
+        .row([
+            "Amazon EC2 (cloud, via SpeQuloS)",
+            &report.ec2_tasks.to_string(),
+        ]);
     let mut text = format!(
         "Table 5 — EDGI-like deployment task counts ({bots_per_dg} BoTs per DG, scale {})\n\
          paper shape: DG-native tasks dominate; bridged EGI tasks a small share;\n\

@@ -7,8 +7,8 @@ use crate::opts::Opts;
 use betrace::Preset;
 use botwork::BotClass;
 use simcore::Histogram;
-use spq_harness::{MwKind, PairedRun, Table};
 use spequlos::StrategyCombo;
+use spq_harness::{MwKind, PairedRun, Table};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -78,10 +78,7 @@ pub fn fig7(runs: &[PairedRun]) -> (String, String) {
     );
     let mut csv = String::from("middleware,variant,bin_center,fraction\n");
     for mw in MwKind::ALL {
-        for (variant, pick) in [
-            ("no-spequlos", 0usize),
-            ("spequlos", 1usize),
-        ] {
+        for (variant, pick) in [("no-spequlos", 0usize), ("spequlos", 1usize)] {
             // Group by environment and normalize by the group mean.
             let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
             for r in runs {

@@ -19,9 +19,21 @@ pub fn fig1(opts: &Opts) -> String {
     let _ = writeln!(out, "Fig. 1 — example BoT execution ({})", m.env);
     let _ = writeln!(out, "completed: {}", m.completed);
     if let Some(tail) = m.tail {
-        let _ = writeln!(out, "ideal completion time : {:>10.0} s", tail.ideal.as_secs_f64());
-        let _ = writeln!(out, "actual completion time: {:>10.0} s", tail.actual.as_secs_f64());
-        let _ = writeln!(out, "tail duration         : {:>10.0} s", tail.tail_duration.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "ideal completion time : {:>10.0} s",
+            tail.ideal.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "actual completion time: {:>10.0} s",
+            tail.actual.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "tail duration         : {:>10.0} s",
+            tail.tail_duration.as_secs_f64()
+        );
         let _ = writeln!(out, "tail slowdown         : {:>10.2}", tail.slowdown);
         let _ = writeln!(
             out,

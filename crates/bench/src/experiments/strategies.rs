@@ -6,14 +6,12 @@ use crate::grid::strategy_sweep;
 use crate::opts::Opts;
 use simcore::Cdf;
 // (Opts is used by `sweep_all_combos`.)
-use spq_harness::{PairedRun, Table};
 use spequlos::{DeployMode, StrategyCombo};
+use spq_harness::{PairedRun, Table};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-fn by_combo(
-    sweep: &[(StrategyCombo, PairedRun)],
-) -> BTreeMap<String, Vec<&PairedRun>> {
+fn by_combo(sweep: &[(StrategyCombo, PairedRun)]) -> BTreeMap<String, Vec<&PairedRun>> {
     let mut map: BTreeMap<String, Vec<&PairedRun>> = BTreeMap::new();
     for (combo, run) in sweep {
         map.entry(combo.to_string()).or_default().push(run);
@@ -52,7 +50,15 @@ pub fn fig4(sweep: &[(StrategyCombo, PairedRun)]) -> (String, String) {
             }
             let tres: Vec<f64> = runs.iter().filter_map(|r| r.tre).collect();
             if tres.is_empty() {
-                table.row([name.clone(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                table.row([
+                    name.clone(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let cdf = Cdf::new(tres);

@@ -4,10 +4,10 @@
 use crate::opts::Opts;
 use betrace::Preset;
 use botwork::BotClass;
+use spequlos::StrategyCombo;
 use spq_harness::{
     parallel_map, run_baseline, run_paired, ExecutionMetrics, MwKind, PairedRun, Scenario,
 };
-use spequlos::StrategyCombo;
 
 /// All 36 environments (6 traces × 2 middleware × 3 classes).
 pub fn all_envs() -> Vec<(Preset, MwKind, BotClass)> {

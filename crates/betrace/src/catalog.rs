@@ -274,7 +274,9 @@ impl TraceSpec {
         assert!(scale > 0.0, "scale must be positive");
         let slots = self.slot_count(scale);
         let mut power_rng = Prng::stream(seed, "power");
-        let powers: Vec<f64> = (0..slots).map(|_| self.power.sample(&mut power_rng)).collect();
+        let powers: Vec<f64> = (0..slots)
+            .map(|_| self.power.sample(&mut power_rng))
+            .collect();
         let timelines = match &self.model {
             TraceModel::Renewal => {
                 let (up, down) = self.renewal_samplers();
@@ -296,7 +298,9 @@ impl TraceSpec {
                     n: slots as u32,
                 };
                 (1..=slots as u32)
-                    .map(|i| NodeTimeline::spot(SpotTimeline::new(Arc::clone(&path), ladder.bid(i))))
+                    .map(|i| {
+                        NodeTimeline::spot(SpotTimeline::new(Arc::clone(&path), ladder.bid(i)))
+                    })
                     .collect()
             }
         };

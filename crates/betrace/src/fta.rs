@@ -193,7 +193,9 @@ mod tests {
         let dci = from_text(text).expect("valid");
         assert_eq!(dci.node_count(), 1);
         assert_eq!(
-            dci.timelines[0].clone().up_intervals(SimTime::from_secs(100)),
+            dci.timelines[0]
+                .clone()
+                .up_intervals(SimTime::from_secs(100)),
             vec![
                 (SimTime::ZERO, SimTime::from_secs(5)),
                 (SimTime::from_secs(6), SimTime::from_secs(9))

@@ -66,7 +66,11 @@ mod tests {
         for _ in 0..50_000 {
             stats.push(m.sample(&mut rng));
         }
-        assert!((stats.mean() - 1000.0).abs() < 10.0, "mean {}", stats.mean());
+        assert!(
+            (stats.mean() - 1000.0).abs() < 10.0,
+            "mean {}",
+            stats.mean()
+        );
         // Truncation shaves a little off the std dev.
         assert!(
             (stats.std_dev() - 250.0).abs() < 15.0,

@@ -253,7 +253,10 @@ mod tests {
         for target in [100.0, 330.0, 2000.0] {
             let s = DurationSampler::solve_tail_for_mean(spec, target);
             let m = s.mean();
-            assert!((m - target).abs() / target < 0.01, "target {target}, got {m}");
+            assert!(
+                (m - target).abs() / target < 0.01,
+                "target {target}, got {m}"
+            );
             // Body quartiles unchanged.
             assert!((s.inverse_cdf(0.5) - 51.0).abs() < 1e-6);
             assert!((s.inverse_cdf(0.75) - 63.0).abs() < 1e-6);

@@ -283,7 +283,10 @@ mod tests {
                 break;
             }
         }
-        assert!(toggles >= 10, "expected churn near the margin, got {toggles}");
+        assert!(
+            toggles >= 10,
+            "expected churn near the margin, got {toggles}"
+        );
     }
 
     #[test]

@@ -104,12 +104,7 @@ pub fn measure(dci: &Dci, window: SimDuration, sample_period: SimDuration) -> Tr
 }
 
 /// Builds a preset's infrastructure and measures it in one call.
-pub fn measure_spec(
-    spec: &TraceSpec,
-    seed: u64,
-    scale: f64,
-    window: SimDuration,
-) -> TraceStats {
+pub fn measure_spec(spec: &TraceSpec, seed: u64, scale: f64, window: SimDuration) -> TraceStats {
     let dci = spec.build(seed, scale);
     measure(&dci, window, SimDuration::from_secs(60))
 }
@@ -131,7 +126,11 @@ mod tests {
         };
         let stats = measure(&dci, SimDuration::from_secs(100), SimDuration::from_secs(1));
         // Up 30 + 30 of 100 seconds; sampled on integer seconds.
-        assert!((stats.nodes_mean - 0.6).abs() < 0.02, "{}", stats.nodes_mean);
+        assert!(
+            (stats.nodes_mean - 0.6).abs() < 0.02,
+            "{}",
+            stats.nodes_mean
+        );
         assert_eq!(stats.nodes_min, 0.0);
         assert_eq!(stats.nodes_max, 1.0);
         let av = stats.avail_quartiles.expect("two complete up intervals");

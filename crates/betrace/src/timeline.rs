@@ -99,7 +99,11 @@ impl NodeTimeline {
     /// the node stays in its current state forever.
     pub fn next_toggle(&mut self) -> Option<SimTime> {
         match &mut self.inner {
-            Inner::Renewal { sampler, cursor, up } => {
+            Inner::Renewal {
+                sampler,
+                cursor,
+                up,
+            } => {
                 let t = *cursor;
                 *up = !*up;
                 let sojourn = sampler.sojourn(*up);

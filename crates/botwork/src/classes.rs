@@ -231,7 +231,11 @@ mod tests {
         for seed in 0..200 {
             stats.push(generate(BotClass::Random, BotId(0), seed).size() as f64);
         }
-        assert!((stats.mean() - 1000.0).abs() < 50.0, "mean {}", stats.mean());
+        assert!(
+            (stats.mean() - 1000.0).abs() < 50.0,
+            "mean {}",
+            stats.mean()
+        );
         assert!(stats.std_dev() > 100.0, "std {}", stats.std_dev());
     }
 

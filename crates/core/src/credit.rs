@@ -126,7 +126,10 @@ impl CreditSystem {
 
     /// Credits provisioned on the BoT's order.
     pub fn provisioned(&self, bot: BotId) -> f64 {
-        self.orders.get(&bot.0).map(|o| o.provisioned).unwrap_or(0.0)
+        self.orders
+            .get(&bot.0)
+            .map(|o| o.provisioned)
+            .unwrap_or(0.0)
     }
 
     /// Credits spent so far on the BoT's order.

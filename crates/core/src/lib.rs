@@ -53,7 +53,9 @@ pub mod progress;
 pub mod scheduler;
 pub mod service;
 
-pub use credit::{CreditError, CreditSystem, DepositPolicy, FavorLedger, UserId, CREDITS_PER_CPU_HOUR};
+pub use credit::{
+    CreditError, CreditSystem, DepositPolicy, FavorLedger, UserId, CREDITS_PER_CPU_HOUR,
+};
 pub use info::{ArchivedExecution, BotRecord, Information};
 pub use metrics::{
     ideal_time, speedup, tail_removal_efficiency, tail_slowdown, tail_stats, TailStats,

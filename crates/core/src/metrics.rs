@@ -93,11 +93,7 @@ pub fn tail_stats(
 /// `1 − (t_speq − t_ideal)/(t_nospeq − t_ideal)`, as a fraction in
 /// `(-∞, 1]`; 1 means the tail disappeared entirely. Returns `None` when
 /// the baseline has no tail to remove (denominator ≈ 0).
-pub fn tail_removal_efficiency(
-    ideal: SimTime,
-    t_nospeq: SimTime,
-    t_speq: SimTime,
-) -> Option<f64> {
+pub fn tail_removal_efficiency(ideal: SimTime, t_nospeq: SimTime, t_speq: SimTime) -> Option<f64> {
     let baseline_tail = t_nospeq.as_secs_f64() - ideal.as_secs_f64();
     if baseline_tail <= 1e-9 {
         return None;
@@ -157,8 +153,9 @@ mod tests {
         let mut s = TimeSeries::new();
         s.push(SimTime::ZERO, 0.0);
         s.push(SimTime::from_secs(1000), 100.0);
-        let times: Vec<Option<SimTime>> =
-            (0..100).map(|i| Some(SimTime::from_secs(10 * (i + 1)))).collect();
+        let times: Vec<Option<SimTime>> = (0..100)
+            .map(|i| Some(SimTime::from_secs(10 * (i + 1))))
+            .collect();
         let st = tail_stats(&s, &times, SimTime::from_secs(1000)).expect("complete");
         assert!((st.slowdown - 1.0).abs() < 0.02, "slowdown {}", st.slowdown);
         assert!(st.frac_time_in_tail < 0.02);
@@ -190,9 +187,7 @@ mod tests {
 
     #[test]
     fn speedup_ratio() {
-        assert!(
-            (speedup(SimTime::from_secs(3000), SimTime::from_secs(1500)) - 2.0).abs() < 1e-12
-        );
+        assert!((speedup(SimTime::from_secs(3000), SimTime::from_secs(1500)) - 2.0).abs() < 1e-12);
     }
 
     proptest! {

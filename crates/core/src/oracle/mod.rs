@@ -15,8 +15,8 @@ use simcore::SimTime;
 use std::collections::HashMap;
 
 pub use predict::{
-    historical_success_rate, learn_alpha, predict, prediction_successful, raw_estimate,
-    Prediction, PREDICTION_TOLERANCE,
+    historical_success_rate, learn_alpha, predict, prediction_successful, raw_estimate, Prediction,
+    PREDICTION_TOLERANCE,
 };
 pub use strategy::{DeployMode, Provisioning, StrategyCombo, Trigger};
 
@@ -241,7 +241,11 @@ mod tests {
         let trig = Trigger::ExecutionVariance;
         // Steady first half: assignment leads completion by ~60s.
         for i in 1..=50u64 {
-            feed(&mut info, bot, &[(i * 60, i as u32, (i as u32 + 1).min(100))]);
+            feed(
+                &mut info,
+                bot,
+                &[(i * 60, i as u32, (i as u32 + 1).min(100))],
+            );
             let fired = oracle.should_start_cloud(
                 bot,
                 info.record(bot).unwrap(),

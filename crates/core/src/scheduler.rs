@@ -101,13 +101,19 @@ impl Scheduler {
         if delta == 0 {
             return CloudAction::None;
         }
-        self.state.get_mut(&bot.0).expect("just inserted").cloud_started = true;
+        self.state
+            .get_mut(&bot.0)
+            .expect("just inserted")
+            .cloud_started = true;
         CloudAction::Start(delta)
     }
 
     /// Whether the fleet has been provisioned for this BoT.
     pub fn cloud_started(&self, bot: BotId) -> bool {
-        self.state.get(&bot.0).map(|s| s.cloud_started).unwrap_or(false)
+        self.state
+            .get(&bot.0)
+            .map(|s| s.cloud_started)
+            .unwrap_or(false)
     }
 
     /// Drops per-BoT state after completion.
@@ -172,12 +178,28 @@ mod tests {
         let mut f = fixture(150.0); // 10 CPU·hours
         let p = progress(3600, 89, 0);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         assert_eq!(a, CloudAction::None, "below threshold");
 
         let p = progress(7200, 90, 0);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         // 90% at 2h → remaining ≈ 13.3 min < 1h → Conservative caps at S = 10.
         assert_eq!(a, CloudAction::Start(10));
         assert!(f.sched.cloud_started(BOT));
@@ -188,12 +210,28 @@ mod tests {
         let mut f = fixture(150.0);
         let p = progress(7200, 90, 0);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         assert!(matches!(a, CloudAction::Start(_)));
         // Next tick with the fleet running: billing only, no new starts.
         let p = progress(7260, 91, 10);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         assert_eq!(a, CloudAction::None);
     }
 
@@ -203,7 +241,15 @@ mod tests {
         let spent_before = f.credits.spent(BOT);
         let p = progress(7200, 95, 4);
         feed(&mut f, &p);
-        let _ = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let _ = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         // 4 workers × 1 minute = 4/60 CPU·hour = 1 credit.
         let billed = f.credits.spent(BOT) - spent_before;
         assert!((billed - 1.0).abs() < 1e-9, "billed {billed}");
@@ -214,7 +260,15 @@ mod tests {
         let mut f = fixture(1.0); // 4 worker-minutes of credits
         let p = progress(7200, 95, 10);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         // 10 workers × 1 min = 2.5 credits > 1 provisioned → exhausted.
         assert_eq!(a, CloudAction::StopAll);
         assert!(!f.credits.has_credits(BOT));
@@ -225,7 +279,15 @@ mod tests {
         let mut f = fixture(150.0);
         let p = progress(9000, 100, 3);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         assert_eq!(a, CloudAction::StopAll);
     }
 
@@ -236,7 +298,15 @@ mod tests {
         f.credits.bill(BOT, 150.0).unwrap();
         let p = progress(7200, 95, 0);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, combo(), 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            combo(),
+            1.0 / 60.0,
+        );
         assert_eq!(a, CloudAction::None);
     }
 
@@ -248,7 +318,15 @@ mod tests {
         c.provisioning = crate::oracle::Provisioning::Greedy;
         let p = progress(7200, 90, 0);
         feed(&mut f, &p);
-        let a = f.sched.tick(BOT, &p, &f.info, &mut f.oracle, &mut f.credits, c, 1.0 / 60.0);
+        let a = f.sched.tick(
+            BOT,
+            &p,
+            &f.info,
+            &mut f.oracle,
+            &mut f.credits,
+            c,
+            1.0 / 60.0,
+        );
         assert_eq!(a, CloudAction::Start(10));
     }
 }

@@ -168,7 +168,8 @@ impl SpeQuloS {
                     .push((progress.now, LogEvent::StartCloudWorkers { bot, count: n }));
             }
             CloudAction::StopAll => {
-                self.log.push((progress.now, LogEvent::StopCloudWorkers { bot }));
+                self.log
+                    .push((progress.now, LogEvent::StopCloudWorkers { bot }));
             }
             CloudAction::None => {}
         }
@@ -267,10 +268,15 @@ mod tests {
                 LogEvent::Paid { .. } => "pay",
             })
             .collect();
-        let order = ["register", "order", "predict", "start", "stop", "complete", "pay"];
+        let order = [
+            "register", "order", "predict", "start", "stop", "complete", "pay",
+        ];
         let mut last = 0;
         for k in order {
-            let pos = kinds.iter().position(|&x| x == k).unwrap_or_else(|| panic!("{k} missing"));
+            let pos = kinds
+                .iter()
+                .position(|&x| x == k)
+                .unwrap_or_else(|| panic!("{k} missing"));
             assert!(pos >= last, "{k} out of order");
             last = pos;
         }

@@ -118,8 +118,16 @@ mod tests {
     #[test]
     fn bridged_tasks_keep_grid_name() {
         let mut bridge = ThreeGBridge::new();
-        bridge.register_task(TaskId(0), Origin::Bridged { grid: "EGI" }, QosTag { bot: BotId(9) });
-        bridge.register_task(TaskId(1), Origin::Bridged { grid: "EGI" }, QosTag { bot: BotId(9) });
+        bridge.register_task(
+            TaskId(0),
+            Origin::Bridged { grid: "EGI" },
+            QosTag { bot: BotId(9) },
+        );
+        bridge.register_task(
+            TaskId(1),
+            Origin::Bridged { grid: "EGI" },
+            QosTag { bot: BotId(9) },
+        );
         bridge.register_task(TaskId(2), Origin::Native, QosTag { bot: BotId(9) });
         assert_eq!(bridge.bridged_from("EGI"), 2);
         assert_eq!(bridge.bridged_from("ARC"), 0);

@@ -43,5 +43,8 @@ pub use config::{BoincConfig, CondorConfig, Deployment, Middleware, SimConfig, X
 pub use hook::{CloudCommand, NoQos, QosHook, TickView};
 pub use ids::{AssignmentId, Side, WorkerClass, WorkerId};
 pub use result::{CloudUsage, RunResult};
-pub use server::{Assignment, BoincServer, CompleteOutcome, CondorServer, LostOutcome, Server, ServerProgress, XwhepServer};
+pub use server::{
+    Assignment, BoincServer, CompleteOutcome, CondorServer, LostOutcome, Server, ServerProgress,
+    XwhepServer,
+};
 pub use sim::{Ev, GridSim};

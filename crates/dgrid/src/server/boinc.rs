@@ -279,10 +279,7 @@ impl BoincServer {
                 continue;
             }
             let seen = self.cfg.one_result_per_worker && wu.seen.contains(&worker);
-            let has_cloud_copy = wu
-                .live
-                .iter()
-                .any(|aid| self.assignments[&aid.0].is_cloud);
+            let has_cloud_copy = wu.live.iter().any(|aid| self.assignments[&aid.0].is_cloud);
             if !seen && !has_cloud_copy {
                 return Some(task);
             }
@@ -446,7 +443,10 @@ mod tests {
         let c = s.request_work(WorkerId(2), false, T0).expect("r3");
         assert!(s.request_work(WorkerId(3), false, T0).is_none());
         assert_eq!(s.complete(a.aid, T0), CompleteOutcome::Accepted);
-        assert_eq!(s.complete(b.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(b.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
         // The third, straggling replica is now stale.
         assert_eq!(s.complete(c.aid, T0), CompleteOutcome::Stale);
         assert_eq!(s.progress().completed, 1);
@@ -560,7 +560,10 @@ mod tests {
         assert!(s.deadline_expired(a.aid));
         // Its late result is still accepted toward quorum.
         assert_eq!(s.complete(a.aid, T0), CompleteOutcome::Accepted);
-        assert_eq!(s.complete(b.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(b.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
     }
 
     #[test]

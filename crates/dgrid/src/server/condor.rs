@@ -180,10 +180,7 @@ impl CondorServer {
                 self.dup_scan.swap_remove(i);
                 continue;
             }
-            let has_cloud_copy = rec
-                .live
-                .iter()
-                .any(|aid| self.assignments[&aid.0].is_cloud);
+            let has_cloud_copy = rec.live.iter().any(|aid| self.assignments[&aid.0].is_cloud);
             if !has_cloud_copy {
                 return Some(task);
             }
@@ -374,7 +371,10 @@ mod tests {
     fn completes_and_supersedes() {
         let mut s = server(true);
         let a = s.request_work(WorkerId(0), false, T0).expect("work");
-        assert_eq!(s.complete(a.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(a.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
         assert_eq!(s.complete(a.aid, T0), CompleteOutcome::Stale);
         assert_eq!(s.progress().completed, 1);
     }

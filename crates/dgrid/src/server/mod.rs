@@ -107,9 +107,7 @@ impl Server {
         match middleware {
             Middleware::Boinc(cfg) => Server::Boinc(BoincServer::new(cfg, reschedule, capacity)),
             Middleware::Xwhep(cfg) => Server::Xwhep(XwhepServer::new(cfg, reschedule, capacity)),
-            Middleware::Condor(cfg) => {
-                Server::Condor(CondorServer::new(cfg, reschedule, capacity))
-            }
+            Middleware::Condor(cfg) => Server::Condor(CondorServer::new(cfg, reschedule, capacity)),
         }
     }
 

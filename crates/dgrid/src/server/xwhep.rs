@@ -114,12 +114,7 @@ impl XwhepServer {
         self.submitted += 1;
     }
 
-    fn make_assignment(
-        &mut self,
-        task: TaskId,
-        worker: WorkerId,
-        is_cloud: bool,
-    ) -> Assignment {
+    fn make_assignment(&mut self, task: TaskId, worker: WorkerId, is_cloud: bool) -> Assignment {
         let aid = AssignmentId(self.next_aid);
         self.next_aid += 1;
         let rec = self.rec_mut(task);
@@ -187,10 +182,7 @@ impl XwhepServer {
                 self.dup_scan.swap_remove(i);
                 continue;
             }
-            let has_cloud_copy = rec
-                .live
-                .iter()
-                .any(|aid| self.assignments[&aid.0].is_cloud);
+            let has_cloud_copy = rec.live.iter().any(|aid| self.assignments[&aid.0].is_cloud);
             if !has_cloud_copy {
                 return Some(task);
             }
@@ -331,7 +323,10 @@ mod tests {
         let b = s.request_work(WorkerId(1), false, T0).expect("work");
         assert_eq!(b.task, TaskId(1));
         assert!(s.request_work(WorkerId(2), false, T0).is_none());
-        assert_eq!(s.complete(a.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(a.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
         let p = s.progress();
         assert_eq!(p.completed, 1);
         assert_eq!(p.running, 1);
@@ -367,7 +362,10 @@ mod tests {
     fn double_completion_is_stale() {
         let mut s = server(false, 1);
         let a = s.request_work(WorkerId(0), false, T0).expect("work");
-        assert_eq!(s.complete(a.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(a.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
         assert_eq!(s.complete(a.aid, T0), CompleteOutcome::Stale);
     }
 
@@ -384,7 +382,10 @@ mod tests {
         // Only one cloud duplicate per task.
         assert!(s.request_work(WorkerId(3), true, T0).is_none());
         // First result wins; the other becomes stale.
-        assert_eq!(s.complete(d.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(d.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
         assert_eq!(s.complete(a.aid, T0), CompleteOutcome::Stale);
         assert_eq!(s.progress().completed, 1);
     }
@@ -403,7 +404,10 @@ mod tests {
         let d = s.request_work(WorkerId(1), true, T0).expect("dup");
         s.worker_lost(d.aid);
         assert!(!s.failure_detected(d.aid), "original still running");
-        assert_eq!(s.complete(a.aid, T0), CompleteOutcome::TaskCompleted(TaskId(0)));
+        assert_eq!(
+            s.complete(a.aid, T0),
+            CompleteOutcome::TaskCompleted(TaskId(0))
+        );
     }
 
     #[test]

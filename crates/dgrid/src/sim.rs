@@ -487,8 +487,10 @@ impl<H: QosHook> GridSim<H> {
     }
 
     fn sample_series(&mut self, now: SimTime) {
-        self.completed_series.push(now, self.completed_global as f64);
-        self.dispatched_series.push(now, self.dispatched_global as f64);
+        self.completed_series
+            .push(now, self.completed_global as f64);
+        self.dispatched_series
+            .push(now, self.dispatched_global as f64);
     }
 
     fn tick_view(&self, now: SimTime) -> TickView {
@@ -857,13 +859,7 @@ mod tests {
         assert!(res.cloud_work_fraction() > 0.99);
 
         // Baseline without QoS: stuck until the cap.
-        let sim = GridSim::new(
-            dying_node_dci(),
-            &uniform_bot(1, 36_000.0),
-            cfg,
-            4,
-            NoQos,
-        );
+        let sim = GridSim::new(dying_node_dci(), &uniform_bot(1, 36_000.0), cfg, 4, NoQos);
         let (res, _) = sim.run();
         assert!(!res.completed);
     }

@@ -108,8 +108,13 @@ pub fn run_edgi(seed: u64, bots_per_dg: u32, scale: f64) -> EdgiReport {
         ));
 
         // --- XW@LAL: campus DG + StratusLab, fed partly through EGI -----
-        let mut sc = Scenario::new(Preset::NotreDame, MwKind::Xwhep, class, seed + 1000 + i as u64)
-            .with_strategy(strategy);
+        let mut sc = Scenario::new(
+            Preset::NotreDame,
+            MwKind::Xwhep,
+            class,
+            seed + 1000 + i as u64,
+        )
+        .with_strategy(strategy);
         sc.scale = scale;
         let (metrics, svc, driver) =
             run_metered(&sc, service, CloudDriver::new(ProviderSpec::stratuslab()));

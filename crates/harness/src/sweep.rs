@@ -2,9 +2,9 @@
 //!
 //! The paper's evaluation runs > 25 000 BoT executions (§4.1.3); each is
 //! an independent simulation, so the sweep is embarrassingly parallel.
-//! Scoped crossbeam threads pull indices from an atomic counter and write
-//! results into pre-sized slots — result order is deterministic
-//! (index-addressed) regardless of thread interleaving.
+//! Scoped threads pull indices from an atomic counter and write results
+//! into pre-sized slots — result order is deterministic (index-addressed)
+//! regardless of thread interleaving.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,19 +31,23 @@ where
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock() = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock() = Some(r);
+                })
+            })
+            .collect();
+        if workers.into_iter().any(|w| w.join().is_err()) {
+            panic!("sweep worker panicked");
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.into_inner().expect("every slot filled"))

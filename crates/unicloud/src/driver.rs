@@ -145,7 +145,10 @@ impl CloudDriver {
 
     /// State of an instance at time `now`.
     pub fn state(&self, id: InstanceId, now: SimTime) -> Result<InstanceState, CloudError> {
-        let inst = self.instances.get(&id.0).ok_or(CloudError::NoSuchInstance)?;
+        let inst = self
+            .instances
+            .get(&id.0)
+            .ok_or(CloudError::NoSuchInstance)?;
         Ok(if inst.stopped_at.is_some() {
             InstanceState::Stopped
         } else if now < inst.ready_at {
@@ -196,7 +199,10 @@ mod tests {
         assert_eq!(d.state(id, ready).unwrap(), InstanceState::Running);
         assert_eq!(d.active_count(), 1);
         d.stop_instance(id, SimTime::from_secs(4000)).expect("stop");
-        assert_eq!(d.state(id, SimTime::from_secs(5000)).unwrap(), InstanceState::Stopped);
+        assert_eq!(
+            d.state(id, SimTime::from_secs(5000)).unwrap(),
+            InstanceState::Stopped
+        );
         assert_eq!(d.active_count(), 0);
         // Billed from order (t=100) to stop (t=4000): 3900 s.
         assert!((d.cpu_hours(SimTime::from_secs(9999)) - 3900.0 / 3600.0).abs() < 1e-9);
@@ -221,7 +227,8 @@ mod tests {
             Err(CloudError::CapacityExceeded)
         );
         // Stopping one frees a slot.
-        d.stop_instance(InstanceId(0), SimTime::from_secs(60)).unwrap();
+        d.stop_instance(InstanceId(0), SimTime::from_secs(60))
+            .unwrap();
         assert!(d.start_instance(SimTime::from_secs(60)).is_ok());
     }
 

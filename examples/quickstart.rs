@@ -9,8 +9,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spq_harness::{run_paired, MwKind, Scenario};
 use spequlos::{LogEvent, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
+use spq_harness::{run_paired, MwKind, Scenario};
 
 fn main() {
     // A SMALL BoT (1000 × 1h tasks) on a churny best-effort cluster.
@@ -33,8 +33,14 @@ fn main() {
     // Paired execution: the same seed with and without SpeQuloS.
     let paired = run_paired(&scenario);
 
-    println!("without SpeQuloS : completed in {:>8.0} s", paired.baseline.completion_secs);
-    println!("with SpeQuloS    : completed in {:>8.0} s", paired.speq.completion_secs);
+    println!(
+        "without SpeQuloS : completed in {:>8.0} s",
+        paired.baseline.completion_secs
+    );
+    println!(
+        "with SpeQuloS    : completed in {:>8.0} s",
+        paired.speq.completion_secs
+    );
     println!("speed-up         : {:.2}×", paired.speedup);
     if let Some(tre) = paired.tre {
         println!("tail removal     : {:.0}%", tre * 100.0);

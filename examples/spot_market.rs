@@ -11,8 +11,8 @@
 use betrace::{BidLadder, MarketParams, Preset, PricePath, SimDuration, SimTime};
 use botwork::BotClass;
 use simcore::Prng;
-use spq_harness::{run_paired, MwKind, Scenario};
 use spequlos::StrategyCombo;
+use spq_harness::{run_paired, MwKind, Scenario};
 
 fn main() {
     println!("Spot-market best-effort infrastructure");
@@ -26,8 +26,17 @@ fn main() {
         total_cost: 10.0,
         n: 87,
     };
-    println!("bid ladder: total cost S = ${}/h over {} bids (bid_i = S/i)", 10, 87);
-    println!("first bids: {:.2} {:.2} {:.2} ... last bid: {:.3}\n", ladder.bid(1), ladder.bid(2), ladder.bid(3), ladder.bid(87));
+    println!(
+        "bid ladder: total cost S = ${}/h over {} bids (bid_i = S/i)",
+        10, 87
+    );
+    println!(
+        "first bids: {:.2} {:.2} {:.2} ... last bid: {:.3}\n",
+        ladder.bid(1),
+        ladder.bid(2),
+        ladder.bid(3),
+        ladder.bid(87)
+    );
     println!("hour  price($)  instances running");
     for h in (0..7 * 24).step_by(6) {
         let t = SimTime::from_hours(h);

@@ -11,8 +11,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spq_harness::{parallel_map, run_paired, MwKind, Scenario};
 use spequlos::StrategyCombo;
+use spq_harness::{parallel_map, run_paired, MwKind, Scenario};
 
 fn main() {
     let combos = ["9C-C-F", "9C-C-R", "9C-C-D", "9A-G-R", "9A-G-D", "D-C-R"];

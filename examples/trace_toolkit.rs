@@ -49,7 +49,11 @@ fn main() {
     );
     let reloaded = fta::from_text(&text).expect("own export must parse");
     assert_eq!(reloaded.node_count(), dci.node_count());
-    println!("reloaded: {} nodes, kind {:?}", reloaded.node_count(), reloaded.kind);
+    println!(
+        "reloaded: {} nodes, kind {:?}",
+        reloaded.node_count(),
+        reloaded.kind
+    );
 
     // First lines of the export, as documentation of the format.
     println!("\nformat sample:");

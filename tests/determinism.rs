@@ -4,8 +4,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
 use spequlos::{SpeQuloS, StrategyCombo};
+use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
 
 fn scenario(seed: u64) -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
@@ -31,6 +31,40 @@ fn spequlos_runs_are_bit_identical() {
     assert_eq!(a.credits_spent, b.credits_spent);
     assert_eq!(a.cloud, b.cloud);
     assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn same_seed_matrix_is_bit_identical() {
+    // Bit-identical replay must hold across infrastructures and
+    // middlewares, not just the default configuration: 2 presets × 2
+    // middlewares, each paired run repeated with the same seed.
+    for preset in [Preset::G5kLyon, Preset::NotreDame] {
+        for mw in [MwKind::Xwhep, MwKind::Boinc] {
+            let mut sc = Scenario::new(preset, mw, BotClass::Big, 31)
+                .with_strategy(StrategyCombo::paper_default());
+            sc.scale = 0.4;
+            let a = run_paired(&sc);
+            let b = run_paired(&sc);
+            let ctx = format!("{preset:?}/{mw:?}");
+            assert_eq!(
+                a.baseline.completion_secs, b.baseline.completion_secs,
+                "{ctx} baseline"
+            );
+            assert_eq!(
+                a.baseline.events, b.baseline.events,
+                "{ctx} baseline events"
+            );
+            assert_eq!(a.speq.completion_secs, b.speq.completion_secs, "{ctx} speq");
+            assert_eq!(a.speq.events, b.speq.events, "{ctx} speq events");
+            assert_eq!(a.speq.credits_spent, b.speq.credits_spent, "{ctx} credits");
+            assert_eq!(a.speq.cloud, b.speq.cloud, "{ctx} cloud usage");
+            assert_eq!(
+                a.speq.completed_series.points(),
+                b.speq.completed_series.points(),
+                "{ctx} progress curve"
+            );
+        }
+    }
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
 use spequlos::{SpeQuloS, StrategyCombo, CREDITS_PER_CPU_HOUR};
+use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
 
 fn scenario(preset: Preset, mw: MwKind, class: BotClass, seed: u64, scale: f64) -> Scenario {
     let mut sc = Scenario::new(preset, mw, class, seed);
@@ -130,7 +130,13 @@ fn random_class_with_arrivals_completes() {
 
 #[test]
 fn spot_infrastructure_executes_bots() {
-    let m = run_baseline(&scenario(Preset::Spot10, MwKind::Boinc, BotClass::Big, 6, 1.0));
+    let m = run_baseline(&scenario(
+        Preset::Spot10,
+        MwKind::Boinc,
+        BotClass::Big,
+        6,
+        1.0,
+    ));
     assert!(m.completed);
 }
 

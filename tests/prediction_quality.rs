@@ -4,12 +4,17 @@
 
 use betrace::Preset;
 use botwork::BotClass;
+use spequlos::oracle::{learn_alpha, raw_estimate};
 use spq_harness::{
     archive_of, parallel_map, prediction_success_rate, run_baseline, MwKind, Scenario,
 };
-use spequlos::oracle::{learn_alpha, raw_estimate};
 
-fn runs_for(preset: Preset, mw: MwKind, class: BotClass, n: u64) -> Vec<spq_harness::ExecutionMetrics> {
+fn runs_for(
+    preset: Preset,
+    mw: MwKind,
+    class: BotClass,
+    n: u64,
+) -> Vec<spq_harness::ExecutionMetrics> {
     let scenarios: Vec<Scenario> = (1..=n)
         .map(|seed| {
             let mut sc = Scenario::new(preset, mw, class, seed);

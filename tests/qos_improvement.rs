@@ -6,8 +6,8 @@
 use betrace::Preset;
 use botwork::BotClass;
 use simcore::Cdf;
-use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario};
 use spequlos::StrategyCombo;
+use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario};
 
 fn paired_runs(preset: Preset, mw: MwKind, class: BotClass, seeds: u64) -> Vec<PairedRun> {
     let scenarios: Vec<Scenario> = (1..=seeds)
@@ -24,10 +24,16 @@ fn spequlos_speeds_up_volatile_desktop_grid() {
     // configuration where the paper reports large gains.
     let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 4);
     let mean_base = simcore::mean(
-        &runs.iter().map(|r| r.baseline.completion_secs).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.baseline.completion_secs)
+            .collect::<Vec<_>>(),
     );
     let mean_speq = simcore::mean(
-        &runs.iter().map(|r| r.speq.completion_secs).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.speq.completion_secs)
+            .collect::<Vec<_>>(),
     );
     assert!(
         mean_speq < mean_base,
@@ -43,6 +49,31 @@ fn spequlos_speeds_up_volatile_desktop_grid() {
             r.baseline.completion_secs
         );
     }
+}
+
+#[test]
+fn makespan_never_regresses_on_tail_scenarios() {
+    // The paper's directional claim, run by run: whenever the baseline
+    // execution exhibits a tail (TRE is defined), the SpeQuloS makespan
+    // must be at most the baseline makespan.
+    let runs = paired_runs(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 5);
+    let mut tails = 0;
+    for r in &runs {
+        if r.tre.is_some() {
+            tails += 1;
+            assert!(
+                r.speq.completion_secs <= r.baseline.completion_secs,
+                "seed {}: SpeQuloS makespan {} exceeds baseline {}",
+                r.baseline.seed,
+                r.speq.completion_secs,
+                r.baseline.completion_secs
+            );
+        }
+    }
+    assert!(
+        tails > 0,
+        "the volatile scenario must produce tail executions"
+    );
 }
 
 #[test]
@@ -71,7 +102,10 @@ fn cloud_offload_stays_small() {
         assert!(r.speq.credits_spent <= r.speq.credits_provisioned + 1e-6);
     }
     let mean_offload = simcore::mean(
-        &runs.iter().map(|r| r.speq.cloud_work_fraction).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.speq.cloud_work_fraction)
+            .collect::<Vec<_>>(),
     );
     assert!(
         mean_offload <= 0.08,
@@ -83,10 +117,16 @@ fn cloud_offload_stays_small() {
 fn boinc_benefits_too() {
     let runs = paired_runs(Preset::G5kLyon, MwKind::Boinc, BotClass::Big, 3);
     let mean_base = simcore::mean(
-        &runs.iter().map(|r| r.baseline.completion_secs).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.baseline.completion_secs)
+            .collect::<Vec<_>>(),
     );
     let mean_speq = simcore::mean(
-        &runs.iter().map(|r| r.speq.completion_secs).collect::<Vec<_>>(),
+        &runs
+            .iter()
+            .map(|r| r.speq.completion_secs)
+            .collect::<Vec<_>>(),
     );
     assert!(
         mean_speq <= mean_base * 1.02,
