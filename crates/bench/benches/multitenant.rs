@@ -1,0 +1,39 @@
+//! Multi-tenant scaling: simulation throughput (events/sec) of one shared
+//! SpeQuloS service as the tenant count grows. The per-event cost must stay
+//! flat — arbitration work is O(open orders) per Start request only, so
+//! hosting N tenants should cost ~N× one tenant, not N²×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use betrace::Preset;
+use botwork::BotClass;
+use spequlos::StrategyCombo;
+use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario};
+
+fn base() -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 17)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = 0.2;
+    sc
+}
+
+fn bench_tenant_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multitenant/events_per_sec");
+    g.sample_size(10);
+    for tenants in [1u32, 2, 4, 8] {
+        // Pool sized at 2 workers per tenant: contended but not starved,
+        // the same shape at every scale point.
+        let mt = MultiTenantScenario::new(base(), tenants, 2 * tenants);
+        g.bench_function(&format!("tenants_{tenants}"), |b| {
+            b.iter(|| {
+                let report = run_multi_tenant(&mt);
+                black_box(report.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tenant_scaling);
+criterion_main!(benches);

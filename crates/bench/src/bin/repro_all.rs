@@ -35,6 +35,7 @@ fn main() {
     popts.seeds = popts.seeds.max(5);
     save("table4.txt", &prediction::table4(&popts));
     save("table5.txt", &edgi::table5(&opts));
+    save("multitenant.txt", &multitenant::report(&opts));
 
     save("ablation_credit.txt", &ablations::credit(&opts));
     save("ablation_tick.txt", &ablations::tick(&opts));

@@ -1,0 +1,12 @@
+//! Multi-tenant service report: per-tenant completion/credit tables for
+//! 2, 8 and 32 concurrent tenants sharing one SpeQuloS instance and a
+//! bounded cloud-worker pool (the §5 deployed-service regime).
+use spq_bench::{experiments::multitenant, Opts};
+use spq_harness::write_file;
+
+fn main() {
+    let opts = Opts::from_args();
+    let text = multitenant::report(&opts);
+    print!("{text}");
+    write_file(opts.out_dir.join("multitenant.txt"), &text).expect("write report");
+}

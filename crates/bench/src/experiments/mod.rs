@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod calibration;
 pub mod edgi;
+pub mod multitenant;
 pub mod performance;
 pub mod prediction;
 pub mod profiling;

@@ -1,0 +1,133 @@
+//! Multi-tenant service experiment: N concurrent BoTs from distinct users
+//! arbitrated over one shared credit economy and a bounded cloud-worker
+//! pool — the deployed-service regime of §5 that the paper's single-BoT
+//! campaign (§4) never exercises. For each tenant count the report shows
+//! per-tenant completion and credit accounting plus the pool's contention
+//! counters, and a summary line with aggregate simulation throughput.
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimDuration;
+use spequlos::StrategyCombo;
+use spq_harness::{
+    pct, run_multi_tenant, secs, MultiTenantScenario, MwKind, Scenario, Table, TenantArrivals,
+};
+
+use crate::Opts;
+
+/// Tenant counts the report sweeps (the acceptance points of the
+/// multi-tenant scenario family).
+pub const TENANT_COUNTS: [u32; 3] = [2, 8, 32];
+
+/// Shared pool capacity: fixed while demand scales, so 2 tenants are
+/// uncontended, 8 contend on fair shares, and 32 additionally hit
+/// admission control.
+pub const POOL_CAPACITY: u32 = 16;
+
+fn base_scenario(opts: &Opts, seed: u64) -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = opts.scale;
+    sc
+}
+
+/// One multi-tenant table for `tenants` concurrent users.
+pub fn table_for(opts: &Opts, tenants: u32) -> String {
+    let seed = opts.seed_list().first().copied().unwrap_or(1);
+    let mt = MultiTenantScenario::new(base_scenario(opts, seed), tenants, POOL_CAPACITY)
+        .with_arrivals(TenantArrivals::TailHeavy {
+            window: SimDuration::from_hours(2),
+        });
+    let started = std::time::Instant::now();
+    let report = run_multi_tenant(&mt);
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut out = format!(
+        "== {tenants} tenants over a {POOL_CAPACITY}-worker pool \
+         (tail-heavy arrivals, 2 h window) ==\n",
+    );
+    let mut table = Table::new([
+        "tenant",
+        "arrives",
+        "admitted",
+        "completed",
+        "makespan",
+        "provisioned",
+        "spent",
+        "refunded",
+        "granted",
+        "denied",
+        "grant%",
+    ]);
+    for t in &report.tenants {
+        let refund = (t.metrics.credits_provisioned - t.metrics.credits_spent).max(0.0);
+        // Makespan is per-tenant: completion on the shared clock minus the
+        // tenant's own arrival (completion_secs is absolute sim time).
+        let makespan = (t.metrics.completion_secs - t.offset.as_secs_f64()).max(0.0);
+        table.row([
+            format!("{}", t.tenant),
+            secs(t.offset.as_secs_f64()),
+            if t.admitted { "yes" } else { "REJECTED" }.to_string(),
+            if t.metrics.completed { "yes" } else { "NO" }.to_string(),
+            secs(makespan),
+            format!("{:.0}", t.metrics.credits_provisioned),
+            format!("{:.1}", t.metrics.credits_spent),
+            format!("{refund:.1}"),
+            format!("{}", t.qos.granted),
+            format!("{}", t.qos.denied),
+            pct(t.qos.grant_ratio()),
+        ]);
+    }
+    out.push_str(&table.render());
+    let admitted = report.admitted().count();
+    let completed = report
+        .tenants
+        .iter()
+        .filter(|t| t.metrics.completed)
+        .count();
+    out.push_str(&format!(
+        "admitted {admitted}/{tenants}, completed {completed}/{tenants}, \
+         pool peak {peak}/{cap} workers, {events} events in {wall:.2} s \
+         ({rate:.0} events/s)\n\n",
+        peak = report.peak_pool_in_use,
+        cap = report.pool_capacity,
+        events = report.events,
+        rate = report.events as f64 / wall.max(1e-9),
+    ));
+    assert!(
+        report.peak_pool_in_use <= report.pool_capacity,
+        "pool invariant violated"
+    );
+    out
+}
+
+/// The full multi-tenant report over [`TENANT_COUNTS`].
+pub fn report(opts: &Opts) -> String {
+    let mut out = String::from(
+        "Multi-tenant QoS service: concurrent BoT arbitration over a shared \
+         credit pool\n(one SpeQuloS instance; per-tenant BE-DCIs; \
+         credit-proportional fair share; favors tie-break)\n\n",
+    );
+    for tenants in TENANT_COUNTS {
+        out.push_str(&table_for(opts, tenants));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_multitenant_report_renders() {
+        let opts = Opts {
+            scale: 0.25,
+            ..Opts::default()
+        };
+        let text = table_for(&opts, 2);
+        assert!(text.contains("2 tenants"));
+        assert!(text.contains("events/s"));
+        // Two tenant rows plus header/summary.
+        assert!(text.lines().count() >= 5);
+    }
+}

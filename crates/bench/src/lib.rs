@@ -16,6 +16,7 @@
 //! | `repro_fig7` | Fig. 7 execution stability |
 //! | `repro_table4` | Table 4 prediction success |
 //! | `repro_table5` | Table 5 EDGI deployment |
+//! | `repro_multitenant` | §5 deployed-service regime: 2/8/32 tenants over a shared pool |
 //! | `ablation_*` | DESIGN.md ablations |
 //! | `repro_all` | everything above, into `results/` |
 //!

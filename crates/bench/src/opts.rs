@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 /// Options controlling experiment scale and output.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Opts {
     /// Seeds per configuration (each seed selects a trace window and
     /// workload sample).

@@ -36,6 +36,11 @@ pub enum CreditError {
     DuplicateOrder,
     /// The order is already closed.
     OrderClosed,
+    /// Admission control refused the order: the shared cloud-worker pool
+    /// already has as many open orders as it has workers, so a further
+    /// tenant could not be guaranteed any cloud capacity (see
+    /// [`crate::tenancy`]).
+    PoolSaturated,
 }
 
 impl std::fmt::Display for CreditError {
@@ -45,6 +50,9 @@ impl std::fmt::Display for CreditError {
             CreditError::NoOrder => write!(f, "no QoS order for this BoT"),
             CreditError::DuplicateOrder => write!(f, "QoS order already exists"),
             CreditError::OrderClosed => write!(f, "QoS order already closed"),
+            CreditError::PoolSaturated => {
+                write!(f, "shared cloud-worker pool saturated: order not admitted")
+            }
         }
     }
 }
@@ -167,6 +175,27 @@ impl CreditSystem {
         let refund = (order.provisioned - order.spent).max(0.0);
         *self.accounts.entry(order.user.0).or_insert(0.0) += refund;
         Ok(refund)
+    }
+
+    /// Open (not yet paid) orders as `(bot, user, remaining)`, sorted by
+    /// BoT id. The sorted order matters: the multi-tenant arbiter sums
+    /// remaining credits over this list, and floating-point summation is
+    /// order-dependent — iterating a `HashMap` here would make otherwise
+    /// identical runs diverge bit-wise.
+    pub fn open_orders(&self) -> Vec<(BotId, UserId, f64)> {
+        let mut v: Vec<(BotId, UserId, f64)> = self
+            .orders
+            .iter()
+            .filter(|(_, o)| !o.closed)
+            .map(|(&b, o)| (BotId(b), o.user, (o.provisioned - o.spent).max(0.0)))
+            .collect();
+        v.sort_by_key(|(b, _, _)| b.0);
+        v
+    }
+
+    /// Number of open orders (active QoS-supported BoTs).
+    pub fn open_order_count(&self) -> usize {
+        self.orders.values().filter(|o| !o.closed).count()
     }
 
     /// Total credits in the system (accounts plus open provisions); spent
@@ -350,6 +379,66 @@ mod tests {
         assert_eq!(cs.bill(B, 1.0), Err(CreditError::NoOrder));
         assert_eq!(cs.pay(B), Err(CreditError::NoOrder));
         assert!(!cs.has_credits(B));
+    }
+
+    #[test]
+    fn zero_balance_order_qos() {
+        let mut cs = CreditSystem::new();
+        // Never-seen user, empty balance: any positive order is refused and
+        // leaves no trace.
+        assert_eq!(
+            cs.order_qos(B, U, 1.0),
+            Err(CreditError::InsufficientCredits)
+        );
+        assert_eq!(cs.open_order_count(), 0);
+        // A zero-credit order is admissible but carries no cloud budget.
+        cs.order_qos(B, U, 0.0).expect("zero order");
+        assert!(!cs.has_credits(B), "zero provision = no credits");
+        assert_eq!(cs.remaining(B), 0.0);
+        assert_eq!(cs.bill(B, 5.0).unwrap(), 0.0, "nothing billable");
+        assert_eq!(cs.pay(B).unwrap(), 0.0, "nothing refundable");
+        assert_eq!(cs.balance(U), 0.0);
+    }
+
+    #[test]
+    fn bill_racing_pay() {
+        // A billing tick and the user's `pay` can land in either order at
+        // BoT completion; whichever wins, credits are conserved and the
+        // loser observes a closed/settled order rather than double-spend.
+        let mut cs = CreditSystem::new();
+        cs.deposit(U, 100.0);
+        cs.order_qos(B, U, 60.0).unwrap();
+        cs.bill(B, 10.0).unwrap();
+
+        // pay first, then the late bill: the bill must fail, the refund
+        // must not be re-billable.
+        let mut a = cs.clone();
+        assert_eq!(a.pay(B).unwrap(), 50.0);
+        assert_eq!(a.bill(B, 10.0), Err(CreditError::OrderClosed));
+        assert_eq!(a.balance(U), 90.0);
+        assert!((a.total_outstanding() - 90.0).abs() < 1e-9);
+
+        // bill first, then pay: the refund shrinks by exactly the bill.
+        let mut b = cs;
+        assert_eq!(b.bill(B, 10.0).unwrap(), 10.0);
+        assert_eq!(b.pay(B).unwrap(), 40.0);
+        assert_eq!(b.balance(U), 80.0);
+        assert!((b.total_outstanding() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_orders_sorted_and_filtered() {
+        let mut cs = CreditSystem::new();
+        cs.deposit(U, 100.0);
+        for id in [9u64, 3, 7] {
+            cs.order_qos(BotId(id), U, 10.0).unwrap();
+        }
+        cs.pay(BotId(7)).unwrap();
+        let open = cs.open_orders();
+        let ids: Vec<u64> = open.iter().map(|(b, _, _)| b.0).collect();
+        assert_eq!(ids, vec![3, 9], "sorted by BoT id, closed orders gone");
+        assert_eq!(cs.open_order_count(), 2);
+        assert!(open.iter().all(|&(_, u, r)| u == U && r == 10.0));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`scheduler`] — **Scheduler**: the monitoring loops of
 //!   Algorithms 1–2;
 //! * [`service`] — the assembled multi-BoT service façade;
+//! * [`tenancy`] — shared cloud-worker pool: admission control and
+//!   credit-proportional fair-share arbitration across concurrent tenants;
 //! * [`metrics`] — tail-effect metrics (slowdown, Tail Removal
 //!   Efficiency) used by the evaluation.
 //!
@@ -52,6 +54,7 @@ pub mod oracle;
 pub mod progress;
 pub mod scheduler;
 pub mod service;
+pub mod tenancy;
 
 pub use credit::{
     CreditError, CreditSystem, DepositPolicy, FavorLedger, UserId, CREDITS_PER_CPU_HOUR,
@@ -68,3 +71,4 @@ pub use oracle::{
 pub use progress::BotProgress;
 pub use scheduler::{CloudAction, Scheduler};
 pub use service::{LogEvent, SpeQuloS};
+pub use tenancy::{CloudPool, TenantMetrics};

@@ -187,6 +187,14 @@ impl StrategyCombo {
     }
 }
 
+impl Default for StrategyCombo {
+    /// The paper's recommended combination,
+    /// [`StrategyCombo::paper_default`] (`9C-C-R`).
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
 impl fmt::Display for StrategyCombo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -116,6 +116,19 @@ impl Scheduler {
             .unwrap_or(false)
     }
 
+    /// Clears the fleet-started flag so a later tick re-evaluates the
+    /// provisioning decision. Used by the multi-tenant arbiter whenever a
+    /// `Start` was granted only partially or not at all (shared pool
+    /// contended): without the reset the paper's size-the-fleet-once rule
+    /// would turn a transient denial into permanent starvation, and a
+    /// partial grant into a permanently undersized fleet even after other
+    /// tenants return capacity.
+    pub fn reset_start(&mut self, bot: BotId) {
+        if let Some(s) = self.state.get_mut(&bot.0) {
+            s.cloud_started = false;
+        }
+    }
+
     /// Drops per-BoT state after completion.
     pub fn forget(&mut self, bot: BotId) {
         self.state.remove(&bot.0);

@@ -1,0 +1,175 @@
+//! Multi-tenant arbitration: a bounded, shared cloud-worker pool.
+//!
+//! The deployed SpeQuloS service is shared by many users (§3.1, §5: the
+//! EDGI deployment serves several institutions from one instance), yet the
+//! cloud it provisions from is not unlimited — the paper's administrator
+//! policies (§3.3) exist precisely because "Cloud resources are costly".
+//! This module adds the missing contention layer: a [`CloudPool`] with a
+//! hard worker capacity that every QoS order draws from, plus per-tenant
+//! [`TenantMetrics`] recording how arbitration treated each BoT.
+//!
+//! Arbitration policy (see `SpeQuloS::on_progress` in [`crate::service`]):
+//!
+//! * **Admission control** — `orderQoS` is refused while as many orders are
+//!   open as the pool has workers: every admitted order must be
+//!   guaranteeable at least one worker, otherwise QoS would be a lottery.
+//! * **Fair share** — when a tenant's Scheduler asks for workers, the grant
+//!   is capped at the tenant's share of the pool, proportional to the
+//!   credits remaining on its order (a tenant that provisioned more of the
+//!   credit economy gets more of the cloud). Shares round *down*, except
+//!   for tenants with positive net favor in the
+//!   [`FavorLedger`](crate::credit::FavorLedger) — the network-of-favors
+//!   tie-breaker — which round *up*.
+//! * **Work conservation** — unused capacity is grantable to any requester
+//!   up to its share; leases shrink automatically as a tenant's cloud
+//!   workers retire, and are released in full when the BoT completes or
+//!   its fleet is stopped.
+
+use botwork::BotId;
+use std::collections::HashMap;
+
+/// Lease accounting for the shared cloud-worker pool.
+///
+/// Invariant: the sum of all leases never exceeds the capacity, and a
+/// tenant's actual running workers never exceed its lease (grants happen
+/// before start orders; leases are re-synchronised from observed worker
+/// counts every monitoring tick). Aggregate cloud usage therefore stays
+/// within the configured bound at all times.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CloudPool {
+    capacity: u32,
+    leases: HashMap<u64, u32>,
+    peak_in_use: u32,
+}
+
+impl CloudPool {
+    /// A pool of `capacity` cloud workers.
+    pub fn new(capacity: u32) -> Self {
+        CloudPool {
+            capacity,
+            leases: HashMap::new(),
+            peak_in_use: 0,
+        }
+    }
+
+    /// Total workers the pool can host.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Workers currently leased across all tenants.
+    pub fn in_use(&self) -> u32 {
+        self.leases.values().sum()
+    }
+
+    /// Workers still grantable.
+    pub fn available(&self) -> u32 {
+        self.capacity.saturating_sub(self.in_use())
+    }
+
+    /// Workers leased to one BoT.
+    pub fn leased(&self, bot: BotId) -> u32 {
+        self.leases.get(&bot.0).copied().unwrap_or(0)
+    }
+
+    /// High-water mark of [`CloudPool::in_use`] over the pool's lifetime.
+    pub fn peak_in_use(&self) -> u32 {
+        self.peak_in_use
+    }
+
+    /// Leases `n` additional workers to `bot`.
+    pub(crate) fn grant(&mut self, bot: BotId, n: u32) {
+        debug_assert!(n <= self.available(), "grant exceeds pool capacity");
+        *self.leases.entry(bot.0).or_insert(0) += n;
+        self.peak_in_use = self.peak_in_use.max(self.in_use());
+    }
+
+    /// Shrinks a lease to the observed worker count (cloud workers retire
+    /// on their own under Greedy provisioning and when billing stops). A
+    /// lease never *grows* from observation — only [`CloudPool::grant`]
+    /// can extend it.
+    pub(crate) fn sync(&mut self, bot: BotId, observed: u32) {
+        if let Some(l) = self.leases.get_mut(&bot.0) {
+            *l = (*l).min(observed);
+        }
+    }
+
+    /// Returns the whole lease of `bot` to the pool.
+    pub(crate) fn release(&mut self, bot: BotId) {
+        self.leases.remove(&bot.0);
+    }
+}
+
+/// Per-tenant arbitration outcome counters, kept by the service for every
+/// BoT that went through pool arbitration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Cloud workers the tenant's Scheduler asked for, summed over ticks.
+    pub requested: u64,
+    /// Workers actually granted.
+    pub granted: u64,
+    /// Workers denied (requested − granted).
+    pub denied: u64,
+    /// Ticks on which a request was denied in full (the Scheduler retries
+    /// on the next tick).
+    pub throttled_ticks: u64,
+}
+
+impl TenantMetrics {
+    /// Fraction of requested workers that were granted (1.0 when nothing
+    /// was ever requested).
+    pub fn grant_ratio(&self) -> f64 {
+        if self.requested == 0 {
+            1.0
+        } else {
+            self.granted as f64 / self.requested as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: BotId = BotId(1);
+    const B: BotId = BotId(2);
+
+    #[test]
+    fn grants_and_releases_track_usage() {
+        let mut pool = CloudPool::new(10);
+        assert_eq!(pool.available(), 10);
+        pool.grant(A, 4);
+        pool.grant(B, 5);
+        assert_eq!(pool.in_use(), 9);
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.leased(A), 4);
+        assert_eq!(pool.peak_in_use(), 9);
+        pool.release(A);
+        assert_eq!(pool.in_use(), 5);
+        assert_eq!(pool.leased(A), 0);
+        assert_eq!(pool.peak_in_use(), 9, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn sync_only_shrinks() {
+        let mut pool = CloudPool::new(10);
+        pool.grant(A, 6);
+        pool.sync(A, 9); // observation can never extend a lease
+        assert_eq!(pool.leased(A), 6);
+        pool.sync(A, 2); // workers retired on their own
+        assert_eq!(pool.leased(A), 2);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn grant_ratio_defaults_to_one() {
+        assert_eq!(TenantMetrics::default().grant_ratio(), 1.0);
+        let m = TenantMetrics {
+            requested: 10,
+            granted: 4,
+            denied: 6,
+            throttled_ticks: 1,
+        };
+        assert!((m.grant_ratio() - 0.4).abs() < 1e-12);
+    }
+}

@@ -151,7 +151,7 @@ impl Deployment {
 }
 
 /// Full simulation configuration for one BoT execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Desktop-grid middleware and its parameters.
     pub middleware: Middleware,

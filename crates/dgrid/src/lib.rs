@@ -47,4 +47,4 @@ pub use server::{
     Assignment, BoincServer, CompleteOutcome, CondorServer, LostOutcome, Server, ServerProgress,
     XwhepServer,
 };
-pub use sim::{Ev, GridSim};
+pub use sim::{run_many, Ev, GridSim};

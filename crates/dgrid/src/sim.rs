@@ -179,11 +179,13 @@ impl<H: QosHook> GridSim<H> {
         }
     }
 
-    /// Runs the execution to completion (or the simulation-time cap) and
-    /// returns the measurements plus the hook (so callers can recover
-    /// accumulated QoS state, e.g. billing).
-    pub fn run(mut self) -> (RunResult, H) {
-        let mut q: EventQueue<Ev> = EventQueue::new();
+    /// Schedules the initial events of this execution (task arrivals, node
+    /// availability toggles, the first monitoring tick) into `q` and seeds
+    /// the monitoring series. Callers normally use [`GridSim::run`]; this
+    /// is the entry point for multi-tenant hosting, where several primed
+    /// simulations are driven interleaved over one shared clock (see
+    /// [`run_many`]).
+    pub fn prime(&mut self, q: &mut EventQueue<Ev>) {
         for (i, &at) in self.arrivals.iter().enumerate() {
             q.schedule(at, Ev::Arrive(TaskId(i as u32)));
         }
@@ -195,11 +197,20 @@ impl<H: QosHook> GridSim<H> {
         q.schedule(SimTime::ZERO + self.cfg.tick, Ev::Tick);
         self.completed_series.push(SimTime::ZERO, 0.0);
         self.dispatched_series.push(SimTime::ZERO, 0.0);
+    }
 
-        let cap = SimTime::ZERO + self.cfg.max_sim_time;
-        let stats = engine_run(&mut self, &mut q, Some(cap));
+    /// This execution's simulated-time cap.
+    pub fn time_cap(&self) -> SimTime {
+        SimTime::ZERO + self.cfg.max_sim_time
+    }
+
+    /// Closes the run after the driver returned (billing for a timed-out
+    /// run ends at the cap) and assembles the measurements plus the hook
+    /// (so callers can recover accumulated QoS state, e.g. billing).
+    pub fn into_result(mut self, stats: simcore::RunStats) -> (RunResult, H) {
         if !self.finished {
             // Timed out: close accounting at the cap.
+            let cap = self.time_cap();
             self.finish(stats.end_time.min(cap));
         }
         let result = RunResult {
@@ -217,6 +228,16 @@ impl<H: QosHook> GridSim<H> {
             nops_done_cloud: self.nops_done_cloud,
         };
         (result, self.hook)
+    }
+
+    /// Runs the execution to completion (or the simulation-time cap) and
+    /// returns the measurements plus the hook.
+    pub fn run(mut self) -> (RunResult, H) {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        self.prime(&mut q);
+        let cap = self.time_cap();
+        let stats = engine_run(&mut self, &mut q, Some(cap));
+        self.into_result(stats)
     }
 
     fn server_mut(&mut self, side: Side) -> &mut Server {
@@ -652,6 +673,35 @@ impl<H: QosHook> World for GridSim<H> {
     }
 }
 
+/// Hosts several BoT executions on one simulated clock: every simulation
+/// is primed, then events are delivered in global time order (ties broken
+/// by tenant index), so hooks that share state — one `spequlos::SpeQuloS`
+/// service arbitrating a common cloud-worker pool and credit economy
+/// across tenants — observe all tenants' progress in causal order. Results
+/// are returned in input order.
+///
+/// Tenants are otherwise isolated: each has its own infrastructure,
+/// middleware server, RNG streams and time cap, so a tenant's trajectory
+/// can only be changed by another tenant *through the hook* (e.g. a denied
+/// cloud-worker grant). With independent hooks this degenerates — event
+/// for event, including timed-out runs — to running each simulation alone.
+pub fn run_many<H: QosHook>(sims: Vec<GridSim<H>>) -> Vec<(RunResult, H)> {
+    let mut runs: Vec<(GridSim<H>, EventQueue<Ev>)> = sims
+        .into_iter()
+        .map(|mut sim| {
+            let mut q = EventQueue::new();
+            sim.prime(&mut q);
+            (sim, q)
+        })
+        .collect();
+    let caps: Vec<Option<SimTime>> = runs.iter().map(|(s, _)| Some(s.time_cap())).collect();
+    let stats = simcore::run_interleaved_each(&mut runs, &caps);
+    runs.into_iter()
+        .zip(stats)
+        .map(|((sim, _), st)| sim.into_result(st))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +971,63 @@ mod tests {
         // tc(0.5): time when half the BoT was done — within the run.
         let tc50 = res.completed_series.time_to_reach(5.0).expect("reached");
         assert!(tc50 <= t_last);
+    }
+
+    #[test]
+    fn run_many_matches_solo_runs_bit_for_bit() {
+        // Independent hooks ⇒ hosting N executions on one clock must be
+        // observationally identical to running each alone.
+        let mk = |seed: u64| {
+            let dci = betrace::Preset::G5kLyon.spec().build(seed, 0.2);
+            GridSim::new(dci, &uniform_bot(30, 500_000.0), xw_cfg(), seed, NoQos)
+        };
+        let solo: Vec<RunResult> = [41, 42, 43].map(|s| mk(s).run().0).to_vec();
+        let hosted = run_many(vec![mk(41), mk(42), mk(43)]);
+        for (s, (h, _)) in solo.iter().zip(&hosted) {
+            assert_eq!(s.completion_time, h.completion_time);
+            assert_eq!(s.events, h.events);
+            assert_eq!(s.completion_times, h.completion_times);
+            assert_eq!(s.cloud, h.cloud);
+        }
+    }
+
+    #[test]
+    fn run_many_enforces_per_tenant_caps() {
+        // Tenant 0 can complete; tenant 1 is stuck (its only node dies) and
+        // must time out at its own (shorter) cap even though the shared run
+        // continues to tenant 0's horizon — with a RunResult identical to
+        // the same stuck simulation run alone.
+        let ok = || {
+            GridSim::new(
+                stable_dci(2, 1000.0),
+                &uniform_bot(4, 1_000_000.0),
+                xw_cfg(),
+                1,
+                NoQos,
+            )
+        };
+        let stuck = || {
+            let mut short_cfg = xw_cfg();
+            short_cfg.max_sim_time = SimDuration::from_secs(500);
+            GridSim::new(
+                dying_node_dci(),
+                &uniform_bot(1, 36_000_000.0),
+                short_cfg,
+                2,
+                NoQos,
+            )
+        };
+        let (solo_stuck, _) = stuck().run();
+        let results = run_many(vec![ok(), stuck()]);
+        assert!(results[0].0.completed);
+        let hosted_stuck = &results[1].0;
+        assert!(!hosted_stuck.completed);
+        assert_eq!(hosted_stuck.events, solo_stuck.events);
+        assert_eq!(
+            hosted_stuck.completed_series.last(),
+            solo_stuck.completed_series.last()
+        );
+        assert_eq!(hosted_stuck.cloud, solo_stuck.cloud);
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub use edgi::{run_edgi, EdgiReport};
 pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
 pub use report::{pct, secs, write_file, Table};
 pub use runner::{
-    bot_of, run_baseline, run_paired, run_with_spequlos, ExecutionMetrics, PairedRun, SpqHook,
+    bot_of, run_baseline, run_multi_tenant, run_paired, run_with_spequlos, ExecutionMetrics,
+    MultiTenantReport, PairedRun, SharedSpqHook, SpqHook, TenantOutcome,
 };
-pub use scenario::{deployment_of, MwKind, Scenario};
+pub use scenario::{deployment_of, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 pub use sweep::parallel_map;

@@ -1,14 +1,18 @@
-//! Executes scenarios: baseline runs, SpeQuloS runs, and the seed-paired
-//! combination the Tail-Removal-Efficiency metric requires.
+//! Executes scenarios: baseline runs, SpeQuloS runs, the seed-paired
+//! combination the Tail-Removal-Efficiency metric requires, and
+//! multi-tenant runs in which N concurrent BoTs share one service, one
+//! credit economy and one bounded cloud-worker pool.
 
-use crate::scenario::Scenario;
+use crate::scenario::{MultiTenantScenario, Scenario};
 use botwork::{generate, Bot, BotId};
-use dgrid::{CloudCommand, CloudUsage, GridSim, NoQos, QosHook, TickView};
-use simcore::{SimTime, TimeSeries};
+use dgrid::{run_many, CloudCommand, CloudUsage, GridSim, NoQos, QosHook, TickView};
+use simcore::{SimDuration, SimTime, TimeSeries};
 use spequlos::{
     tail_removal_efficiency, tail_stats, BotProgress, CloudAction, SpeQuloS, StrategyCombo,
-    TailStats, UserId, CREDITS_PER_CPU_HOUR,
+    TailStats, TenantMetrics, UserId, CREDITS_PER_CPU_HOUR,
 };
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Adapter: drives a [`SpeQuloS`] service from the simulator's QoS hook,
 /// translating the simulator's tick view into the service's progress
@@ -231,6 +235,225 @@ pub fn run_paired(scenario: &Scenario) -> PairedRun {
     }
 }
 
+/// QoS adapter for one tenant of a shared service: like [`SpqHook`] but
+/// holding the service behind `Rc<RefCell>` so every tenant's simulation
+/// drives the *same* instance. The BoT is registered up front (at its
+/// submission time, so the Oracle's elapsed-time estimates are anchored
+/// correctly), but the `orderQoS` call is deferred to the first
+/// monitoring tick at or after the tenant's arrival — admission control
+/// therefore sees the pool as it is *then*, so an order rejected at a
+/// busy moment differs from one arriving after earlier tenants completed
+/// and freed their slots.
+pub struct SharedSpqHook {
+    spq: Rc<RefCell<SpeQuloS>>,
+    bot: BotId,
+    submit_at: SimTime,
+    credits: f64,
+    strategy: StrategyCombo,
+    tick_hours: f64,
+    /// Admission-control verdict, once the order was placed.
+    admitted: Option<bool>,
+}
+
+impl SharedSpqHook {
+    /// A tenant whose (already registered) BoT `bot` arrives at
+    /// `submit_at`, ordering `credits` of QoS under `strategy`.
+    pub fn new(
+        spq: Rc<RefCell<SpeQuloS>>,
+        bot: BotId,
+        submit_at: SimTime,
+        credits: f64,
+        strategy: StrategyCombo,
+        tick_hours: f64,
+    ) -> Self {
+        SharedSpqHook {
+            spq,
+            bot,
+            submit_at,
+            credits,
+            strategy,
+            tick_hours,
+            admitted: None,
+        }
+    }
+
+    /// The tenant's BoT id.
+    pub fn bot(&self) -> BotId {
+        self.bot
+    }
+
+    /// Whether the QoS order passed admission control (`None` before the
+    /// order was placed).
+    pub fn admitted(&self) -> Option<bool> {
+        self.admitted
+    }
+}
+
+impl QosHook for SharedSpqHook {
+    fn on_tick(&mut self, view: &TickView) -> CloudCommand {
+        if self.admitted.is_none() {
+            if view.now < self.submit_at {
+                return CloudCommand::None; // tenant has not arrived yet
+            }
+            let verdict = self
+                .spq
+                .borrow_mut()
+                .order_qos(self.bot, self.credits, self.strategy, view.now)
+                .is_ok();
+            self.admitted = Some(verdict);
+        }
+        let progress = BotProgress {
+            now: view.now,
+            size: view.bot_size,
+            completed: view.completed,
+            dispatched: view.dispatched,
+            queued: view.ready,
+            running: view.running,
+            cloud_running: view.cloud_running,
+        };
+        match self
+            .spq
+            .borrow_mut()
+            .on_progress(self.bot, &progress, self.tick_hours)
+        {
+            CloudAction::None => CloudCommand::None,
+            CloudAction::Start(n) => CloudCommand::Start(n),
+            CloudAction::StopAll => CloudCommand::StopAll,
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        self.spq.borrow_mut().on_complete(self.bot, now);
+    }
+}
+
+/// Everything measured about one tenant of a multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// Tenant index (0-based).
+    pub tenant: u32,
+    /// The tenant's user account.
+    pub user: UserId,
+    /// The BoT id the service assigned.
+    pub bot: BotId,
+    /// Whether the QoS order passed admission control.
+    pub admitted: bool,
+    /// Submission offset on the shared clock.
+    pub offset: SimDuration,
+    /// Per-execution metrics (same shape as single-tenant runs).
+    pub metrics: ExecutionMetrics,
+    /// The arbiter's per-tenant counters.
+    pub qos: TenantMetrics,
+}
+
+/// Result of a [`run_multi_tenant`] execution.
+#[derive(Clone, Debug)]
+pub struct MultiTenantReport {
+    /// Per-tenant outcomes, in tenant order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Configured pool capacity.
+    pub pool_capacity: u32,
+    /// High-water mark of leased cloud workers across all tenants — by
+    /// construction never above `pool_capacity`.
+    pub peak_pool_in_use: u32,
+    /// Total simulation events across all tenants.
+    pub events: u64,
+    /// The final service state (credit accounts, archive, favors ledger).
+    pub service: SpeQuloS,
+}
+
+impl MultiTenantReport {
+    /// Tenants whose QoS order was admitted.
+    pub fn admitted(&self) -> impl Iterator<Item = &TenantOutcome> {
+        self.tenants.iter().filter(|t| t.admitted)
+    }
+}
+
+/// Runs `mt.tenants` concurrent BoT executions against one shared
+/// SpeQuloS service with a cloud-worker pool of `mt.pool_capacity`
+/// (see [`MultiTenantScenario`]). Deterministic: the same scenario
+/// reproduces the same report bit-for-bit.
+///
+/// # Panics
+/// Panics if the base scenario has no strategy.
+pub fn run_multi_tenant(mt: &MultiTenantScenario) -> MultiTenantReport {
+    let strategy = mt
+        .base
+        .strategy
+        .expect("run_multi_tenant requires a strategy");
+    let offsets = mt.arrivals.offsets(mt.tenants);
+    let spq = Rc::new(RefCell::new(SpeQuloS::with_pool(mt.pool_capacity)));
+
+    let mut sims = Vec::with_capacity(mt.tenants as usize);
+    let mut meta = Vec::with_capacity(mt.tenants as usize);
+    for i in 0..mt.tenants {
+        let sc = mt.tenant_scenario(i);
+        let mut bot = bot_of(&sc);
+        let offset = offsets[i as usize];
+        for task in &mut bot.tasks {
+            task.arrival += offset;
+        }
+        let dci = sc.preset.spec().build(sc.seed, sc.scale);
+        let credits = sc.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
+        let user = UserId(u64::from(i));
+        let bot_id = {
+            let mut service = spq.borrow_mut();
+            service.credits.deposit(user, credits);
+            service.register_qos(&sc.env(), bot.size() as u32, user, SimTime::ZERO + offset)
+        };
+        let hook = SharedSpqHook::new(
+            spq.clone(),
+            bot_id,
+            SimTime::ZERO + offset,
+            credits,
+            strategy,
+            sc.tick.as_hours_f64(),
+        );
+        sims.push(GridSim::new(dci, &bot, sc.sim_config(), sc.seed, hook));
+        meta.push((i, user, offset, sc, credits, bot.size() as u32));
+    }
+
+    let results = run_many(sims);
+    let mut tenants = Vec::with_capacity(results.len());
+    let mut events = 0u64;
+    {
+        let service = spq.borrow();
+        for ((result, hook), (i, user, offset, sc, credits, size)) in results.into_iter().zip(meta)
+        {
+            events += result.events;
+            let admitted = hook.admitted().unwrap_or(false);
+            let bot = hook.bot();
+            let spent = service.credits.spent(bot);
+            let provisioned = if admitted { credits } else { 0.0 };
+            let metrics = metrics_from(&sc, &result, provisioned, spent, size);
+            tenants.push(TenantOutcome {
+                tenant: i,
+                user,
+                bot,
+                admitted,
+                offset,
+                metrics,
+                qos: service.tenant_metrics(bot),
+            });
+        }
+    }
+    let peak = spq
+        .borrow()
+        .pool()
+        .map(|p| p.peak_in_use())
+        .unwrap_or_default();
+    let service = Rc::try_unwrap(spq)
+        .expect("all hooks dropped with their simulations")
+        .into_inner();
+    MultiTenantReport {
+        tenants,
+        pool_capacity: mt.pool_capacity,
+        peak_pool_in_use: peak,
+        events,
+        service,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +504,38 @@ mod tests {
         if let Some(tre) = p.tre {
             assert!(tre <= 1.0);
         }
+    }
+
+    #[test]
+    fn multi_tenant_run_is_deterministic() {
+        let base = quick_scenario(7).with_strategy(StrategyCombo::paper_default());
+        let mt = crate::scenario::MultiTenantScenario::new(base, 3, 6);
+        let a = run_multi_tenant(&mt);
+        let b = run_multi_tenant(&mt);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(ta.metrics.completion_secs, tb.metrics.completion_secs);
+            assert_eq!(ta.metrics.credits_spent, tb.metrics.credits_spent);
+            assert_eq!(ta.qos, tb.qos);
+        }
+    }
+
+    #[test]
+    fn single_tenant_pool_run_matches_unpooled_run_when_uncontended() {
+        // One tenant over a pool far larger than any request: arbitration
+        // must be invisible — the execution equals the plain SpeQuloS run.
+        let sc = quick_scenario(5).with_strategy(StrategyCombo::paper_default());
+        let (solo, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        let mt = crate::scenario::MultiTenantScenario::new(sc, 1, 10_000);
+        let report = run_multi_tenant(&mt);
+        let t = &report.tenants[0];
+        assert!(t.admitted);
+        assert_eq!(t.metrics.completion_secs, solo.completion_secs);
+        assert_eq!(t.metrics.events, solo.events);
+        assert_eq!(t.metrics.credits_spent, solo.credits_spent);
+        assert_eq!(t.metrics.cloud, solo.cloud);
+        assert_eq!(t.qos.denied, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl MwKind {
 }
 
 /// One BoT execution configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// BE-DCI trace preset.
     pub preset: Preset,
@@ -141,6 +141,99 @@ impl Scenario {
     }
 }
 
+/// When the tenants of a [`MultiTenantScenario`] submit their BoTs,
+/// relative to the start of the shared service clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantArrivals {
+    /// Every tenant submits at t = 0: worst-case contention on the pool
+    /// and on admission control.
+    Simultaneous,
+    /// Tenant `i` of `n` submits at `i × window / (n − 1)`: a steady
+    /// stream of QoS orders.
+    Uniform {
+        /// Time by which the last tenant has arrived.
+        window: SimDuration,
+    },
+    /// Arrival density grows towards the end of the window (offsets follow
+    /// `1 − (1 − f)²`): most tenants pile up late, so the service sees a
+    /// calm phase followed by an order burst — the tail-heavy load shape
+    /// the paper's EDGI deployment reports (§5).
+    TailHeavy {
+        /// Time by which the last tenant has arrived.
+        window: SimDuration,
+    },
+}
+
+impl TenantArrivals {
+    /// Submission offset of each of `n` tenants (deterministic, sorted).
+    pub fn offsets(self, n: u32) -> Vec<SimDuration> {
+        let ramp = |i: u32, shape: fn(f64) -> f64, window: SimDuration| {
+            let frac = if n <= 1 {
+                0.0
+            } else {
+                f64::from(i) / f64::from(n - 1)
+            };
+            SimDuration::from_secs_f64(window.as_secs_f64() * shape(frac))
+        };
+        (0..n)
+            .map(|i| match self {
+                TenantArrivals::Simultaneous => SimDuration::from_secs(0),
+                TenantArrivals::Uniform { window } => ramp(i, |f| f, window),
+                TenantArrivals::TailHeavy { window } => {
+                    ramp(i, |f| 1.0 - (1.0 - f) * (1.0 - f), window)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A multi-tenant evaluation point: `tenants` users run BoTs concurrently
+/// against **one** SpeQuloS service whose cloud is capped at
+/// `pool_capacity` workers — the operating regime of the deployed service
+/// (§5) that single-BoT scenarios never exercise. Each tenant runs the
+/// `base` scenario on its own infrastructure instance and seed
+/// (`base.seed + tenant index`), so tenants couple only through the
+/// service: the shared credit economy, admission control, and fair-share
+/// arbitration of the pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiTenantScenario {
+    /// Per-tenant scenario template; must carry a strategy.
+    pub base: Scenario,
+    /// Number of concurrent tenants.
+    pub tenants: u32,
+    /// When each tenant submits its BoT and QoS order.
+    pub arrivals: TenantArrivals,
+    /// Shared cloud-worker pool capacity.
+    pub pool_capacity: u32,
+}
+
+impl MultiTenantScenario {
+    /// A multi-tenant scenario with simultaneous arrivals.
+    pub fn new(base: Scenario, tenants: u32, pool_capacity: u32) -> Self {
+        MultiTenantScenario {
+            base,
+            tenants,
+            arrivals: TenantArrivals::Simultaneous,
+            pool_capacity,
+        }
+    }
+
+    /// Same scenario with a different arrival pattern.
+    pub fn with_arrivals(mut self, arrivals: TenantArrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// The concrete scenario of tenant `i`: the template with a
+    /// tenant-specific seed (distinct trace window, workload sample and
+    /// scheduling randomness per tenant).
+    pub fn tenant_scenario(&self, i: u32) -> Scenario {
+        let mut sc = self.base.clone();
+        sc.seed = self.base.seed.wrapping_add(u64::from(i));
+        sc
+    }
+}
+
 /// Maps the core crate's middleware-independent deployment mode onto the
 /// simulator's.
 pub fn deployment_of(mode: DeployMode) -> Deployment {
@@ -190,6 +283,44 @@ mod tests {
         match s.middleware() {
             Middleware::Boinc(cfg) => assert_eq!(cfg.delay_bound, SimDuration::from_hours(6)),
             _ => panic!("wrong middleware"),
+        }
+    }
+
+    #[test]
+    fn tenant_arrival_offsets() {
+        let n = 5;
+        let window = SimDuration::from_hours(4);
+        assert!(TenantArrivals::Simultaneous
+            .offsets(n)
+            .iter()
+            .all(|d| d.is_zero()));
+        let uni = TenantArrivals::Uniform { window }.offsets(n);
+        assert_eq!(uni[0], SimDuration::from_secs(0));
+        assert_eq!(uni[4], window);
+        assert_eq!(uni[2], SimDuration::from_hours(2));
+        let tail = TenantArrivals::TailHeavy { window }.offsets(n);
+        assert_eq!(tail[4], window);
+        // Concave ramp: the median tenant arrives later than uniform, i.e.
+        // arrivals concentrate near the end of the window.
+        assert!(tail[2] > uni[2], "{:?} vs {:?}", tail[2], uni[2]);
+        assert_eq!(tail[2], SimDuration::from_hours(3));
+        assert!(tail.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        // Single tenant: offset 0 whatever the pattern.
+        assert_eq!(
+            TenantArrivals::TailHeavy { window }.offsets(1),
+            vec![SimDuration::from_secs(0)]
+        );
+    }
+
+    #[test]
+    fn tenant_scenarios_vary_only_the_seed() {
+        let base = Scenario::new(Preset::Seti, MwKind::Xwhep, BotClass::Small, 100)
+            .with_strategy(StrategyCombo::paper_default());
+        let mt = MultiTenantScenario::new(base, 4, 10);
+        for i in 0..4 {
+            let sc = mt.tenant_scenario(i);
+            assert_eq!(sc.seed, 100 + u64::from(i));
+            assert_eq!(sc.env(), mt.base.env(), "tenants share the archive key");
         }
     }
 

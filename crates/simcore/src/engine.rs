@@ -4,6 +4,8 @@
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// What the world wants the driver to do after handling an event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -92,6 +94,88 @@ pub fn run<W: World>(
     }
 }
 
+/// Drives several independent worlds of the same type over one shared
+/// simulated clock: at every step, the pending event with the globally
+/// earliest timestamp is delivered to its owning world (ties broken by
+/// world index, then by each queue's insertion order — the interleaving is
+/// fully deterministic).
+///
+/// The worlds do not exchange events; they couple only through whatever
+/// shared state their handlers reach (e.g. several BoT simulations driving
+/// one QoS service that arbitrates a common cloud-worker pool). Because
+/// delivery is globally time-ordered, that shared state always observes
+/// operations in causal order, exactly as a single merged simulation
+/// would.
+///
+/// Each world runs until it returns [`Control::Stop`], its queue drains,
+/// or `until` passes; the returned [`RunStats`] are per-world, in input
+/// order. A world finishing never stalls the others.
+pub fn run_interleaved<W: World>(
+    runs: &mut [(W, EventQueue<W::Event>)],
+    until: Option<SimTime>,
+) -> Vec<RunStats> {
+    let deadlines = vec![until; runs.len()];
+    run_interleaved_each(runs, &deadlines)
+}
+
+/// [`run_interleaved`] with a *per-world* deadline: world `i` stops — with
+/// [`RunOutcome::DeadlineReached`] and without processing the offending
+/// event — as soon as its next event lies past `deadlines[i]`, exactly as
+/// the same world under [`run`] with that deadline. Worlds with later (or
+/// no) deadlines continue undisturbed. This is what makes hosting
+/// simulations with different time caps equivalent to running each alone.
+///
+/// # Panics
+/// Panics if `deadlines.len() != runs.len()`.
+pub fn run_interleaved_each<W: World>(
+    runs: &mut [(W, EventQueue<W::Event>)],
+    deadlines: &[Option<SimTime>],
+) -> Vec<RunStats> {
+    assert_eq!(runs.len(), deadlines.len(), "one deadline per world");
+    let mut stats: Vec<RunStats> = runs
+        .iter()
+        .map(|_| RunStats {
+            events: 0,
+            end_time: SimTime::ZERO,
+            outcome: RunOutcome::QueueEmpty,
+        })
+        .collect();
+    // Min-heap over (next event time, world index): next-world selection is
+    // O(log N) per event instead of a linear scan over all worlds. A
+    // world's queue changes only while that world handles an event
+    // (handlers receive only their own queue), so a heap entry is refreshed
+    // exactly when it is popped — entries never go stale, and each live
+    // world with pending events has exactly one entry.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, q))| q.peek_time().map(|t| Reverse((t, i))))
+        .collect();
+    while let Some(Reverse((t, i))) = heap.pop() {
+        let (world, queue) = &mut runs[i];
+        debug_assert_eq!(queue.peek_time(), Some(t), "heap entry went stale");
+        if deadlines[i].is_some_and(|d| t > d) {
+            // Mirror `run`: the past-deadline event stays unprocessed and
+            // uncounted; the clock reads the last handled event's time.
+            stats[i].end_time = queue.now();
+            stats[i].outcome = RunOutcome::DeadlineReached;
+            continue;
+        }
+        let (now, ev) = queue.pop().expect("peeked event must pop");
+        stats[i].events += 1;
+        if world.handle(now, ev, queue) == Control::Stop {
+            stats[i].end_time = now;
+            stats[i].outcome = RunOutcome::Stopped;
+        } else if let Some(next) = queue.peek_time() {
+            heap.push(Reverse((next, i)));
+        } else {
+            // Queue drained: outcome stays QueueEmpty.
+            stats[i].end_time = queue.now();
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +232,158 @@ mod tests {
         let stats = run(&mut Sink, &mut q, None);
         assert_eq!(stats.outcome, RunOutcome::QueueEmpty);
         assert_eq!(stats.events, 10);
+    }
+
+    #[test]
+    fn interleaved_matches_solo_runs() {
+        // A world's trajectory must be identical whether it runs alone or
+        // interleaved with others (queues are private; only delivery order
+        // across worlds changes, which an isolated world cannot observe).
+        let mk = |n: u32| Countdown {
+            remaining: n,
+            fired_at: vec![],
+        };
+        let mut solo = mk(5);
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        let solo_stats = run(&mut solo, &mut q, None);
+
+        let mut runs = vec![(mk(5), EventQueue::new()), (mk(3), EventQueue::new())];
+        for (_, q) in &mut runs {
+            q.schedule(SimTime::ZERO, ());
+        }
+        let stats = run_interleaved(&mut runs, None);
+        assert_eq!(stats[0], solo_stats);
+        assert_eq!(runs[0].0.fired_at, solo.fired_at);
+        assert_eq!(stats[1].outcome, RunOutcome::Stopped);
+        assert_eq!(stats[1].events, 4);
+        assert_eq!(stats[1].end_time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn interleaved_delivers_in_global_time_order() {
+        // Two recorders sharing a log via Rc<RefCell>: the merged log must
+        // be sorted by time, with ties resolved by world index.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Recorder {
+            id: usize,
+            log: Rc<RefCell<Vec<(SimTime, usize)>>>,
+        }
+        impl World for Recorder {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), _: &mut EventQueue<()>) -> Control {
+                self.log.borrow_mut().push((now, self.id));
+                Control::Continue
+            }
+        }
+        let log = Rc::new(RefCell::new(vec![]));
+        let mut runs: Vec<(Recorder, EventQueue<()>)> = (0..2)
+            .map(|id| {
+                (
+                    Recorder {
+                        id,
+                        log: log.clone(),
+                    },
+                    EventQueue::new(),
+                )
+            })
+            .collect();
+        // World 0 fires at 1, 3, 5; world 1 at 2, 3, 4.
+        for t in [1u64, 3, 5] {
+            runs[0].1.schedule(SimTime::from_secs(t), ());
+        }
+        for t in [2u64, 3, 4] {
+            runs[1].1.schedule(SimTime::from_secs(t), ());
+        }
+        let stats = run_interleaved(&mut runs, None);
+        assert_eq!(stats[0].events, 3);
+        assert_eq!(stats[1].events, 3);
+        let log = log.borrow();
+        let expected: Vec<(SimTime, usize)> = [(1, 0), (2, 1), (3, 0), (3, 1), (4, 1), (5, 0)]
+            .map(|(t, id)| (SimTime::from_secs(t), id))
+            .to_vec();
+        assert_eq!(*log, expected);
+    }
+
+    #[test]
+    fn interleaved_respects_deadline() {
+        let mut runs = vec![
+            (
+                Countdown {
+                    remaining: u32::MAX,
+                    fired_at: vec![],
+                },
+                EventQueue::new(),
+            ),
+            (
+                Countdown {
+                    remaining: 1,
+                    fired_at: vec![],
+                },
+                EventQueue::new(),
+            ),
+        ];
+        for (_, q) in &mut runs {
+            q.schedule(SimTime::ZERO, ());
+        }
+        let stats = run_interleaved(&mut runs, Some(SimTime::from_secs(3)));
+        assert_eq!(stats[0].outcome, RunOutcome::DeadlineReached);
+        assert_eq!(stats[0].events, 4); // t = 0, 1, 2, 3
+        assert_eq!(stats[1].outcome, RunOutcome::Stopped);
+        assert_eq!(stats[1].events, 2);
+    }
+
+    #[test]
+    fn drained_world_reports_queue_empty_not_deadline() {
+        // World 0's queue drains well before the deadline (its handler
+        // never reschedules); world 1 runs past it. World 0 must report
+        // QueueEmpty, not be swept up in world 1's deadline.
+        struct Sink;
+        impl World for Sink {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), _: &mut EventQueue<()>) -> Control {
+                Control::Continue
+            }
+        }
+        let mut runs = vec![(Sink, EventQueue::new()), (Sink, EventQueue::new())];
+        runs[0].1.schedule(SimTime::from_secs(5), ());
+        for t in [10u64, 20, 30, 40] {
+            runs[1].1.schedule(SimTime::from_secs(t), ());
+        }
+        let stats = run_interleaved(&mut runs, Some(SimTime::from_secs(25)));
+        assert_eq!(stats[0].outcome, RunOutcome::QueueEmpty);
+        assert_eq!(stats[0].end_time, SimTime::from_secs(5));
+        assert_eq!(stats[1].outcome, RunOutcome::DeadlineReached);
+        assert_eq!(stats[1].events, 2); // t = 10, 20
+    }
+
+    #[test]
+    fn per_world_deadlines_match_solo_runs() {
+        // Each world under run_interleaved_each with its own deadline must
+        // produce exactly the RunStats of the same world under `run` with
+        // that deadline — including the short-capped world not processing
+        // (or counting) its first past-deadline event.
+        let mk = || Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        };
+        let deadlines = [Some(SimTime::from_secs(2)), Some(SimTime::from_secs(6))];
+        let solo: Vec<RunStats> = deadlines
+            .iter()
+            .map(|&d| {
+                let mut w = mk();
+                let mut q = EventQueue::new();
+                q.schedule(SimTime::ZERO, ());
+                run(&mut w, &mut q, d)
+            })
+            .collect();
+        let mut runs = vec![(mk(), EventQueue::new()), (mk(), EventQueue::new())];
+        for (_, q) in &mut runs {
+            q.schedule(SimTime::ZERO, ());
+        }
+        let hosted = run_interleaved_each(&mut runs, &deadlines);
+        assert_eq!(hosted, solo);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use engine::{run, Control, RunOutcome, RunStats, World};
+pub use engine::{
+    run, run_interleaved, run_interleaved_each, Control, RunOutcome, RunStats, World,
+};
 pub use event::EventQueue;
 pub use rng::Prng;
 pub use series::TimeSeries;

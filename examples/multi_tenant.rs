@@ -1,0 +1,75 @@
+//! Multi-tenant service demo: six users, one SpeQuloS instance, one
+//! bounded cloud-worker pool.
+//!
+//! Each tenant runs its own BoT on its own best-effort infrastructure;
+//! they couple only through the service — the shared credit economy,
+//! admission control on `orderQoS`, and credit-proportional fair-share
+//! arbitration of the pool (with the network-of-favors ledger as
+//! tie-breaker). The demo prints the per-tenant outcome table and the
+//! arbitration events from the shared protocol log.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimDuration;
+use spequlos::{LogEvent, StrategyCombo};
+use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
+
+fn main() {
+    let mut base = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
+        .with_strategy(StrategyCombo::paper_default());
+    base.scale = 0.3;
+
+    // Six tenants arriving over one hour, competing for six cloud workers.
+    let mt = MultiTenantScenario::new(base, 6, 6).with_arrivals(TenantArrivals::Uniform {
+        window: SimDuration::from_hours(1),
+    });
+
+    println!("SpeQuloS multi-tenant demo");
+    println!("==========================");
+    println!(
+        "{} tenants, pool of {} cloud workers, uniform arrivals over 1 h\n",
+        mt.tenants, mt.pool_capacity
+    );
+
+    let report = run_multi_tenant(&mt);
+    println!("tenant  admitted  completed  makespan(s)  spent  granted  denied");
+    for t in &report.tenants {
+        // completion_secs is absolute shared-clock time; the tenant's own
+        // makespan starts at its arrival offset.
+        let makespan = (t.metrics.completion_secs - t.offset.as_secs_f64()).max(0.0);
+        println!(
+            "{:>6}  {:>8}  {:>9}  {:>11.0}  {:>5.1}  {:>7}  {:>6}",
+            t.tenant,
+            if t.admitted { "yes" } else { "no" },
+            if t.metrics.completed { "yes" } else { "no" },
+            makespan,
+            t.metrics.credits_spent,
+            t.qos.granted,
+            t.qos.denied,
+        );
+    }
+    println!(
+        "\npool peak: {}/{} workers · {} simulation events",
+        report.peak_pool_in_use, report.pool_capacity, report.events
+    );
+
+    println!("\narbitration log (shared service)");
+    println!("--------------------------------");
+    for (t, ev) in report.service.log() {
+        let line = match ev {
+            LogEvent::Throttled {
+                bot,
+                requested,
+                granted,
+            } => format!("{bot}: {granted}/{requested} workers granted"),
+            LogEvent::StartCloudWorkers { bot, count } => {
+                format!("{bot}: started {count} cloud workers")
+            }
+            LogEvent::StopCloudWorkers { bot } => format!("{bot}: fleet stopped"),
+            _ => continue,
+        };
+        println!("  t={:>7.0}s  {line}", t.as_secs_f64());
+    }
+}

@@ -97,6 +97,13 @@ fn main() {
             LogEvent::Paid { bot, refund } => {
                 format!("credit system     : pay({bot}), refund {refund:.1} credits")
             }
+            LogEvent::Throttled {
+                bot,
+                requested,
+                granted,
+            } => format!(
+                "pool arbiter      : throttled({bot}) {granted}/{requested} workers granted"
+            ),
         };
         println!("  t={:>7.0}s  {line}", t.as_secs_f64());
     }

@@ -68,6 +68,50 @@ fn same_seed_matrix_is_bit_identical() {
 }
 
 #[test]
+fn single_tenant_runs_match_pre_multitenant_golden_output() {
+    // Golden values captured from the tree *before* the multi-tenant
+    // service layer landed (PR 2): the pool-less code path must remain
+    // bit-identical — same completion second, same event count, same
+    // credits billed, same fleet size. If an intentional change to the
+    // single-tenant semantics ever invalidates these, re-capture them and
+    // say so in the PR.
+    struct Golden {
+        preset: Preset,
+        mw: MwKind,
+        baseline: (f64, u64),
+        speq: (f64, u64, f64, u32),
+    }
+    let goldens = [
+        Golden {
+            preset: Preset::G5kLyon,
+            mw: MwKind::Xwhep,
+            baseline: (7724.372, 23_729),
+            speq: (5765.857, 23_143, 62.5, 50),
+        },
+        Golden {
+            preset: Preset::NotreDame,
+            mw: MwKind::Boinc,
+            baseline: (24_331.737, 40_507),
+            speq: (22_669.979, 40_515, 175.0, 50),
+        },
+    ];
+    for g in goldens {
+        let mut sc = Scenario::new(g.preset, g.mw, BotClass::Big, 2024);
+        sc.scale = 0.4;
+        let b = run_baseline(&sc);
+        let ctx = format!("{:?}/{:?}", g.preset, g.mw);
+        assert_eq!(b.completion_secs, g.baseline.0, "{ctx} baseline time");
+        assert_eq!(b.events, g.baseline.1, "{ctx} baseline events");
+        let sc = sc.with_strategy(StrategyCombo::paper_default());
+        let (s, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        assert_eq!(s.completion_secs, g.speq.0, "{ctx} speq time");
+        assert_eq!(s.events, g.speq.1, "{ctx} speq events");
+        assert_eq!(s.credits_spent, g.speq.2, "{ctx} credits");
+        assert_eq!(s.cloud.workers_started, g.speq.3, "{ctx} fleet size");
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
     let a = run_baseline(&scenario(13));
     let b = run_baseline(&scenario(14));

@@ -1,0 +1,162 @@
+//! Multi-tenant service guarantees: N concurrent BoTs from distinct users
+//! share one SpeQuloS instance, one credit economy and one bounded
+//! cloud-worker pool. These tests pin the two arbitration invariants the
+//! service promises — no admitted tenant is starved, and aggregate cloud
+//! usage never exceeds the configured pool — plus determinism of the
+//! whole multi-tenant stack.
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimDuration;
+use spequlos::{LogEvent, StrategyCombo};
+use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
+
+fn base(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = 0.3;
+    sc
+}
+
+#[test]
+fn no_admitted_tenant_is_starved() {
+    // 4 tenants over a deliberately tight pool (4 workers when each wants
+    // ~10): every admitted BoT must still complete, because denials are
+    // transient — the Scheduler retries and completed tenants return
+    // their leases.
+    let mt = MultiTenantScenario::new(base(61), 4, 4);
+    let report = run_multi_tenant(&mt);
+    assert_eq!(report.tenants.len(), 4);
+    let admitted: Vec<_> = report.admitted().collect();
+    assert_eq!(admitted.len(), 4, "pool of 4 admits 4 orders");
+    for t in &admitted {
+        assert!(
+            t.metrics.completed,
+            "tenant {} starved: never completed",
+            t.tenant
+        );
+    }
+    // Contention was real: someone was denied workers at least once …
+    let total_denied: u64 = admitted.iter().map(|t| t.qos.denied).sum();
+    assert!(total_denied > 0, "pool should be contended in this setup");
+    // … yet everyone who asked eventually got some cloud help.
+    for t in &admitted {
+        if t.qos.requested > 0 {
+            assert!(t.qos.granted > 0, "tenant {} never granted", t.tenant);
+        }
+    }
+}
+
+#[test]
+fn aggregate_cloud_workers_never_exceed_the_pool() {
+    for arrivals in [
+        TenantArrivals::Simultaneous,
+        TenantArrivals::Uniform {
+            window: SimDuration::from_hours(1),
+        },
+        TenantArrivals::TailHeavy {
+            window: SimDuration::from_hours(1),
+        },
+    ] {
+        let mt = MultiTenantScenario::new(base(62), 5, 6).with_arrivals(arrivals);
+        let report = run_multi_tenant(&mt);
+        assert!(
+            report.peak_pool_in_use <= report.pool_capacity,
+            "{arrivals:?}: peak {} exceeds pool {}",
+            report.peak_pool_in_use,
+            report.pool_capacity
+        );
+        assert!(report.peak_pool_in_use > 0, "{arrivals:?}: pool unused");
+        // Lease accounting really bounds the infrastructure: no tenant's
+        // simulation ever ran more cloud workers than the whole pool, and
+        // every grant the arbiter logged fits the capacity.
+        for t in &report.tenants {
+            assert!(t.metrics.cloud.peak_running <= report.pool_capacity);
+        }
+        for (_, ev) in report.service.log() {
+            if let LogEvent::StartCloudWorkers { count, .. } = ev {
+                assert!(*count <= report.pool_capacity);
+            }
+        }
+    }
+}
+
+#[test]
+fn admission_control_caps_concurrent_orders() {
+    // 6 tenants arrive simultaneously over a pool of 3: exactly 3 orders
+    // are admitted (first-come order on the shared clock), the rest are
+    // refused and keep their credits.
+    let mt = MultiTenantScenario::new(base(63), 6, 3);
+    let report = run_multi_tenant(&mt);
+    let admitted = report.admitted().count();
+    assert_eq!(admitted, 3, "pool of 3 admits exactly 3 concurrent orders");
+    for t in report.tenants.iter().filter(|t| !t.admitted) {
+        assert_eq!(t.metrics.credits_provisioned, 0.0);
+        assert_eq!(t.metrics.credits_spent, 0.0);
+        assert_eq!(t.metrics.cloud.workers_started, 0, "no QoS, no cloud");
+        let balance = report.service.credits.balance(t.user);
+        assert!(balance > 0.0, "rejected tenant keeps its deposit");
+    }
+}
+
+#[test]
+fn staggered_arrivals_can_reuse_freed_slots() {
+    // Same 6 tenants and pool of 3, but arrivals spread over 2 days:
+    // early BoTs complete (makespans here are well under a day) before
+    // late tenants order, so admission control — evaluated at order time
+    // on the shared clock — accepts more than 3 orders overall.
+    let mt = MultiTenantScenario::new(base(63), 6, 3).with_arrivals(TenantArrivals::Uniform {
+        window: SimDuration::from_days(2),
+    });
+    let report = run_multi_tenant(&mt);
+    let admitted = report.admitted().count();
+    assert!(
+        admitted > 3,
+        "staggered arrivals should reuse freed admission slots, got {admitted}"
+    );
+}
+
+#[test]
+fn multi_tenant_stack_is_deterministic() {
+    let mt = MultiTenantScenario::new(base(64), 3, 5).with_arrivals(TenantArrivals::TailHeavy {
+        window: SimDuration::from_hours(2),
+    });
+    let a = run_multi_tenant(&mt);
+    let b = run_multi_tenant(&mt);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
+    assert_eq!(a.service.log().len(), b.service.log().len());
+    for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(ta.admitted, tb.admitted);
+        assert_eq!(ta.metrics.completion_secs, tb.metrics.completion_secs);
+        assert_eq!(ta.metrics.credits_spent, tb.metrics.credits_spent);
+        assert_eq!(ta.metrics.cloud, tb.metrics.cloud);
+        assert_eq!(ta.qos, tb.qos);
+    }
+}
+
+#[test]
+fn credits_are_conserved_across_the_whole_run() {
+    // Total outstanding = deposits − billed cloud usage, no matter how
+    // many tenants contended: the shared economy neither mints nor leaks.
+    let mt = MultiTenantScenario::new(base(65), 4, 5);
+    let report = run_multi_tenant(&mt);
+    let deposited: f64 = report
+        .tenants
+        .iter()
+        .map(|t| {
+            // Every tenant deposited its full credit allowance whether or
+            // not the order was admitted.
+            let sc = mt.tenant_scenario(t.tenant);
+            sc.credit_fraction
+                * spq_harness::bot_of(&sc).workload_cpu_hours()
+                * spequlos::CREDITS_PER_CPU_HOUR
+        })
+        .sum();
+    let burned: f64 = report.tenants.iter().map(|t| t.metrics.credits_spent).sum();
+    let outstanding = report.service.credits.total_outstanding();
+    assert!(
+        (outstanding - (deposited - burned)).abs() < 1e-6,
+        "outstanding {outstanding} vs deposited {deposited} − burned {burned}"
+    );
+}
