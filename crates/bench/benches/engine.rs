@@ -3,7 +3,7 @@
 //! executions per middleware — the per-run costs that determine whether
 //! the paper's 25 000-execution campaign is tractable.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use std::hint::black_box;
 
 use betrace::Preset;
@@ -96,4 +96,10 @@ criterion_group!(
     bench_trace_build,
     bench_single_runs
 );
-criterion_main!(benches);
+
+fn main() {
+    // Wall time + peak RSS of the whole bench run land in
+    // BENCH_bench_engine.json when the guard drops.
+    let _telemetry = spq_bench::telemetry::BenchGuard::new("bench_engine");
+    benches();
+}

@@ -2,7 +2,7 @@
 //! measures the cost of regenerating that table/figure's underlying
 //! computation (the repro binaries run the same code at full scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use spq_bench::experiments::{calibration, edgi, performance, prediction, profiling, strategies};
@@ -119,4 +119,9 @@ criterion_group!(
     bench_prediction,
     bench_edgi
 );
-criterion_main!(benches);
+fn main() {
+    // Wall time + peak RSS of the whole bench run land in
+    // BENCH_bench_experiments.json when the guard drops.
+    let _telemetry = spq_bench::telemetry::BenchGuard::new("bench_experiments");
+    benches();
+}

@@ -3,7 +3,7 @@
 //! flat — arbitration work is O(open orders) per Start request only, so
 //! hosting N tenants should cost ~N× one tenant, not N²×.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use betrace::Preset;
@@ -36,4 +36,10 @@ fn bench_tenant_scaling(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_tenant_scaling);
-criterion_main!(benches);
+
+fn main() {
+    // Wall time + peak RSS of the whole bench run land in
+    // BENCH_bench_multitenant.json when the guard drops.
+    let _telemetry = spq_bench::telemetry::BenchGuard::new("bench_multitenant");
+    benches();
+}

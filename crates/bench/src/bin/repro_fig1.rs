@@ -1,10 +1,12 @@
 //! Reproduces Fig. 1: an example BoT execution profile with its tail.
-use spq_bench::{experiments::profiling, Opts};
+//! Emits `BENCH_repro_fig1.json` telemetry for `spq-bench compare`.
+use spq_bench::{experiments::profiling, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let text = profiling::fig1(&opts);
+    let (text, tele) = telemetry::measure("repro_fig1", &opts, |o| (profiling::fig1(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("fig1.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

@@ -1,11 +1,14 @@
 //! Reproduces Fig. 2: CDF of tail slowdowns per middleware.
-use spq_bench::{experiments::profiling, Opts};
+//! Emits `BENCH_repro_fig2.json` telemetry for `spq-bench compare`.
+use spq_bench::{experiments::profiling, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let (text, csv) = profiling::fig2(&opts);
+    let ((text, csv), tele) =
+        telemetry::measure("repro_fig2", &opts, |o| (profiling::fig2(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("fig2.txt"), &text).expect("write report");
     write_file(opts.out_dir.join("fig2.csv"), &csv).expect("write csv");
+    tele.write_or_warn();
 }

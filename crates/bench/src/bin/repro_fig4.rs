@@ -1,13 +1,16 @@
 //! Reproduces Fig. 4: Tail Removal Efficiency CCDF for all 18 strategy
-//! combinations.
-use spq_bench::{experiments::strategies, Opts};
+//! combinations. Emits `BENCH_repro_fig4.json` telemetry.
+use spq_bench::{experiments::strategies, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let sweep = strategies::sweep_all_combos(&opts);
-    let (text, csv) = strategies::fig4(&sweep);
+    let ((text, csv), tele) = telemetry::measure("repro_fig4", &opts, |o| {
+        let sweep = strategies::sweep_all_combos(o);
+        (strategies::fig4(&sweep), None)
+    });
     print!("{text}");
     write_file(opts.out_dir.join("fig4.txt"), &text).expect("write report");
     write_file(opts.out_dir.join("fig4.csv"), &csv).expect("write csv");
+    tele.write_or_warn();
 }

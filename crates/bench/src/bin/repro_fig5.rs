@@ -1,11 +1,15 @@
 //! Reproduces Fig. 5: credit consumption per strategy combination.
-use spq_bench::{experiments::strategies, Opts};
+//! Emits `BENCH_repro_fig5.json` telemetry.
+use spq_bench::{experiments::strategies, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let sweep = strategies::sweep_all_combos(&opts);
-    let text = strategies::fig5(&sweep);
+    let (text, tele) = telemetry::measure("repro_fig5", &opts, |o| {
+        let sweep = strategies::sweep_all_combos(o);
+        (strategies::fig5(&sweep), None)
+    });
     print!("{text}");
     write_file(opts.out_dir.join("fig5.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

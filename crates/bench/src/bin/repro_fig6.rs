@@ -1,11 +1,15 @@
 //! Reproduces Fig. 6: completion times with vs without SpeQuloS (9C-C-R).
-use spq_bench::{experiments::performance, Opts};
+//! Emits `BENCH_repro_fig6.json` telemetry.
+use spq_bench::{experiments::performance, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let runs = performance::sweep_default_combo(&opts);
-    let text = performance::fig6(&runs);
+    let (text, tele) = telemetry::measure("repro_fig6", &opts, |o| {
+        let runs = performance::sweep_default_combo(o);
+        (performance::fig6(&runs), None)
+    });
     print!("{text}");
     write_file(opts.out_dir.join("fig6.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

@@ -1,12 +1,16 @@
 //! Reproduces Fig. 7: execution stability (normalized completion times).
-use spq_bench::{experiments::performance, Opts};
+//! Emits `BENCH_repro_fig7.json` telemetry.
+use spq_bench::{experiments::performance, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let runs = performance::sweep_default_combo(&opts);
-    let (text, csv) = performance::fig7(&runs);
+    let ((text, csv), tele) = telemetry::measure("repro_fig7", &opts, |o| {
+        let runs = performance::sweep_default_combo(o);
+        (performance::fig7(&runs), None)
+    });
     print!("{text}");
     write_file(opts.out_dir.join("fig7.txt"), &text).expect("write report");
     write_file(opts.out_dir.join("fig7.csv"), &csv).expect("write csv");
+    tele.write_or_warn();
 }

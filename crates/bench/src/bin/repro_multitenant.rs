@@ -1,12 +1,42 @@
 //! Multi-tenant service report: per-tenant completion/credit tables for
 //! 2, 8 and 32 concurrent tenants sharing one SpeQuloS instance and a
 //! bounded cloud-worker pool (the §5 deployed-service regime).
-use spq_bench::{experiments::multitenant, Opts};
+//!
+//! Accepts `--tenants N` on top of the shared options to run a single
+//! tenant count (the shape the CI perf gate measures), and emits
+//! `BENCH_repro_multitenant.json` telemetry (events/sec over the whole
+//! report) for `spq-bench compare`.
+use spq_bench::experiments::multitenant;
+use spq_bench::{opts, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
-    let opts = Opts::from_args();
-    let text = multitenant::report(&opts);
+    let mut tenants: Option<u32> = None;
+    let options = Opts::from_args_with(|arg, rest| match arg {
+        "--tenants" => {
+            tenants = Some(
+                rest.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| opts::usage("--tenants needs a number")),
+            );
+            true
+        }
+        _ => false,
+    });
+    let counts: Vec<u32> = match tenants {
+        Some(n) => vec![n],
+        None => multitenant::TENANT_COUNTS.to_vec(),
+    };
+    let (text, tele) = telemetry::measure("repro_multitenant", &options, |o| {
+        let (text, events) = multitenant::report_for_counts(o, &counts);
+        (text, Some(events))
+    });
     print!("{text}");
-    write_file(opts.out_dir.join("multitenant.txt"), &text).expect("write report");
+    write_file(options.out_dir.join("multitenant.txt"), &text).expect("write report");
+    let joined = counts
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    tele.with_config("tenants", joined).write_or_warn();
 }

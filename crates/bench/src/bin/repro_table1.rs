@@ -1,10 +1,12 @@
 //! Reproduces Table 1: tail composition per BE-DCI family × middleware.
-use spq_bench::{experiments::profiling, Opts};
+//! Emits `BENCH_repro_table1.json` telemetry.
+use spq_bench::{experiments::profiling, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let text = profiling::table1(&opts);
+    let (text, tele) = telemetry::measure("repro_table1", &opts, |o| (profiling::table1(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("table1.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

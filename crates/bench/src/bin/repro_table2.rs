@@ -1,10 +1,13 @@
 //! Reproduces Table 2: measured-vs-published BE-DCI trace statistics.
-use spq_bench::{experiments::calibration, Opts};
+//! Emits `BENCH_repro_table2.json` telemetry for `spq-bench compare`.
+use spq_bench::{experiments::calibration, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let text = calibration::table2(&opts);
+    let (text, tele) =
+        telemetry::measure("repro_table2", &opts, |o| (calibration::table2(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("table2.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

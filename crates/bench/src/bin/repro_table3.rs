@@ -1,10 +1,13 @@
 //! Reproduces Table 3: BoT workload class statistics.
-use spq_bench::{experiments::calibration, Opts};
+//! Emits `BENCH_repro_table3.json` telemetry.
+use spq_bench::{experiments::calibration, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let text = calibration::table3(&opts);
+    let (text, tele) =
+        telemetry::measure("repro_table3", &opts, |o| (calibration::table3(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("table3.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

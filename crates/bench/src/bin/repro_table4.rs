@@ -1,12 +1,14 @@
 //! Reproduces Table 4: prediction success rates at 50% completion.
-use spq_bench::{experiments::prediction, Opts};
+//! Emits `BENCH_repro_table4.json` telemetry.
+use spq_bench::{experiments::prediction, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let mut opts = Opts::from_args();
     // Predictions need history: ensure a few runs per environment.
     opts.seeds = opts.seeds.max(5);
-    let text = prediction::table4(&opts);
+    let (text, tele) = telemetry::measure("repro_table4", &opts, |o| (prediction::table4(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("table4.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

@@ -1,10 +1,12 @@
 //! Reproduces Table 5: the EDGI-like composite deployment counts.
-use spq_bench::{experiments::edgi, Opts};
+//! Emits `BENCH_repro_table5.json` telemetry.
+use spq_bench::{experiments::edgi, telemetry, Opts};
 use spq_harness::write_file;
 
 fn main() {
     let opts = Opts::from_args();
-    let text = edgi::table5(&opts);
+    let (text, tele) = telemetry::measure("repro_table5", &opts, |o| (edgi::table5(o), None));
     print!("{text}");
     write_file(opts.out_dir.join("table5.txt"), &text).expect("write report");
+    tele.write_or_warn();
 }

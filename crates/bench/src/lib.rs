@@ -28,6 +28,8 @@
 pub mod experiments;
 pub mod grid;
 pub mod opts;
+pub mod telemetry;
 
 pub use grid::{all_envs, baseline_metrics, baseline_scenarios, paired_metrics, strategy_sweep};
 pub use opts::Opts;
+pub use telemetry::Telemetry;

@@ -32,6 +32,17 @@ impl Opts {
     /// process arguments. `--full` raises the seed count towards the
     /// paper's campaign scale.
     pub fn from_args() -> Opts {
+        Self::from_args_with(|_, _| false)
+    }
+
+    /// [`Opts::from_args`] with an escape hatch for binary-specific flags:
+    /// `extra` sees every option the shared parser does not recognize
+    /// (with the remaining argument stream, so it can consume a value) and
+    /// returns whether it handled the flag. Unhandled unknown options
+    /// still exit with the usual usage error.
+    pub fn from_args_with(
+        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+    ) -> Opts {
         let mut opts = Opts::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -70,7 +81,11 @@ impl Opts {
                     );
                     std::process::exit(0);
                 }
-                other => usage(&format!("unknown option {other}")),
+                other => {
+                    if !extra(other, &mut args) {
+                        usage(&format!("unknown option {other}"));
+                    }
+                }
             }
         }
         opts
@@ -82,7 +97,10 @@ impl Opts {
     }
 }
 
-fn usage(msg: &str) -> ! {
+/// Reports an option-parsing error and exits with status 2 (shared by the
+/// common parser and binary-specific flags fed through
+/// [`Opts::from_args_with`]).
+pub fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\nrun with --help for options");
     std::process::exit(2);
 }

@@ -1,0 +1,706 @@
+//! Perf telemetry for the reproduction binaries and benches.
+//!
+//! Every `repro_*` binary (and, via [`BenchGuard`], every criterion bench)
+//! emits a machine-readable `BENCH_<name>.json` next to where it runs:
+//! wall time, events simulated, events/sec, peak RSS, the run
+//! configuration and the git SHA. Two such files — a checked-in baseline
+//! and a fresh run — feed the `spq-bench compare` subcommand, which exits
+//! nonzero when throughput regressed past a threshold; CI runs it on every
+//! push so a perf regression cannot land silently (the evaluation campaign
+//! is >25 000 simulations — simulator throughput bounds what the
+//! reproduction can explore).
+//!
+//! The JSON writer/reader here is deliberately minimal and dependency-free
+//! (the build environment has no registry access): it emits a flat object
+//! with one nested `config` object, and parses exactly that shape back.
+
+use crate::opts::Opts;
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Telemetry record
+// ---------------------------------------------------------------------------
+
+/// One measured run of a reproduction binary or bench.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Telemetry {
+    /// Record name; the emitted file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Git commit of the tree that produced the record (or `unknown`).
+    pub git_sha: String,
+    /// Wall-clock duration of the measured section, in seconds.
+    pub wall_secs: f64,
+    /// Simulation events processed, when the workload counts them.
+    pub events: Option<u64>,
+    /// `events / wall_secs`, when events are known.
+    pub events_per_sec: Option<f64>,
+    /// Peak resident set size of the process, in bytes (0 if unknown).
+    pub peak_rss_bytes: u64,
+    /// Run configuration, as ordered key → value strings.
+    pub config: Vec<(String, String)>,
+}
+
+impl Telemetry {
+    /// File name this record is stored under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Appends a configuration entry (builder-style).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Writes `BENCH_<name>.json` into `$SPQ_BENCH_DIR` (or the current
+    /// directory) and returns the path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = std::env::var_os("SPQ_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// [`Telemetry::write`], but telemetry failures must never fail the
+    /// experiment: errors are reported on stderr and swallowed.
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("telemetry: wrote {}", path.display()),
+            Err(e) => eprintln!("telemetry: could not write {}: {e}", self.file_name()),
+        }
+    }
+
+    /// Serializes the record.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"git_sha\": \"{}\",\n", escape(&self.git_sha)));
+        out.push_str(&format!("  \"wall_secs\": {},\n", fmt_f64(self.wall_secs)));
+        if let Some(ev) = self.events {
+            out.push_str(&format!("  \"events\": {ev},\n"));
+        }
+        if let Some(eps) = self.events_per_sec {
+            out.push_str(&format!("  \"events_per_sec\": {},\n", fmt_f64(eps)));
+        }
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a record previously produced by [`Telemetry::to_json`].
+    pub fn from_json(text: &str) -> Result<Telemetry, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let field = |key: &str| -> Option<&json::Value> {
+            obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            field(key)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            field(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let config = match field("config") {
+            Some(v) => v
+                .as_object()
+                .ok_or("`config` must be an object")?
+                .iter()
+                .map(|(k, v)| {
+                    let v = match v {
+                        json::Value::Str(s) => s.clone(),
+                        json::Value::Num(n) => fmt_f64(*n),
+                        json::Value::Bool(b) => b.to_string(),
+                        _ => return Err(format!("config value for `{k}` must be scalar")),
+                    };
+                    Ok((k.clone(), v))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        Ok(Telemetry {
+            name: str_field("name")?,
+            git_sha: str_field("git_sha")?,
+            wall_secs: num_field("wall_secs")?,
+            events: field("events")
+                .and_then(json::Value::as_f64)
+                .map(|v| v as u64),
+            events_per_sec: field("events_per_sec").and_then(json::Value::as_f64),
+            peak_rss_bytes: num_field("peak_rss_bytes")? as u64,
+            config,
+        })
+    }
+}
+
+/// Shortest-roundtrip float formatting, with a `.0` suffix so integral
+/// values still read as JSON numbers that parse back to `f64`.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Runs `f` and packages its wall time, event count, peak RSS, git SHA and
+/// the run configuration into a [`Telemetry`] record. The experiment's
+/// value is returned unchanged.
+pub fn measure<T>(
+    name: &str,
+    opts: &Opts,
+    f: impl FnOnce(&Opts) -> (T, Option<u64>),
+) -> (T, Telemetry) {
+    let start = Instant::now();
+    let (value, events) = f(opts);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let tele = Telemetry {
+        name: name.to_string(),
+        git_sha: git_sha(),
+        wall_secs,
+        events,
+        events_per_sec: events.map(|e| e as f64 / wall_secs.max(1e-9)),
+        peak_rss_bytes: peak_rss_bytes(),
+        config: vec![
+            ("seeds".into(), opts.seeds.to_string()),
+            ("scale".into(), opts.scale.to_string()),
+            ("threads".into(), opts.threads.to_string()),
+        ],
+    };
+    (value, tele)
+}
+
+/// Scope guard for `harness = false` bench targets: created at the top of
+/// `main`, it emits `BENCH_<name>.json` (wall time of the whole bench run,
+/// peak RSS, git SHA) when dropped.
+pub struct BenchGuard {
+    name: String,
+    start: Instant,
+}
+
+impl BenchGuard {
+    /// Starts measuring; `name` becomes the telemetry record name.
+    pub fn new(name: &str) -> Self {
+        BenchGuard {
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for BenchGuard {
+    fn drop(&mut self) {
+        let wall_secs = self.start.elapsed().as_secs_f64();
+        Telemetry {
+            name: self.name.clone(),
+            git_sha: git_sha(),
+            wall_secs,
+            events: None,
+            events_per_sec: None,
+            peak_rss_bytes: peak_rss_bytes(),
+            config: Vec::new(),
+        }
+        .write_or_warn();
+    }
+}
+
+/// Commit of the working tree: `$GITHUB_SHA` in CI, otherwise
+/// `git rev-parse HEAD`, otherwise `unknown`.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`); 0
+/// where the proc filesystem is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Verdict of comparing a current telemetry record against a baseline.
+#[derive(Clone, Debug)]
+pub struct CompareOutcome {
+    /// True when the current run is worse than the baseline by more than
+    /// the threshold (the CI gate fails on this).
+    pub regressed: bool,
+    /// Human-readable comparison report.
+    pub report: String,
+}
+
+/// Compares `current` against `baseline` with a relative `threshold`
+/// (0.25 = fail when 25 % worse). Throughput (`events_per_sec`, higher is
+/// better) is compared when both records carry it; otherwise wall time
+/// (lower is better). Configuration mismatches are reported as warnings —
+/// they usually mean the comparison itself is invalid.
+pub fn compare(baseline: &Telemetry, current: &Telemetry, threshold: f64) -> CompareOutcome {
+    let mut report = String::new();
+    let mut warn = |msg: String| report.push_str(&format!("warning: {msg}\n"));
+    if baseline.name != current.name {
+        warn(format!(
+            "record names differ: baseline `{}` vs current `{}`",
+            baseline.name, current.name
+        ));
+    }
+    for (key, bval) in &baseline.config {
+        match current.config.iter().find(|(k, _)| k == key) {
+            Some((_, cval)) if cval == bval => {}
+            Some((_, cval)) => warn(format!(
+                "config `{key}` differs: baseline {bval} vs current {cval}"
+            )),
+            None => warn(format!("config `{key}` missing from current record")),
+        }
+    }
+
+    let (metric, base_v, cur_v, higher_is_better) =
+        match (baseline.events_per_sec, current.events_per_sec) {
+            (Some(b), Some(c)) => ("events_per_sec", b, c, true),
+            _ => ("wall_secs", baseline.wall_secs, current.wall_secs, false),
+        };
+    // Positive change = improvement, for both metric orientations.
+    let change = if higher_is_better {
+        cur_v / base_v.max(1e-12) - 1.0
+    } else {
+        base_v / cur_v.max(1e-12) - 1.0
+    };
+    let regressed = change < -threshold;
+
+    report.push_str(&format!(
+        "{name}: {metric} baseline {base_v:.1} -> current {cur_v:.1} ({change:+.1}%)\n",
+        name = current.name,
+        change = change * 100.0,
+    ));
+    report.push_str(&format!(
+        "  baseline sha {} | current sha {}\n",
+        baseline.git_sha, current.git_sha
+    ));
+    report.push_str(&format!(
+        "  wall {:.3}s -> {:.3}s | peak rss {:.1} MiB -> {:.1} MiB\n",
+        baseline.wall_secs,
+        current.wall_secs,
+        baseline.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        current.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+    ));
+    report.push_str(&format!(
+        "  verdict: {} (threshold {:.0}%)\n",
+        if regressed { "REGRESSED" } else { "ok" },
+        threshold * 100.0
+    ));
+    CompareOutcome { regressed, report }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+/// Dependency-free JSON subset parser: objects, arrays, strings (with the
+/// standard escapes), numbers, booleans and null — everything
+/// [`Telemetry::to_json`] can emit, plus enough generality for hand-edited
+/// baselines.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (kept as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, with member order preserved.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The member list, if this is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut members = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            let value = parse_value(b, pos)?;
+            members.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "non-utf8 \\u escape")
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", *other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telemetry {
+        Telemetry {
+            name: "repro_test".into(),
+            git_sha: "abc123".into(),
+            wall_secs: 1.25,
+            events: Some(500_000),
+            events_per_sec: Some(400_000.0),
+            peak_rss_bytes: 64 * 1024 * 1024,
+            config: vec![
+                ("seeds".into(), "3".into()),
+                ("scale".into(), "1".into()),
+                ("threads".into(), "0".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_record() {
+        let t = sample();
+        let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn roundtrip_without_events() {
+        let t = Telemetry {
+            events: None,
+            events_per_sec: None,
+            ..sample()
+        };
+        let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let t = Telemetry {
+            name: "weird \"name\"\\with\nnoise".into(),
+            ..sample()
+        };
+        let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed.name, t.name);
+    }
+
+    #[test]
+    fn compare_flags_regression_beyond_threshold() {
+        let base = sample();
+        let mut cur = sample();
+        cur.events_per_sec = Some(250_000.0); // -37.5 %
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.regressed, "{}", out.report);
+        assert!(out.report.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn compare_tolerates_noise_within_threshold() {
+        let base = sample();
+        let mut cur = sample();
+        cur.events_per_sec = Some(350_000.0); // -12.5 %
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.regressed, "{}", out.report);
+    }
+
+    #[test]
+    fn compare_improvement_never_regresses() {
+        let base = sample();
+        let mut cur = sample();
+        cur.events_per_sec = Some(4_000_000.0);
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.regressed);
+    }
+
+    #[test]
+    fn compare_falls_back_to_wall_time() {
+        let mk = |wall: f64| Telemetry {
+            events: None,
+            events_per_sec: None,
+            wall_secs: wall,
+            ..sample()
+        };
+        let out = compare(&mk(1.0), &mk(1.1), 0.25);
+        assert!(!out.regressed, "{}", out.report);
+        let out = compare(&mk(1.0), &mk(1.5), 0.25);
+        assert!(out.regressed, "{}", out.report);
+    }
+
+    #[test]
+    fn compare_warns_on_config_mismatch() {
+        let base = sample();
+        let mut cur = sample();
+        cur.config[1].1 = "0.5".into();
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.report.contains("warning: config `scale` differs"));
+    }
+
+    #[test]
+    fn measure_fills_throughput() {
+        let opts = Opts::default();
+        let (value, tele) = measure("unit", &opts, |_| (42u32, Some(1000)));
+        assert_eq!(value, 42);
+        assert_eq!(tele.events, Some(1000));
+        assert!(tele.events_per_sec.expect("eps") > 0.0);
+        assert!(tele.wall_secs >= 0.0);
+        assert_eq!(tele.config[0], ("seeds".to_string(), "3".to_string()));
+    }
+
+    #[test]
+    fn json_parser_handles_nested_and_literals() {
+        let v = json::parse(r#"{"a": [1, 2.5, true, null], "b": {"c": "x"}}"#).expect("parse");
+        let obj = v.as_object().expect("obj");
+        assert_eq!(obj.len(), 2);
+        assert_eq!(
+            obj[0].1,
+            json::Value::Arr(vec![
+                json::Value::Num(1.0),
+                json::Value::Num(2.5),
+                json::Value::Bool(true),
+                json::Value::Null,
+            ])
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("{\"a\" 1}").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("{} extra").is_err());
+    }
+}

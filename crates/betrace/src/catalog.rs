@@ -8,7 +8,27 @@ use crate::renewal::RenewalSampler;
 use crate::spot::{BidLadder, MarketParams, PricePath, SpotTimeline};
 use crate::timeline::NodeTimeline;
 use simcore::{Prng, SimDuration};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memo key for [`TraceSpec::renewal_samplers`]: exactly the fields the
+/// solve reads (floats by bit pattern, so the key is `Eq`-safe).
+#[derive(Clone, Copy, PartialEq)]
+struct SamplerKey {
+    avail: QuartileSpec,
+    unavail: QuartileSpec,
+    nodes_mean: u64,
+    nodes_max: u64,
+}
+
+/// An (availability, unavailability) sampler pair.
+type SamplerPair = (DurationSampler, DurationSampler);
+
+/// Process-wide memo of solved sampler pairs. A handful of presets exist,
+/// so a linear scan over a small vec beats hashing.
+fn sampler_memo() -> &'static Mutex<Vec<(SamplerKey, SamplerPair)>> {
+    static MEMO: OnceLock<Mutex<Vec<(SamplerKey, SamplerPair)>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(Vec::new()))
+}
 
 /// The three BE-DCI families of §2.1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -244,6 +264,33 @@ impl TraceSpec {
     /// published mean node count, and long tasks could never complete on
     /// them (see DESIGN.md §3).
     pub fn renewal_samplers(&self) -> (DurationSampler, DurationSampler) {
+        // The solve below is a pure function of the published statistics —
+        // independent of seed and scale — and costs a few ms of bisection,
+        // so sweeps rebuilding the same preset thousands of times fetch the
+        // solved pair from a process-wide memo instead. Cached and fresh
+        // results are the same values, so trajectories are unchanged.
+        let key = SamplerKey {
+            avail: self.avail,
+            unavail: self.unavail,
+            nodes_mean: self.nodes_mean.to_bits(),
+            nodes_max: self.nodes_max.to_bits(),
+        };
+        let memo = sampler_memo();
+        {
+            let cache = memo.lock().expect("sampler memo poisoned");
+            if let Some((_, pair)) = cache.iter().find(|(k, _)| *k == key) {
+                return pair.clone();
+            }
+        }
+        let pair = self.solve_renewal_samplers();
+        let mut cache = memo.lock().expect("sampler memo poisoned");
+        if !cache.iter().any(|(k, _)| *k == key) {
+            cache.push((key, pair.clone()));
+        }
+        pair
+    }
+
+    fn solve_renewal_samplers(&self) -> (DurationSampler, DurationSampler) {
         let up = DurationSampler::from_quartiles(self.avail);
         let down = DurationSampler::from_quartiles(self.unavail);
         let f_target = (self.nodes_mean / self.nodes_max).clamp(0.02, 0.98);

@@ -55,6 +55,10 @@ pub struct DurationSampler {
 struct QuantileGrid {
     vals: Vec<f64>,
     length_biased_cum: Vec<f64>,
+    /// Midpoint-rule mean, cached at build time: `mean()` sits on trace
+    /// construction hot paths (stationary initialization touches it twice
+    /// per node) and must not re-sum the grid every call.
+    mean: f64,
 }
 
 impl QuantileGrid {
@@ -74,9 +78,22 @@ impl QuantileGrid {
             })
             .collect();
         QuantileGrid {
+            mean: total / Self::N as f64,
             vals,
             length_biased_cum,
         }
+    }
+
+    /// The midpoint-rule mean of the anchor geometry *without* building a
+    /// grid: bit-identical to `build(..).mean` (same evaluation points,
+    /// same summation order), at none of the allocation cost. This is what
+    /// makes the tail-anchor bisection cheap — each probe needs only the
+    /// mean, not a full sampler.
+    fn mean_only(ps: &[f64; 6], log_vs: &[f64; 6]) -> f64 {
+        let total: f64 = (0..Self::N)
+            .map(|i| inverse_cdf_raw(ps, log_vs, (i as f64 + 0.5) / Self::N as f64))
+            .sum();
+        total / Self::N as f64
     }
 }
 
@@ -117,6 +134,18 @@ impl DurationSampler {
     /// # Panics
     /// Panics unless `0 < q25 ≤ q50 ≤ q75`.
     pub fn with_tail_anchor(spec: QuartileSpec, v_hi: f64) -> Self {
+        let (ps, log_vs) = Self::anchor_geometry(spec, v_hi);
+        let grid = Arc::new(QuantileGrid::build(&ps, &log_vs));
+        DurationSampler { ps, log_vs, grid }
+    }
+
+    /// The anchor probabilities and log-durations shared by
+    /// [`DurationSampler::with_tail_anchor`] and the mean-only probes of
+    /// the tail bisection.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q25 ≤ q50 ≤ q75`.
+    fn anchor_geometry(spec: QuartileSpec, v_hi: f64) -> ([f64; 6], [f64; 6]) {
         let QuartileSpec { q25, q50, q75 } = spec;
         assert!(
             q25 > 0.0 && q25 <= q50 && q50 <= q75,
@@ -134,8 +163,14 @@ impl DurationSampler {
             prev = lv;
         }
         let ps = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0];
-        let grid = Arc::new(QuantileGrid::build(&ps, &log_vs));
-        DurationSampler { ps, log_vs, grid }
+        (ps, log_vs)
+    }
+
+    /// The mean [`DurationSampler::with_tail_anchor`] would report for this
+    /// anchor, without building the sampler.
+    fn mean_for_anchor(spec: QuartileSpec, v_hi: f64) -> f64 {
+        let (ps, log_vs) = Self::anchor_geometry(spec, v_hi);
+        QuantileGrid::mean_only(&ps, &log_vs)
     }
 
     /// Builds a sampler whose mean matches `target_mean` by solving for
@@ -146,15 +181,15 @@ impl DurationSampler {
     pub fn solve_tail_for_mean(spec: QuartileSpec, target_mean: f64) -> Self {
         let mut lo = spec.q75;
         let mut hi = spec.q75 * 1e6;
-        if Self::with_tail_anchor(spec, lo).mean() >= target_mean {
+        if Self::mean_for_anchor(spec, lo) >= target_mean {
             return Self::with_tail_anchor(spec, lo);
         }
-        if Self::with_tail_anchor(spec, hi).mean() <= target_mean {
+        if Self::mean_for_anchor(spec, hi) <= target_mean {
             return Self::with_tail_anchor(spec, hi);
         }
         for _ in 0..60 {
             let mid = (lo * hi).sqrt(); // bisect in log space
-            if Self::with_tail_anchor(spec, mid).mean() < target_mean {
+            if Self::mean_for_anchor(spec, mid) < target_mean {
                 lo = mid;
             } else {
                 hi = mid;
@@ -184,9 +219,10 @@ impl DurationSampler {
     }
 
     /// Numerical estimate of the distribution mean (midpoint rule over the
-    /// quantile grid; exact enough for tail calibration).
+    /// quantile grid, cached at construction; exact enough for tail
+    /// calibration).
     pub fn mean(&self) -> f64 {
-        self.grid.vals.iter().sum::<f64>() / self.grid.vals.len() as f64
+        self.grid.mean
     }
 }
 

@@ -69,6 +69,17 @@ pub struct BoincServer {
     completed: u32,
     dispatched: u32,
     ready_count: u32,
+    /// Workunits currently counted as running (`submitted && !done` with at
+    /// least one live replica), maintained incrementally so `progress()` —
+    /// called every monitoring tick — is O(1) instead of a scan over all
+    /// workunits. Every `live`/`done` mutation goes through
+    /// [`BoincServer::mutate_wu`] to keep this exact.
+    running_count: u32,
+}
+
+/// The predicate behind [`BoincServer::progress`]'s `running` column.
+fn counts_as_running(wu: &Wu) -> bool {
+    wu.submitted && !wu.done && !wu.live.is_empty()
 }
 
 impl BoincServer {
@@ -100,7 +111,25 @@ impl BoincServer {
             completed: 0,
             dispatched: 0,
             ready_count: 0,
+            running_count: 0,
         }
+    }
+
+    /// Mutates a workunit while keeping `running_count` in sync with the
+    /// [`counts_as_running`] predicate.
+    fn mutate_wu<R>(&mut self, task: TaskId, f: impl FnOnce(&mut Wu) -> R) -> R {
+        let wu = &mut self.wus[task.0 as usize];
+        let before = counts_as_running(wu);
+        let out = f(wu);
+        let after = counts_as_running(wu);
+        if before != after {
+            if after {
+                self.running_count += 1;
+            } else {
+                self.running_count -= 1;
+            }
+        }
+        out
     }
 
     fn wu(&self, task: TaskId) -> &Wu {
@@ -133,12 +162,14 @@ impl BoincServer {
         let aid = AssignmentId(self.next_aid);
         self.next_aid += 1;
         let deadline = self.cfg.delay_bound;
-        let wu = self.wu_mut(task);
-        wu.live.push(aid);
-        wu.seen.push(worker);
-        let nops = wu.nops;
-        if !wu.dispatched {
+        let (nops, newly_dispatched) = self.mutate_wu(task, |wu| {
+            wu.live.push(aid);
+            wu.seen.push(worker);
+            let newly = !wu.dispatched;
             wu.dispatched = true;
+            (wu.nops, newly)
+        });
+        if newly_dispatched {
             self.dispatched += 1;
             self.dup_scan.push(task);
         }
@@ -222,7 +253,7 @@ impl BoincServer {
             // Reap the dead record; the fresh assignment replaces it (the
             // worker stays in `seen`, this is the same result re-sent).
             self.assignments.remove(&aid.0);
-            self.wu_mut(task).live.retain(|a| *a != aid);
+            self.mutate_wu(task, |wu| wu.live.retain(|a| *a != aid));
             if !lost.is_empty() {
                 self.lost_by_worker.insert(worker.0, lost);
             }
@@ -242,9 +273,10 @@ impl BoincServer {
         let aid = AssignmentId(self.next_aid);
         self.next_aid += 1;
         let deadline = self.cfg.delay_bound;
-        let wu = self.wu_mut(task);
-        wu.live.push(aid);
-        let nops = wu.nops;
+        let nops = self.mutate_wu(task, |wu| {
+            wu.live.push(aid);
+            wu.nops
+        });
         self.assignments.insert(
             aid.0,
             BAssign {
@@ -289,14 +321,14 @@ impl BoincServer {
     }
 
     fn close_wu(&mut self, task: TaskId, canceled: bool) {
-        let wu = self.wu_mut(task);
-        wu.done = true;
-        wu.canceled = canceled;
-        let stale_ready = wu.ready;
-        wu.ready = 0;
+        let (stale_ready, live) = self.mutate_wu(task, |wu| {
+            wu.done = true;
+            wu.canceled = canceled;
+            let stale = wu.ready;
+            wu.ready = 0;
+            (stale, std::mem::take(&mut wu.live))
+        });
         self.ready_count -= stale_ready;
-        let wu = self.wu_mut(task);
-        let live = std::mem::take(&mut wu.live);
         for aid in live {
             if let Some(rec) = self.assignments.get_mut(&aid.0) {
                 rec.superseded = true;
@@ -313,11 +345,14 @@ impl BoincServer {
             return CompleteOutcome::Stale;
         }
         let task = rec.task;
-        let wu = self.wu_mut(task);
-        wu.live.retain(|a| *a != aid);
-        if wu.done {
+        let done = self.mutate_wu(task, |wu| {
+            wu.live.retain(|a| *a != aid);
+            wu.done
+        });
+        if done {
             return CompleteOutcome::Stale;
         }
+        let wu = self.wu_mut(task);
         wu.results += 1;
         if wu.results >= self.cfg.min_quorum {
             self.close_wu(task, false);
@@ -351,7 +386,7 @@ impl BoincServer {
             Some(rec) if rec.superseded => {
                 let task = rec.task;
                 self.assignments.remove(&aid.0);
-                self.wu_mut(task).live.retain(|a| *a != aid);
+                self.mutate_wu(task, |wu| wu.live.retain(|a| *a != aid));
                 return false;
             }
             Some(rec) => (rec.task, rec.dead, rec.worker),
@@ -363,11 +398,12 @@ impl BoincServer {
             // results; keeping vanished nodes burned forever would make
             // workunits permanently unassignable on small worker pools.
             self.assignments.remove(&aid.0);
-            let wu = self.wu_mut(task);
-            wu.live.retain(|a| *a != aid);
-            if let Some(pos) = wu.seen.iter().position(|w| *w == worker) {
-                wu.seen.swap_remove(pos);
-            }
+            self.mutate_wu(task, |wu| {
+                wu.live.retain(|a| *a != aid);
+                if let Some(pos) = wu.seen.iter().position(|w| *w == worker) {
+                    wu.seen.swap_remove(pos);
+                }
+            });
         }
         let wu = self.wu_mut(task);
         if wu.done {
@@ -386,19 +422,15 @@ impl BoincServer {
         }
     }
 
-    /// Bookkeeping snapshot (workunit granularity).
+    /// Bookkeeping snapshot (workunit granularity). O(1): every counter is
+    /// maintained at its state transition.
     pub fn progress(&self) -> ServerProgress {
-        let running = self
-            .wus
-            .iter()
-            .filter(|w| w.submitted && !w.done && !w.live.is_empty())
-            .count() as u32;
         ServerProgress {
             submitted: self.submitted,
             completed: self.completed,
             dispatched: self.dispatched,
             ready: self.ready_count,
-            running,
+            running: self.running_count,
         }
     }
 

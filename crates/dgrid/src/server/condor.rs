@@ -64,6 +64,10 @@ pub struct CondorServer {
     completed: u32,
     dispatched: u32,
     ready_count: u32,
+    /// Tasks in [`TaskState::Running`], maintained incrementally so
+    /// `progress()` — called every monitoring tick — is O(1) instead of a
+    /// scan over the whole bag.
+    running_count: u32,
 }
 
 impl CondorServer {
@@ -88,6 +92,7 @@ impl CondorServer {
             completed: 0,
             dispatched: 0,
             ready_count: 0,
+            running_count: 0,
         }
     }
 
@@ -160,6 +165,7 @@ impl CondorServer {
             }
             self.ready_count -= 1;
             self.rec_mut(task).state = TaskState::Running;
+            self.running_count += 1;
             return Some(self.make_assignment(task, worker, is_cloud));
         }
         self.ready_count = 0;
@@ -205,6 +211,8 @@ impl CondorServer {
         }
         rec.state = TaskState::Done;
         rec.remaining_nops = 0.0;
+        self.running_count -= 1;
+        let rec = self.rec_mut(task);
         let others: Vec<AssignmentId> = rec.live.iter().copied().filter(|a| *a != aid).collect();
         rec.live.clear();
         for other in others {
@@ -248,7 +256,9 @@ impl CondorServer {
         // resumed task is never zero-length).
         rec.remaining_nops = (rec.remaining_nops - arec.checkpointed_nops).max(1.0);
         if rec.live.is_empty() {
+            debug_assert_eq!(rec.state, TaskState::Running);
             rec.state = TaskState::Ready;
+            self.running_count -= 1;
             self.ready_q.push_back(task);
             self.ready_count += 1;
             true
@@ -264,7 +274,7 @@ impl CondorServer {
             TaskState::Ready => {
                 self.ready_count = self.ready_count.saturating_sub(1);
             }
-            TaskState::Running => {}
+            TaskState::Running => self.running_count -= 1,
         }
         let rec = self.rec_mut(task);
         rec.state = TaskState::Done;
@@ -276,19 +286,15 @@ impl CondorServer {
         }
     }
 
-    /// Bookkeeping snapshot.
+    /// Bookkeeping snapshot. O(1): every counter is maintained at its
+    /// state transition.
     pub fn progress(&self) -> ServerProgress {
-        let running = self
-            .tasks
-            .iter()
-            .filter(|t| t.state == TaskState::Running)
-            .count() as u32;
         ServerProgress {
             submitted: self.submitted,
             completed: self.completed,
             dispatched: self.dispatched,
             ready: self.ready_count,
-            running,
+            running: self.running_count,
         }
     }
 

@@ -60,6 +60,10 @@ pub struct XwhepServer {
     completed: u32,
     dispatched: u32,
     ready_count: u32,
+    /// Tasks in [`TaskState::Running`], maintained incrementally so
+    /// `progress()` — called every monitoring tick — is O(1) instead of a
+    /// scan over the whole bag.
+    running_count: u32,
 }
 
 impl XwhepServer {
@@ -85,6 +89,7 @@ impl XwhepServer {
             completed: 0,
             dispatched: 0,
             ready_count: 0,
+            running_count: 0,
         }
     }
 
@@ -157,6 +162,7 @@ impl XwhepServer {
             }
             self.ready_count -= 1;
             self.rec_mut(task).state = TaskState::Running;
+            self.running_count += 1;
             return Some(self.make_assignment(task, worker, is_cloud));
         }
         self.ready_count = 0;
@@ -206,6 +212,8 @@ impl XwhepServer {
             return CompleteOutcome::Stale;
         }
         rec.state = TaskState::Done;
+        self.running_count -= 1;
+        let rec = self.rec_mut(task);
         // Supersede every other live assignment of this task.
         let others: Vec<AssignmentId> = rec.live.iter().copied().filter(|a| *a != aid).collect();
         rec.live.clear();
@@ -241,7 +249,9 @@ impl XwhepServer {
             return false;
         }
         if rec.live.is_empty() {
+            debug_assert_eq!(rec.state, TaskState::Running);
             rec.state = TaskState::Ready;
+            self.running_count -= 1;
             self.ready_q.push_back(task);
             self.ready_count += 1;
             true
@@ -259,7 +269,7 @@ impl XwhepServer {
                 // Entry stays in ready_q; request_work skips non-Ready.
                 self.ready_count = self.ready_count.saturating_sub(1);
             }
-            TaskState::Running => {}
+            TaskState::Running => self.running_count -= 1,
         }
         let rec = self.rec_mut(task);
         rec.state = TaskState::Done;
@@ -272,19 +282,15 @@ impl XwhepServer {
         }
     }
 
-    /// Bookkeeping snapshot.
+    /// Bookkeeping snapshot. O(1): every counter is maintained at its
+    /// state transition.
     pub fn progress(&self) -> ServerProgress {
-        let running = self
-            .tasks
-            .iter()
-            .filter(|t| t.state == TaskState::Running)
-            .count() as u32;
         ServerProgress {
             submitted: self.submitted,
             completed: self.completed,
             dispatched: self.dispatched,
             ready: self.ready_count,
-            running,
+            running: self.running_count,
         }
     }
 

@@ -95,6 +95,17 @@ pub struct GridSim<H: QosHook> {
     timelines: Vec<NodeTimeline>,
     idle_volatile: Vec<WorkerId>,
     cloud_ids: Vec<WorkerId>,
+    /// Retired entries still sitting in `cloud_ids`; once they outnumber
+    /// the live ones the list is compacted (order-preserving, so dispatch
+    /// order — and therefore the whole trajectory — is unchanged).
+    cloud_retired_in_ids: usize,
+    /// Reusable buffer for the worker-id snapshots `dispatch_cloud` and
+    /// `retire_all_cloud` need (they mutate `self` while iterating), so the
+    /// per-event `Vec` clones of the old hot path are gone.
+    scratch_ids: Vec<WorkerId>,
+    /// Reusable buffer for workers that lost the dispatch race in
+    /// `dispatch_volatile`.
+    scratch_conflicted: Vec<WorkerId>,
     cloud_power: PowerModel,
     // RNG streams.
     sched_rng: Prng,
@@ -159,6 +170,9 @@ impl<H: QosHook> GridSim<H> {
             timelines: dci.timelines,
             idle_volatile,
             cloud_ids: Vec::new(),
+            cloud_retired_in_ids: 0,
+            scratch_ids: Vec::new(),
+            scratch_conflicted: Vec::new(),
             sched_rng: Prng::stream(seed, "sched"),
             cloud_rng: Prng::stream(seed, "cloud"),
             task_done: vec![false; n_tasks],
@@ -186,8 +200,23 @@ impl<H: QosHook> GridSim<H> {
     /// simulations are driven interleaved over one shared clock (see
     /// [`run_many`]).
     pub fn prime(&mut self, q: &mut EventQueue<Ev>) {
-        for (i, &at) in self.arrivals.iter().enumerate() {
-            q.schedule(at, Ev::Arrive(TaskId(i as u32)));
+        // Arrival waves share timestamps (whole classes arrive at t = 0):
+        // runs of consecutive equal arrival times enqueue as one batch —
+        // one heap entry instead of one per task, with identical
+        // (time, sequence) assignment and therefore identical delivery.
+        let mut i = 0;
+        while i < self.arrivals.len() {
+            let at = self.arrivals[i];
+            let mut j = i + 1;
+            while j < self.arrivals.len() && self.arrivals[j] == at {
+                j += 1;
+            }
+            if j - i == 1 {
+                q.schedule(at, Ev::Arrive(TaskId(i as u32)));
+            } else {
+                q.schedule_batch(at, (i..j).map(|k| Ev::Arrive(TaskId(k as u32))));
+            }
+            i = j;
         }
         for i in 0..self.timelines.len() {
             if let Some(t) = self.timelines[i].next_toggle() {
@@ -362,7 +391,8 @@ impl<H: QosHook> GridSim<H> {
 
     /// Serves ready work on the main server to idle volatile workers.
     fn dispatch_volatile(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        let mut conflicted: Vec<WorkerId> = Vec::new();
+        let mut conflicted = std::mem::take(&mut self.scratch_conflicted);
+        conflicted.clear();
         while self.server.has_ready_work() {
             let Some(w) = self.pop_idle() else {
                 break;
@@ -371,16 +401,35 @@ impl<H: QosHook> GridSim<H> {
                 conflicted.push(w);
             }
         }
-        for w in conflicted {
+        for &w in &conflicted {
             self.push_idle(w);
         }
+        self.scratch_conflicted = conflicted;
+    }
+
+    /// Snapshots the live (non-retired) cloud workers into the reusable
+    /// scratch buffer, in start order. Only the worker currently being
+    /// served can be retired mid-iteration, so filtering up front is
+    /// equivalent to the retired-check each loop turn used to do — minus
+    /// the per-event allocation.
+    fn snapshot_live_cloud(&mut self) -> Vec<WorkerId> {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        let workers = &self.workers;
+        ids.extend(
+            self.cloud_ids
+                .iter()
+                .copied()
+                .filter(|w| !workers[w.0 as usize].retired),
+        );
+        ids
     }
 
     /// Lets every idle cloud worker try to fetch work; under Greedy
     /// provisioning, idle cloud workers stop to release credits (§3.5).
     fn dispatch_cloud(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        let ids: Vec<WorkerId> = self.cloud_ids.clone();
-        for w in ids {
+        let ids = self.snapshot_live_cloud();
+        for &w in &ids {
             if !self.worker_idle_ready(w) {
                 continue;
             }
@@ -388,6 +437,7 @@ impl<H: QosHook> GridSim<H> {
                 self.retire_cloud_worker(w, now, q);
             }
         }
+        self.scratch_ids = ids;
     }
 
     fn dispatch_all(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
@@ -404,6 +454,7 @@ impl<H: QosHook> GridSim<H> {
         if self.cfg.deployment == Deployment::CloudDuplication {
             self.ensure_cloud_server();
         }
+        let first = self.workers.len() as u32;
         for _ in 0..n {
             let id = WorkerId(self.workers.len() as u32);
             let power = self.cloud_power.sample(&mut self.cloud_rng);
@@ -422,8 +473,13 @@ impl<H: QosHook> GridSim<H> {
             self.cloud_active += 1;
             self.usage.workers_started += 1;
             self.usage.peak_running = self.usage.peak_running.max(self.cloud_active);
-            q.schedule(now + self.cfg.cloud_boot_delay, Ev::CloudBoot(id));
         }
+        // The whole fleet boots at one timestamp: one batched heap entry
+        // instead of n, with delivery identical to n single schedules.
+        q.schedule_batch(
+            now + self.cfg.cloud_boot_delay,
+            (first..first + n).map(|id| Ev::CloudBoot(WorkerId(id))),
+        );
     }
 
     /// Creates the dedicated cloud server and duplicates every uncompleted
@@ -471,13 +527,23 @@ impl<H: QosHook> GridSim<H> {
         let started = self.workers[widx].started_at;
         self.cloud_cpu_ms += now.since(started).as_millis();
         self.cloud_active -= 1;
+        // Compact `cloud_ids` once retirees dominate it, so dispatch
+        // sweeps stay proportional to the *live* fleet. `retain` keeps
+        // start order, which keeps dispatch order and the trajectory.
+        self.cloud_retired_in_ids += 1;
+        if self.cloud_retired_in_ids * 2 > self.cloud_ids.len() {
+            let workers = &self.workers;
+            self.cloud_ids.retain(|w| !workers[w.0 as usize].retired);
+            self.cloud_retired_in_ids = 0;
+        }
     }
 
     fn retire_all_cloud(&mut self, now: SimTime, q: &mut EventQueue<Ev>) {
-        let ids = self.cloud_ids.clone();
-        for w in ids {
+        let ids = self.snapshot_live_cloud();
+        for &w in &ids {
             self.retire_cloud_worker(w, now, q);
         }
+        self.scratch_ids = ids;
     }
 
     /// Merges a first completion into the global (cross-server) BoT state.
@@ -539,9 +605,8 @@ impl<H: QosHook> GridSim<H> {
         }
         self.finished = true;
         // Billing closes for still-running cloud workers.
-        let ids = self.cloud_ids.clone();
-        for w in ids {
-            let widx = w.0 as usize;
+        for i in 0..self.cloud_ids.len() {
+            let widx = self.cloud_ids[i].0 as usize;
             if !self.workers[widx].retired {
                 self.workers[widx].retired = true;
                 let started = self.workers[widx].started_at;

@@ -2,21 +2,46 @@
 //!
 //! The paper's evaluation runs > 25 000 BoT executions (§4.1.3); each is
 //! an independent simulation, so the sweep is embarrassingly parallel.
-//! Scoped threads pull indices from an atomic counter and write results
-//! into pre-sized slots — result order is deterministic (index-addressed)
-//! regardless of thread interleaving.
+//! The scheduler is work-stealing over chunks: workers claim chunk-sized
+//! index ranges from one shared atomic cursor, so a thread that lands on a
+//! cheap item immediately steals the next chunk instead of idling — the
+//! skew case that kills fixed partitioning (one long-deadline world next
+//! to many short ones, exactly what the table sweeps produce).
+//!
+//! Results are deterministic: each item's output is keyed by its index and
+//! merged back in input order, so the caller observes the serial map
+//! regardless of thread interleaving. Std-only — no extra dependencies.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Maps `f` over `items` on `threads` worker threads, preserving order.
-/// `threads = 0` selects the available parallelism.
+/// How many chunks each worker should get on average: small enough that a
+/// skewed chunk can be compensated by the other workers stealing the
+/// remainder, large enough that the shared cursor is not contended.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// Maps `f` over `items` on `threads` worker threads, returning results in
+/// input order (identical to `items.iter().map(&f).collect()`).
+///
+/// * `threads == 0` selects the available parallelism of the machine.
+/// * `threads` is clamped to `items.len()` — extra threads would never
+///   receive work — and to at least 1.
+/// * Empty input returns immediately without spawning anything.
+///
+/// Work is claimed in chunks from an atomic cursor (chunk size targets
+/// `CHUNKS_PER_THREAD` chunks per worker), so heavily skewed workloads
+/// keep every thread busy until the slice is exhausted.
+///
+/// # Panics
+/// Panics (with "sweep worker panicked") if `f` panics on any item.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    if items.is_empty() {
+        return Vec::new();
+    }
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -29,34 +54,52 @@ where
         return items.iter().map(&f).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    let chunk = (items.len() / (threads * CHUNKS_PER_THREAD)).max(1);
+    let cursor = AtomicUsize::new(0);
+    // Each worker accumulates (index, result) pairs locally; the merge back
+    // into input order happens once, single-threaded, after the join — no
+    // per-item lock on the hot path.
+    let locals: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(item)));
+                        }
                     }
-                    let r = f(&items[i]);
-                    *slots[i].lock() = Some(r);
+                    local
                 })
             })
             .collect();
-        if workers.into_iter().any(|w| w.join().is_err()) {
-            panic!("sweep worker panicked");
-        }
+        workers
+            .into_iter()
+            .map(|w| w.join())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|_| panic!("sweep worker panicked"))
     });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in locals.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every slot filled"))
+        .map(|s| s.expect("every index produced exactly once"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn preserves_order() {
@@ -86,6 +129,20 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_with_auto_threads() {
+        let items: Vec<u32> = vec![];
+        let out: Vec<u32> = parallel_map(&items, 0, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = vec![5u32, 6, 7];
+        let out = parallel_map(&items, 64, |&x| x * x);
+        assert_eq!(out, vec![25, 36, 49]);
+    }
+
+    #[test]
     #[should_panic(expected = "sweep worker panicked")]
     fn propagates_panics() {
         let items = vec![1u32, 2, 3, 4];
@@ -95,5 +152,54 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn skewed_workload_matches_serial() {
+        // One item carries 100× the work of the rest: a fixed partition
+        // would idle all-but-one thread behind it; the stealing scheduler
+        // must still return the exact serial result.
+        let items: Vec<u64> = (0..64).collect();
+        let work = |&x: &u64| -> u64 {
+            let iters = if x == 0 { 100_000 } else { 1_000 };
+            let mut acc = x;
+            for i in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let serial: Vec<u64> = items.iter().map(work).collect();
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                parallel_map(&items, threads, work),
+                serial,
+                "{threads} threads"
+            );
+        }
+    }
+
+    proptest! {
+        /// Output order and content equal the serial map for arbitrary item
+        /// counts and thread counts 1..=16.
+        #[test]
+        fn prop_matches_serial_map(
+            len in 0usize..130,
+            threads in 1usize..=16,
+            offset in 0u64..1000,
+        ) {
+            let items: Vec<u64> = (0..len as u64).map(|x| x + offset).collect();
+            let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            let out = parallel_map(&items, threads, |&x| x * 3 + 1);
+            prop_assert_eq!(out, serial);
+        }
+
+        /// `threads == 0` (auto) is also exactly the serial map.
+        #[test]
+        fn prop_auto_threads_matches_serial_map(len in 0usize..90) {
+            let items: Vec<u32> = (0..len as u32).collect();
+            let serial: Vec<u32> = items.iter().map(|&x| x ^ 0xa5a5).collect();
+            let out = parallel_map(&items, 0, |&x| x ^ 0xa5a5);
+            prop_assert_eq!(out, serial);
+        }
     }
 }

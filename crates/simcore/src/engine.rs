@@ -94,6 +94,24 @@ pub fn run<W: World>(
     }
 }
 
+/// Reusable buffers for the interleaved drivers: holds the next-world heap
+/// allocation across calls so sweeps hosting thousands of multi-world runs
+/// perform no per-run allocation beyond the returned stats.
+///
+/// One scratch serves any number of sequential calls (it is cleared on
+/// entry); create one per thread for parallel sweeps.
+#[derive(Default)]
+pub struct InterleaveScratch {
+    heap_buf: Vec<Reverse<(SimTime, usize)>>,
+}
+
+impl InterleaveScratch {
+    /// Creates an empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Drives several independent worlds of the same type over one shared
 /// simulated clock: at every step, the pending event with the globally
 /// earliest timestamp is delivered to its owning world (ties broken by
@@ -114,8 +132,7 @@ pub fn run_interleaved<W: World>(
     runs: &mut [(W, EventQueue<W::Event>)],
     until: Option<SimTime>,
 ) -> Vec<RunStats> {
-    let deadlines = vec![until; runs.len()];
-    run_interleaved_each(runs, &deadlines)
+    run_interleaved_core(runs, |_| until, &mut InterleaveScratch::new())
 }
 
 /// [`run_interleaved`] with a *per-world* deadline: world `i` stops — with
@@ -131,7 +148,28 @@ pub fn run_interleaved_each<W: World>(
     runs: &mut [(W, EventQueue<W::Event>)],
     deadlines: &[Option<SimTime>],
 ) -> Vec<RunStats> {
+    run_interleaved_each_reusing(runs, deadlines, &mut InterleaveScratch::new())
+}
+
+/// [`run_interleaved_each`] reusing a caller-held [`InterleaveScratch`],
+/// for drivers that host many multi-world runs back to back.
+///
+/// # Panics
+/// Panics if `deadlines.len() != runs.len()`.
+pub fn run_interleaved_each_reusing<W: World>(
+    runs: &mut [(W, EventQueue<W::Event>)],
+    deadlines: &[Option<SimTime>],
+    scratch: &mut InterleaveScratch,
+) -> Vec<RunStats> {
     assert_eq!(runs.len(), deadlines.len(), "one deadline per world");
+    run_interleaved_core(runs, |i| deadlines[i], scratch)
+}
+
+fn run_interleaved_core<W: World>(
+    runs: &mut [(W, EventQueue<W::Event>)],
+    deadline_of: impl Fn(usize) -> Option<SimTime>,
+    scratch: &mut InterleaveScratch,
+) -> Vec<RunStats> {
     let mut stats: Vec<RunStats> = runs
         .iter()
         .map(|_| RunStats {
@@ -145,34 +183,60 @@ pub fn run_interleaved_each<W: World>(
     // world's queue changes only while that world handles an event
     // (handlers receive only their own queue), so a heap entry is refreshed
     // exactly when it is popped — entries never go stale, and each live
-    // world with pending events has exactly one entry.
-    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = runs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, (_, q))| q.peek_time().map(|t| Reverse((t, i))))
-        .collect();
-    while let Some(Reverse((t, i))) = heap.pop() {
-        let (world, queue) = &mut runs[i];
-        debug_assert_eq!(queue.peek_time(), Some(t), "heap entry went stale");
-        if deadlines[i].is_some_and(|d| t > d) {
-            // Mirror `run`: the past-deadline event stays unprocessed and
-            // uncounted; the clock reads the last handled event's time.
-            stats[i].end_time = queue.now();
-            stats[i].outcome = RunOutcome::DeadlineReached;
-            continue;
-        }
-        let (now, ev) = queue.pop().expect("peeked event must pop");
-        stats[i].events += 1;
-        if world.handle(now, ev, queue) == Control::Stop {
-            stats[i].end_time = now;
-            stats[i].outcome = RunOutcome::Stopped;
-        } else if let Some(next) = queue.peek_time() {
-            heap.push(Reverse((next, i)));
-        } else {
-            // Queue drained: outcome stays QueueEmpty.
-            stats[i].end_time = queue.now();
+    // world with pending events has exactly one entry. The heap's buffer is
+    // borrowed from (and returned to) the scratch pool.
+    let mut heap_buf = std::mem::take(&mut scratch.heap_buf);
+    heap_buf.clear();
+    heap_buf.extend(
+        runs.iter()
+            .enumerate()
+            .filter_map(|(i, (_, q))| q.peek_time().map(|t| Reverse((t, i)))),
+    );
+    let mut heap = BinaryHeap::from(heap_buf);
+    while let Some(Reverse((mut t, i))) = heap.pop() {
+        // Inner loop: keep delivering to world `i` for as long as it still
+        // owns the globally earliest event — the common case when one
+        // world's events cluster in time — skipping the push/pop
+        // round-trip through the heap. The shortcut fires exactly when the
+        // classic push-then-pop would return the same world, so the
+        // delivery order is unchanged.
+        loop {
+            let (world, queue) = &mut runs[i];
+            debug_assert_eq!(queue.peek_time(), Some(t), "heap entry went stale");
+            if deadline_of(i).is_some_and(|d| t > d) {
+                // Mirror `run`: the past-deadline event stays unprocessed
+                // and uncounted; the clock reads the last handled event's
+                // time.
+                stats[i].end_time = queue.now();
+                stats[i].outcome = RunOutcome::DeadlineReached;
+                break;
+            }
+            let (now, ev) = queue.pop().expect("peeked event must pop");
+            stats[i].events += 1;
+            if world.handle(now, ev, queue) == Control::Stop {
+                stats[i].end_time = now;
+                stats[i].outcome = RunOutcome::Stopped;
+                break;
+            }
+            match queue.peek_time() {
+                None => {
+                    // Queue drained: outcome stays QueueEmpty.
+                    stats[i].end_time = queue.now();
+                    break;
+                }
+                Some(next) => match heap.peek() {
+                    // Ties go to the lower world index, as before.
+                    Some(&Reverse((ht, hi))) if (next, i) >= (ht, hi) => {
+                        heap.push(Reverse((next, i)));
+                        break;
+                    }
+                    _ => t = next,
+                },
+            }
         }
     }
+    // The loop drains the heap; hand its capacity back for the next call.
+    scratch.heap_buf = heap.into_vec();
     stats
 }
 

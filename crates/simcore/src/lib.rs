@@ -52,7 +52,8 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{
-    run, run_interleaved, run_interleaved_each, Control, RunOutcome, RunStats, World,
+    run, run_interleaved, run_interleaved_each, run_interleaved_each_reusing, Control,
+    InterleaveScratch, RunOutcome, RunStats, World,
 };
 pub use event::EventQueue;
 pub use rng::Prng;
