@@ -9,7 +9,7 @@ use std::hint::black_box;
 use betrace::Preset;
 use botwork::BotClass;
 use spequlos::StrategyCombo;
-use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario};
+use spq_harness::{Experiment, MwKind, Scenario};
 
 fn base() -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 17)
@@ -24,10 +24,10 @@ fn bench_tenant_scaling(c: &mut Criterion) {
     for tenants in [1u32, 2, 4, 8] {
         // Pool sized at 2 workers per tenant: contended but not starved,
         // the same shape at every scale point.
-        let mt = MultiTenantScenario::new(base(), tenants, 2 * tenants);
+        let exp = Experiment::new(base()).tenants(tenants).pool(2 * tenants);
         g.bench_function(&format!("tenants_{tenants}"), |b| {
             b.iter(|| {
-                let report = run_multi_tenant(&mt);
+                let report = exp.clone().run_multi_tenant();
                 black_box(report.events)
             })
         });

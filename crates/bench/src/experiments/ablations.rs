@@ -7,7 +7,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use simcore::SimDuration;
 use spequlos::{StrategyCombo, Trigger};
-use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario, Table};
+use spq_harness::{parallel_map, Experiment, MwKind, PairedRun, Scenario, Table};
 
 /// A named scenario tweak: one variant of an ablation sweep.
 type Variant = (String, Box<dyn Fn(&mut Scenario) + Sync>);
@@ -43,7 +43,9 @@ where
             }
         }
     }
-    let runs = parallel_map(&scenarios, opts.threads, |(_, sc)| run_paired(sc));
+    let runs = parallel_map(&scenarios, opts.threads, |(_, sc)| {
+        Experiment::new(sc.clone()).paired().run_paired()
+    });
     let mut out: Vec<(String, Vec<PairedRun>)> = variants
         .iter()
         .map(|(name, _)| (name.clone(), Vec::new()))
@@ -211,7 +213,9 @@ pub fn middleware(opts: &Opts) -> String {
             }
         }
     }
-    let runs = parallel_map(&scenarios, opts.threads, |(_, sc)| run_paired(sc));
+    let runs = parallel_map(&scenarios, opts.threads, |(_, sc)| {
+        Experiment::new(sc.clone()).paired().run_paired()
+    });
     let mut grouped: Vec<(String, Vec<PairedRun>)> = variants
         .iter()
         .map(|(name, _, _)| (name.to_string(), Vec::new()))

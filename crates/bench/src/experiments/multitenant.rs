@@ -9,9 +9,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use simcore::SimDuration;
 use spequlos::StrategyCombo;
-use spq_harness::{
-    pct, run_multi_tenant, secs, MultiTenantScenario, MwKind, Scenario, Table, TenantArrivals,
-};
+use spq_harness::{pct, secs, Experiment, MwKind, Scenario, Table, TenantArrivals};
 
 use crate::Opts;
 
@@ -40,12 +38,14 @@ pub fn table_for(opts: &Opts, tenants: u32) -> String {
 /// processed (feeds the `BENCH_repro_multitenant.json` telemetry).
 pub fn table_for_counted(opts: &Opts, tenants: u32) -> (String, u64) {
     let seed = opts.seed_list().first().copied().unwrap_or(1);
-    let mt = MultiTenantScenario::new(base_scenario(opts, seed), tenants, POOL_CAPACITY)
-        .with_arrivals(TenantArrivals::TailHeavy {
+    let exp = Experiment::new(base_scenario(opts, seed))
+        .tenants(tenants)
+        .pool(POOL_CAPACITY)
+        .arrivals(TenantArrivals::TailHeavy {
             window: SimDuration::from_hours(2),
         });
     let started = std::time::Instant::now();
-    let report = run_multi_tenant(&mt);
+    let report = exp.run_multi_tenant();
     let wall = started.elapsed().as_secs_f64();
 
     let mut out = format!(

@@ -6,7 +6,7 @@ use crate::opts::Opts;
 use betrace::{DciKind, Preset};
 use botwork::BotClass;
 use simcore::Cdf;
-use spq_harness::{run_baseline, MwKind, Scenario, Table};
+use spq_harness::{Experiment, MwKind, Scenario, Table};
 use std::fmt::Write as _;
 
 /// Fig. 1: one BoT execution profile with the ideal/actual completion
@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 pub fn fig1(opts: &Opts) -> String {
     let mut sc = Scenario::new(Preset::Seti, MwKind::Xwhep, BotClass::Small, 1);
     sc.scale = opts.scale;
-    let m = run_baseline(&sc);
+    let m = Experiment::new(sc).run_baseline();
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 1 — example BoT execution ({})", m.env);
     let _ = writeln!(out, "completed: {}", m.completed);

@@ -5,9 +5,7 @@ use crate::opts::Opts;
 use betrace::Preset;
 use botwork::BotClass;
 use spequlos::StrategyCombo;
-use spq_harness::{
-    parallel_map, run_baseline, run_paired, ExecutionMetrics, MwKind, PairedRun, Scenario,
-};
+use spq_harness::{parallel_map, ExecutionMetrics, Experiment, MwKind, PairedRun, Scenario};
 
 /// All 36 environments (6 traces × 2 middleware × 3 classes).
 pub fn all_envs() -> Vec<(Preset, MwKind, BotClass)> {
@@ -38,7 +36,9 @@ pub fn baseline_scenarios(opts: &Opts) -> Vec<Scenario> {
 /// Runs every baseline scenario in parallel.
 pub fn baseline_metrics(opts: &Opts) -> Vec<ExecutionMetrics> {
     let scenarios = baseline_scenarios(opts);
-    parallel_map(&scenarios, opts.threads, run_baseline)
+    parallel_map(&scenarios, opts.threads, |sc| {
+        Experiment::new(sc.clone()).run_baseline()
+    })
 }
 
 /// Paired (with/without SpeQuloS) runs over the grid for one strategy.
@@ -47,7 +47,9 @@ pub fn paired_metrics(opts: &Opts, strategy: StrategyCombo) -> Vec<PairedRun> {
         .into_iter()
         .map(|sc| sc.with_strategy(strategy))
         .collect();
-    parallel_map(&scenarios, opts.threads, run_paired)
+    parallel_map(&scenarios, opts.threads, |sc| {
+        Experiment::new(sc.clone()).paired().run_paired()
+    })
 }
 
 /// Paired runs for several strategies, returned as
@@ -63,7 +65,9 @@ pub fn strategy_sweep(opts: &Opts, combos: &[StrategyCombo]) -> Vec<(StrategyCom
             }
         }
     }
-    let runs = parallel_map(&scenarios, opts.threads, run_paired);
+    let runs = parallel_map(&scenarios, opts.threads, |sc| {
+        Experiment::new(sc.clone()).paired().run_paired()
+    });
     scenarios
         .iter()
         .map(|sc| sc.strategy.expect("set above"))

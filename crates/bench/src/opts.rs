@@ -1,6 +1,17 @@
 //! Command-line options shared by every reproduction binary.
+//!
+//! Parsing is split in two layers so it is testable: [`Opts::parse_from`]
+//! is pure (arguments in, `Result` out — `--help` and bad flags become
+//! [`OptsError`] values, never a panic or a process exit), while
+//! [`Opts::from_args`] / [`Opts::from_args_with`] wrap it with the
+//! binary-facing behaviour — print usage and exit 0 on `--help`, print
+//! the error plus usage and exit 2 on anything invalid.
 
 use std::path::PathBuf;
+
+/// Usage text shared by `--help` and error reports.
+pub const USAGE: &str = "options: --seeds N (default 3)  --scale F (default 1.0)  \
+     --threads N (default auto)  --out DIR (default results/)  --full";
 
 /// Options controlling experiment scale and output.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,10 +38,39 @@ impl Default for Opts {
     }
 }
 
+/// Why option parsing stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptsError {
+    /// `--help` / `-h` was passed; the caller should print [`USAGE`] and
+    /// exit successfully.
+    HelpRequested,
+    /// A recognized option was missing or carried an unparsable value.
+    BadValue(String),
+    /// An option neither the shared parser nor the binary-specific
+    /// handler recognized.
+    UnknownOption(String),
+}
+
+impl std::fmt::Display for OptsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptsError::HelpRequested => write!(f, "help requested"),
+            OptsError::BadValue(msg) => write!(f, "{msg}"),
+            OptsError::UnknownOption(opt) => write!(f, "unknown option {opt}"),
+        }
+    }
+}
+
+impl std::error::Error for OptsError {}
+
 impl Opts {
     /// Parses `--seeds N --scale F --threads N --out DIR --full` from the
     /// process arguments. `--full` raises the seed count towards the
     /// paper's campaign scale.
+    ///
+    /// `--help`/`-h` print the usage on stdout and exit 0; unknown
+    /// options or bad values print the error plus usage on stderr and
+    /// exit 2. Nothing here panics.
     pub fn from_args() -> Opts {
         Self::from_args_with(|_, _| false)
     }
@@ -41,54 +81,64 @@ impl Opts {
     /// returns whether it handled the flag. Unhandled unknown options
     /// still exit with the usual usage error.
     pub fn from_args_with(
-        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+        extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
     ) -> Opts {
+        match Self::parse_from(std::env::args().skip(1), extra) {
+            Ok(opts) => opts,
+            Err(OptsError::HelpRequested) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure parsing layer: consumes an argument iterator (without the
+    /// program name) and returns the options, or an [`OptsError`]
+    /// describing why parsing stopped. `extra` handles binary-specific
+    /// flags as in [`Opts::from_args_with`].
+    pub fn parse_from<I>(
+        args: I,
+        mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+    ) -> Result<Opts, OptsError>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut opts = Opts::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
+        fn value<T: std::str::FromStr>(
+            args: &mut dyn Iterator<Item = String>,
+            flag: &str,
+            kind: &str,
+        ) -> Result<T, OptsError> {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| OptsError::BadValue(format!("{flag} needs a {kind}")))
+        }
         while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--seeds" => {
-                    opts.seeds = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seeds needs a number"));
-                }
-                "--scale" => {
-                    opts.scale = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--scale needs a number"));
-                }
-                "--threads" => {
-                    opts.threads = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--threads needs a number"));
-                }
+                "--seeds" => opts.seeds = value(&mut args, "--seeds", "number")?,
+                "--scale" => opts.scale = value(&mut args, "--scale", "number")?,
+                "--threads" => opts.threads = value(&mut args, "--threads", "number")?,
                 "--out" => {
                     opts.out_dir = args
                         .next()
                         .map(PathBuf::from)
-                        .unwrap_or_else(|| usage("--out needs a path"));
+                        .ok_or_else(|| OptsError::BadValue("--out needs a path".into()))?;
                 }
-                "--full" => {
-                    opts.seeds = 10;
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "options: --seeds N (default 3)  --scale F (default 1.0)  \
-                         --threads N (default auto)  --out DIR (default results/)  --full"
-                    );
-                    std::process::exit(0);
-                }
+                "--full" => opts.seeds = 10,
+                "--help" | "-h" => return Err(OptsError::HelpRequested),
                 other => {
                     if !extra(other, &mut args) {
-                        usage(&format!("unknown option {other}"));
+                        return Err(OptsError::UnknownOption(other.to_string()));
                     }
                 }
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Seed list for one configuration.
@@ -97,10 +147,107 @@ impl Opts {
     }
 }
 
-/// Reports an option-parsing error and exits with status 2 (shared by the
-/// common parser and binary-specific flags fed through
-/// [`Opts::from_args_with`]).
+/// Reports an option-parsing error and exits with status 2 (used by
+/// binary-specific flags fed through [`Opts::from_args_with`] when a
+/// value is missing or malformed).
 pub fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}\nrun with --help for options");
+    eprintln!("error: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, OptsError> {
+        Opts::parse_from(args.iter().map(|s| s.to_string()), |_, _| false)
+    }
+
+    #[test]
+    fn defaults_without_arguments() {
+        assert_eq!(parse(&[]).unwrap(), Opts::default());
+    }
+
+    #[test]
+    fn recognized_flags_parse() {
+        let opts = parse(&[
+            "--seeds",
+            "7",
+            "--scale",
+            "0.5",
+            "--threads",
+            "4",
+            "--out",
+            "reports",
+        ])
+        .unwrap();
+        assert_eq!(opts.seeds, 7);
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.out_dir, PathBuf::from("reports"));
+        assert_eq!(parse(&["--full"]).unwrap().seeds, 10);
+    }
+
+    #[test]
+    fn help_is_a_clean_outcome_not_a_panic() {
+        assert_eq!(parse(&["--help"]), Err(OptsError::HelpRequested));
+        assert_eq!(parse(&["-h"]), Err(OptsError::HelpRequested));
+        // Even mid-stream.
+        assert_eq!(
+            parse(&["--seeds", "2", "--help"]),
+            Err(OptsError::HelpRequested)
+        );
+    }
+
+    #[test]
+    fn unknown_options_are_reported_not_fatal_to_the_parser() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(OptsError::UnknownOption("--bogus".into()))
+        );
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_bad_values() {
+        for args in [
+            &["--seeds"][..],
+            &["--seeds", "not-a-number"][..],
+            &["--scale", "x"][..],
+            &["--out"][..],
+        ] {
+            assert!(
+                matches!(parse(args), Err(OptsError::BadValue(_))),
+                "{args:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_handler_consumes_binary_specific_flags() {
+        let mut tenants: Option<u32> = None;
+        let opts = Opts::parse_from(
+            ["--tenants", "32", "--seeds", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+            |arg, rest| match arg {
+                "--tenants" => {
+                    tenants = rest.next().and_then(|v| v.parse().ok());
+                    true
+                }
+                _ => false,
+            },
+        )
+        .unwrap();
+        assert_eq!(tenants, Some(32));
+        assert_eq!(opts.seeds, 2);
+    }
+
+    #[test]
+    fn seed_list_is_one_based() {
+        let opts = Opts {
+            seeds: 3,
+            ..Opts::default()
+        };
+        assert_eq!(opts.seed_list(), vec![1, 2, 3]);
+    }
 }

@@ -50,8 +50,10 @@
 pub mod credit;
 pub mod info;
 pub mod metrics;
+pub mod modules;
 pub mod oracle;
 pub mod progress;
+pub mod protocol;
 pub mod scheduler;
 pub mod service;
 pub mod tenancy;
@@ -64,11 +66,13 @@ pub use metrics::{
     ideal_time, speedup, tail_removal_efficiency, tail_slowdown, tail_stats, TailStats,
     IDEAL_FRACTION,
 };
+pub use modules::{InfoBackend, OracleStrategy, SchedulingPolicy};
 pub use oracle::{
     learn_alpha, prediction_successful, DeployMode, Oracle, Prediction, Provisioning,
     StrategyCombo, Trigger, PREDICTION_TOLERANCE,
 };
 pub use progress::BotProgress;
-pub use scheduler::{CloudAction, Scheduler};
-pub use service::{LogEvent, SpeQuloS};
+pub use protocol::{Request, RequestError, Response, SpqService};
+pub use scheduler::{CloudAction, GreedyUntilTc, Scheduler};
+pub use service::{LogEvent, SpeQuloS, SpeQuloSBuilder};
 pub use tenancy::{CloudPool, TenantMetrics};

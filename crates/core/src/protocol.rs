@@ -1,0 +1,1157 @@
+//! The SpeQuloS wire protocol: typed, serializable requests and
+//! responses (Fig. 3 as data).
+//!
+//! The paper defines SpeQuloS by the message sequence between users and
+//! the service — `registerQoS` → `orderQoS` → `getQoSInformation` →
+//! monitoring → billing → `pay`. This module reifies that sequence as a
+//! [`Request`]/[`Response`] enum pair plus one entry point,
+//! [`SpqService::handle`], so a session is *data*: it can be encoded to
+//! dependency-free JSON (via the shared [`simcore::json`] module, the
+//! same implementation the bench telemetry uses), stored, diffed, and
+//! [`replay`]ed against any service assembly built by
+//! [`crate::SpeQuloS::builder`]. A future network frontend plugs in at
+//! exactly this seam: deserialize a request, call `handle`, serialize the
+//! response.
+//!
+//! | request | response on success | protocol arrow |
+//! |---------|--------------------|----------------|
+//! | [`Request::Deposit`] | [`Response::Deposited`] | administrator credit policy (§3.3) |
+//! | [`Request::RegisterQos`] | [`Response::Registered`] | `registerQoS(BoT)` |
+//! | [`Request::OrderQos`] | [`Response::Ordered`] | `orderQoS(BoTId, credit)` |
+//! | [`Request::Predict`] | [`Response::Predicted`] | `getQoSInformation(BoTId)` |
+//! | [`Request::ReportProgress`] | [`Response::Action`] | monitoring tick → start/stop cloud workers |
+//! | [`Request::Complete`] | [`Response::Completed`] | completion → billing → `pay` |
+//!
+//! Failures come back as [`Response::Error`] wrapping a typed
+//! [`RequestError`] — never a panic, whatever the request stream.
+//!
+//! Encoding guarantees: [`encode_session`] / [`decode_session`] round-trip
+//! bit-identically (encode → decode → re-encode yields the same bytes),
+//! and the existing [`LogEvent`] protocol log serializes the same way via
+//! [`encode_log`] / [`decode_log`]. Limits: ids and millisecond
+//! timestamps travel as JSON numbers (`f64`), so values must stay below
+//! 2⁵³ — ample for the service's sequential BoT ids and simulated clocks,
+//! but a frontend minting hash-derived 64-bit user ids would need its own
+//! id mapping. Non-finite floats encode as `null` and come back as a
+//! decode error, never an unreadable document.
+
+use crate::credit::{CreditError, UserId};
+use crate::oracle::{DeployMode, Prediction, Provisioning, StrategyCombo, Trigger};
+use crate::progress::BotProgress;
+use crate::scheduler::CloudAction;
+use crate::service::{LogEvent, SpeQuloS};
+use botwork::BotId;
+use simcore::json::{self, Value};
+use simcore::SimTime;
+use std::fmt;
+
+/// A user-facing request of the SpeQuloS protocol (Fig. 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Administrator operation: deposit credits into a user account.
+    Deposit {
+        /// The account.
+        user: UserId,
+        /// Credits to add (must be finite and non-negative).
+        credits: f64,
+    },
+    /// `registerQoS(BoT)`: register a BoT execution for monitoring.
+    RegisterQos {
+        /// The registering user.
+        user: UserId,
+        /// Environment label (`trace/middleware/class`).
+        env: String,
+        /// BoT size in tasks.
+        size: u32,
+    },
+    /// `orderQoS(BoTId, credit)`: provision credits for a BoT.
+    OrderQos {
+        /// The BoT (from [`Response::Registered`]).
+        bot: BotId,
+        /// Credits to provision (must be finite and non-negative).
+        credits: f64,
+        /// Strategy combination; `None` uses the service's
+        /// [`crate::SpeQuloS::default_strategy`].
+        strategy: Option<StrategyCombo>,
+    },
+    /// `getQoSInformation(BoTId)`: ask for a completion-time prediction.
+    Predict {
+        /// The BoT.
+        bot: BotId,
+    },
+    /// One monitoring period: report a progress snapshot; the response
+    /// carries the scheduler's cloud action.
+    ReportProgress {
+        /// The BoT.
+        bot: BotId,
+        /// The snapshot (its `now` field is the authoritative sample
+        /// time).
+        progress: BotProgress,
+    },
+    /// BoT completion: archive, stop billing, `pay` the order.
+    Complete {
+        /// The BoT.
+        bot: BotId,
+    },
+}
+
+/// The service's answer to a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Credits deposited; reports the new balance.
+    Deposited {
+        /// The account.
+        user: UserId,
+        /// Balance after the deposit.
+        balance: f64,
+    },
+    /// BoT registered; submissions must be tagged with this id.
+    Registered {
+        /// The assigned BoT id.
+        bot: BotId,
+    },
+    /// QoS order accepted.
+    Ordered {
+        /// The BoT.
+        bot: BotId,
+    },
+    /// Prediction result (`None` when too little progress exists to
+    /// extrapolate from).
+    Predicted {
+        /// The BoT.
+        bot: BotId,
+        /// The prediction, if one could be made.
+        prediction: Option<Prediction>,
+    },
+    /// Cloud action ordered by the Scheduler for this monitoring period.
+    Action {
+        /// The BoT.
+        bot: BotId,
+        /// The action the infrastructure must apply.
+        action: CloudAction,
+    },
+    /// Completion acknowledged; the order was paid.
+    Completed {
+        /// The BoT.
+        bot: BotId,
+    },
+    /// The request failed; no state was changed.
+    Error(RequestError),
+}
+
+/// Typed failure of a protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestError {
+    /// A Credit System error ([`CreditError`]), e.g. insufficient
+    /// credits, a duplicate order, or admission control refusing the
+    /// order on a saturated pool.
+    Credit(CreditError),
+    /// The request names a BoT the service never registered.
+    UnknownBot(BotId),
+    /// The request is malformed (e.g. a negative credit amount).
+    Invalid(String),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Credit(e) => write!(f, "credit system: {e}"),
+            RequestError::UnknownBot(bot) => write!(f, "unknown BoT {bot}"),
+            RequestError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<CreditError> for RequestError {
+    fn from(e: CreditError) -> Self {
+        RequestError::Credit(e)
+    }
+}
+
+/// The protocol entry point: anything that can serve SpeQuloS requests.
+///
+/// [`SpeQuloS`] implements this over its assembled modules; a remote
+/// frontend would implement it over a connection.
+pub trait SpqService {
+    /// Serves one request at service time `now`. Must never panic on any
+    /// request stream — failures are [`Response::Error`].
+    fn handle(&mut self, request: Request, now: SimTime) -> Response;
+}
+
+impl SpqService for SpeQuloS {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        match request {
+            Request::Deposit { user, credits } => {
+                if !credits.is_finite() || credits < 0.0 {
+                    return Response::Error(RequestError::Invalid(format!(
+                        "deposit of {credits} credits"
+                    )));
+                }
+                self.credits.deposit(user, credits);
+                Response::Deposited {
+                    user,
+                    balance: self.credits.balance(user),
+                }
+            }
+            Request::RegisterQos { user, env, size } => Response::Registered {
+                bot: self.register_qos(&env, size, user, now),
+            },
+            Request::OrderQos {
+                bot,
+                credits,
+                strategy,
+            } => {
+                if !credits.is_finite() || credits < 0.0 {
+                    return Response::Error(RequestError::Invalid(format!(
+                        "order of {credits} credits"
+                    )));
+                }
+                if self.user_of(bot).is_none() {
+                    return Response::Error(RequestError::UnknownBot(bot));
+                }
+                let strategy = strategy.unwrap_or_else(|| self.default_strategy());
+                match self.order_qos(bot, credits, strategy, now) {
+                    Ok(()) => Response::Ordered { bot },
+                    Err(e) => Response::Error(e.into()),
+                }
+            }
+            Request::Predict { bot } => {
+                if self.info().record(bot).is_none() {
+                    return Response::Error(RequestError::UnknownBot(bot));
+                }
+                Response::Predicted {
+                    bot,
+                    prediction: self.predict(bot, now),
+                }
+            }
+            Request::ReportProgress { bot, progress } => {
+                if self.info().record(bot).is_none() {
+                    return Response::Error(RequestError::UnknownBot(bot));
+                }
+                let tick_hours = self.tick_granularity().as_hours_f64();
+                Response::Action {
+                    bot,
+                    action: self.on_progress(bot, &progress, tick_hours),
+                }
+            }
+            Request::Complete { bot } => {
+                if self.info().record(bot).is_none() {
+                    return Response::Error(RequestError::UnknownBot(bot));
+                }
+                self.on_complete(bot, now);
+                Response::Completed { bot }
+            }
+        }
+    }
+}
+
+/// Replays a session — `(service time, request)` pairs, e.g. from
+/// [`decode_session`] — through a service, returning one response per
+/// request.
+pub fn replay<S: SpqService + ?Sized>(
+    service: &mut S,
+    session: &[(SimTime, Request)],
+) -> Vec<Response> {
+    session
+        .iter()
+        .map(|(now, req)| service.handle(req.clone(), *now))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding
+// ---------------------------------------------------------------------------
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn millis(t: SimTime) -> Value {
+    Value::Num(t.as_millis() as f64)
+}
+
+fn strategy_to_value(s: &StrategyCombo) -> Value {
+    let mut members = Vec::with_capacity(4);
+    let (kind, threshold) = match s.trigger {
+        Trigger::CompletionThreshold(t) => ("completion", Some(t)),
+        Trigger::AssignmentThreshold(t) => ("assignment", Some(t)),
+        Trigger::ExecutionVariance => ("variance", None),
+        Trigger::RateDrop { fraction } => ("rate_drop", Some(fraction)),
+    };
+    members.push(("trigger".into(), Value::Str(kind.into())));
+    if let Some(t) = threshold {
+        members.push(("threshold".into(), num(t)));
+    }
+    let prov = match s.provisioning {
+        Provisioning::Greedy => "greedy",
+        Provisioning::Conservative => "conservative",
+    };
+    members.push(("provisioning".into(), Value::Str(prov.into())));
+    let dep = match s.deployment {
+        DeployMode::Flat => "flat",
+        DeployMode::Reschedule => "reschedule",
+        DeployMode::CloudDuplication => "cloud_duplication",
+    };
+    members.push(("deployment".into(), Value::Str(dep.into())));
+    Value::Obj(members)
+}
+
+fn strategy_from_value(v: &Value) -> Result<StrategyCombo, String> {
+    let kind = v
+        .get("trigger")
+        .and_then(Value::as_str)
+        .ok_or("strategy needs a `trigger`")?;
+    let threshold = v.get("threshold").and_then(Value::as_f64);
+    let trigger = match (kind, threshold) {
+        ("completion", Some(t)) => Trigger::CompletionThreshold(t),
+        ("assignment", Some(t)) => Trigger::AssignmentThreshold(t),
+        ("variance", _) => Trigger::ExecutionVariance,
+        ("rate_drop", Some(t)) => Trigger::RateDrop { fraction: t },
+        (k, None) => return Err(format!("trigger `{k}` needs a `threshold`")),
+        (k, _) => return Err(format!("unknown trigger `{k}`")),
+    };
+    let provisioning = match v.get("provisioning").and_then(Value::as_str) {
+        Some("greedy") => Provisioning::Greedy,
+        Some("conservative") => Provisioning::Conservative,
+        other => return Err(format!("unknown provisioning {other:?}")),
+    };
+    let deployment = match v.get("deployment").and_then(Value::as_str) {
+        Some("flat") => DeployMode::Flat,
+        Some("reschedule") => DeployMode::Reschedule,
+        Some("cloud_duplication") => DeployMode::CloudDuplication,
+        other => return Err(format!("unknown deployment {other:?}")),
+    };
+    Ok(StrategyCombo {
+        trigger,
+        provisioning,
+        deployment,
+    })
+}
+
+fn progress_to_value(p: &BotProgress) -> Value {
+    Value::Obj(vec![
+        ("now".into(), millis(p.now)),
+        ("size".into(), num(p.size.into())),
+        ("completed".into(), num(p.completed.into())),
+        ("dispatched".into(), num(p.dispatched.into())),
+        ("queued".into(), num(p.queued.into())),
+        ("running".into(), num(p.running.into())),
+        ("cloud_running".into(), num(p.cloud_running.into())),
+    ])
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+fn progress_from_value(v: &Value) -> Result<BotProgress, String> {
+    Ok(BotProgress {
+        now: SimTime::from_millis(u64_field(v, "now")?),
+        size: u32_field(v, "size")?,
+        completed: u32_field(v, "completed")?,
+        dispatched: u32_field(v, "dispatched")?,
+        queued: u32_field(v, "queued")?,
+        running: u32_field(v, "running")?,
+        cloud_running: u32_field(v, "cloud_running")?,
+    })
+}
+
+fn action_to_value(a: CloudAction) -> Value {
+    match a {
+        CloudAction::None => Value::Str("none".into()),
+        CloudAction::Start(n) => Value::Obj(vec![("start".into(), num(n.into()))]),
+        CloudAction::StopAll => Value::Str("stop_all".into()),
+    }
+}
+
+fn action_from_value(v: &Value) -> Result<CloudAction, String> {
+    match v {
+        Value::Str(s) if s == "none" => Ok(CloudAction::None),
+        Value::Str(s) if s == "stop_all" => Ok(CloudAction::StopAll),
+        Value::Obj(_) => Ok(CloudAction::Start(u32_field(v, "start")?)),
+        other => Err(format!("invalid cloud action {other:?}")),
+    }
+}
+
+fn prediction_to_value(p: &Prediction) -> Value {
+    let mut members = vec![
+        ("completion_secs".into(), num(p.completion_secs)),
+        ("alpha".into(), num(p.alpha)),
+    ];
+    if let Some(rate) = p.success_rate {
+        members.push(("success_rate".into(), num(rate)));
+    }
+    Value::Obj(members)
+}
+
+fn prediction_from_value(v: &Value) -> Result<Prediction, String> {
+    Ok(Prediction {
+        completion_secs: f64_field(v, "completion_secs")?,
+        alpha: f64_field(v, "alpha")?,
+        success_rate: v.get("success_rate").and_then(Value::as_f64),
+    })
+}
+
+impl Request {
+    /// The request as a JSON value (an object tagged with `"req"`).
+    pub fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = Vec::with_capacity(4);
+        match self {
+            Request::Deposit { user, credits } => {
+                m.push(("req".into(), Value::Str("deposit".into())));
+                m.push(("user".into(), num(user.0 as f64)));
+                m.push(("credits".into(), num(*credits)));
+            }
+            Request::RegisterQos { user, env, size } => {
+                m.push(("req".into(), Value::Str("register_qos".into())));
+                m.push(("user".into(), num(user.0 as f64)));
+                m.push(("env".into(), Value::Str(env.clone())));
+                m.push(("size".into(), num((*size).into())));
+            }
+            Request::OrderQos {
+                bot,
+                credits,
+                strategy,
+            } => {
+                m.push(("req".into(), Value::Str("order_qos".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+                m.push(("credits".into(), num(*credits)));
+                if let Some(s) = strategy {
+                    m.push(("strategy".into(), strategy_to_value(s)));
+                }
+            }
+            Request::Predict { bot } => {
+                m.push(("req".into(), Value::Str("predict".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+            }
+            Request::ReportProgress { bot, progress } => {
+                m.push(("req".into(), Value::Str("report_progress".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+                m.push(("progress".into(), progress_to_value(progress)));
+            }
+            Request::Complete { bot } => {
+                m.push(("req".into(), Value::Str("complete".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+            }
+        }
+        Value::Obj(m)
+    }
+
+    /// Serializes the request as one JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Rebuilds a request from a JSON value produced by
+    /// [`Request::to_value`].
+    pub fn from_value(v: &Value) -> Result<Request, String> {
+        match str_field(v, "req")? {
+            "deposit" => Ok(Request::Deposit {
+                user: UserId(u64_field(v, "user")?),
+                credits: f64_field(v, "credits")?,
+            }),
+            "register_qos" => Ok(Request::RegisterQos {
+                user: UserId(u64_field(v, "user")?),
+                env: str_field(v, "env")?.to_string(),
+                size: u32_field(v, "size")?,
+            }),
+            "order_qos" => Ok(Request::OrderQos {
+                bot: BotId(u64_field(v, "bot")?),
+                credits: f64_field(v, "credits")?,
+                strategy: v.get("strategy").map(strategy_from_value).transpose()?,
+            }),
+            "predict" => Ok(Request::Predict {
+                bot: BotId(u64_field(v, "bot")?),
+            }),
+            "report_progress" => Ok(Request::ReportProgress {
+                bot: BotId(u64_field(v, "bot")?),
+                progress: progress_from_value(v.get("progress").ok_or("missing `progress`")?)?,
+            }),
+            "complete" => Ok(Request::Complete {
+                bot: BotId(u64_field(v, "bot")?),
+            }),
+            other => Err(format!("unknown request `{other}`")),
+        }
+    }
+
+    /// Parses one JSON-encoded request.
+    pub fn from_json(text: &str) -> Result<Request, String> {
+        Request::from_value(&json::parse(text)?)
+    }
+}
+
+impl Response {
+    /// The response as a JSON value (an object tagged with `"resp"`).
+    pub fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = Vec::with_capacity(3);
+        match self {
+            Response::Deposited { user, balance } => {
+                m.push(("resp".into(), Value::Str("deposited".into())));
+                m.push(("user".into(), num(user.0 as f64)));
+                m.push(("balance".into(), num(*balance)));
+            }
+            Response::Registered { bot } => {
+                m.push(("resp".into(), Value::Str("registered".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+            }
+            Response::Ordered { bot } => {
+                m.push(("resp".into(), Value::Str("ordered".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+            }
+            Response::Predicted { bot, prediction } => {
+                m.push(("resp".into(), Value::Str("predicted".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+                match prediction {
+                    Some(p) => m.push(("prediction".into(), prediction_to_value(p))),
+                    None => m.push(("prediction".into(), Value::Null)),
+                }
+            }
+            Response::Action { bot, action } => {
+                m.push(("resp".into(), Value::Str("action".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+                m.push(("action".into(), action_to_value(*action)));
+            }
+            Response::Completed { bot } => {
+                m.push(("resp".into(), Value::Str("completed".into())));
+                m.push(("bot".into(), num(bot.0 as f64)));
+            }
+            Response::Error(e) => {
+                m.push(("resp".into(), Value::Str("error".into())));
+                match e {
+                    RequestError::Credit(ce) => {
+                        let code = match ce {
+                            CreditError::InsufficientCredits => "insufficient_credits",
+                            CreditError::NoOrder => "no_order",
+                            CreditError::DuplicateOrder => "duplicate_order",
+                            CreditError::OrderClosed => "order_closed",
+                            CreditError::PoolSaturated => "pool_saturated",
+                        };
+                        m.push(("error".into(), Value::Str(code.into())));
+                    }
+                    RequestError::UnknownBot(bot) => {
+                        m.push(("error".into(), Value::Str("unknown_bot".into())));
+                        m.push(("bot".into(), num(bot.0 as f64)));
+                    }
+                    RequestError::Invalid(msg) => {
+                        m.push(("error".into(), Value::Str("invalid".into())));
+                        m.push(("message".into(), Value::Str(msg.clone())));
+                    }
+                }
+            }
+        }
+        Value::Obj(m)
+    }
+
+    /// Serializes the response as one JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Rebuilds a response from a JSON value produced by
+    /// [`Response::to_value`].
+    pub fn from_value(v: &Value) -> Result<Response, String> {
+        match str_field(v, "resp")? {
+            "deposited" => Ok(Response::Deposited {
+                user: UserId(u64_field(v, "user")?),
+                balance: f64_field(v, "balance")?,
+            }),
+            "registered" => Ok(Response::Registered {
+                bot: BotId(u64_field(v, "bot")?),
+            }),
+            "ordered" => Ok(Response::Ordered {
+                bot: BotId(u64_field(v, "bot")?),
+            }),
+            "predicted" => Ok(Response::Predicted {
+                bot: BotId(u64_field(v, "bot")?),
+                prediction: match v.get("prediction") {
+                    None | Some(Value::Null) => None,
+                    Some(p) => Some(prediction_from_value(p)?),
+                },
+            }),
+            "action" => Ok(Response::Action {
+                bot: BotId(u64_field(v, "bot")?),
+                action: action_from_value(v.get("action").ok_or("missing `action`")?)?,
+            }),
+            "completed" => Ok(Response::Completed {
+                bot: BotId(u64_field(v, "bot")?),
+            }),
+            "error" => {
+                let error = match str_field(v, "error")? {
+                    "insufficient_credits" => {
+                        RequestError::Credit(CreditError::InsufficientCredits)
+                    }
+                    "no_order" => RequestError::Credit(CreditError::NoOrder),
+                    "duplicate_order" => RequestError::Credit(CreditError::DuplicateOrder),
+                    "order_closed" => RequestError::Credit(CreditError::OrderClosed),
+                    "pool_saturated" => RequestError::Credit(CreditError::PoolSaturated),
+                    "unknown_bot" => RequestError::UnknownBot(BotId(u64_field(v, "bot")?)),
+                    "invalid" => RequestError::Invalid(str_field(v, "message")?.to_string()),
+                    other => return Err(format!("unknown error code `{other}`")),
+                };
+                Ok(Response::Error(error))
+            }
+            other => Err(format!("unknown response `{other}`")),
+        }
+    }
+
+    /// Parses one JSON-encoded response.
+    pub fn from_json(text: &str) -> Result<Response, String> {
+        Response::from_value(&json::parse(text)?)
+    }
+}
+
+fn tagged_entry(t: SimTime, inner: Value) -> Value {
+    let mut members = vec![("t".into(), millis(t))];
+    if let Value::Obj(m) = inner {
+        members.extend(m);
+    }
+    Value::Obj(members)
+}
+
+fn entry_time(v: &Value) -> Result<SimTime, String> {
+    Ok(SimTime::from_millis(u64_field(v, "t")?))
+}
+
+fn encode_entries(entries: impl Iterator<Item = Value>) -> String {
+    // One entry per line keeps transcripts line-diffable.
+    let lines: Vec<String> = entries.map(|v| v.to_json()).collect();
+    if lines.is_empty() {
+        "[]\n".to_string()
+    } else {
+        format!("[\n{}\n]\n", lines.join(",\n"))
+    }
+}
+
+/// Encodes a session — `(service time, request)` pairs — as a JSON array,
+/// one request object per line. The encoding round-trips bit-identically
+/// through [`decode_session`].
+pub fn encode_session(session: &[(SimTime, Request)]) -> String {
+    encode_entries(session.iter().map(|(t, r)| tagged_entry(*t, r.to_value())))
+}
+
+/// Decodes a session produced by [`encode_session`].
+pub fn decode_session(text: &str) -> Result<Vec<(SimTime, Request)>, String> {
+    let value = json::parse(text)?;
+    let items = value.as_array().ok_or("session must be a JSON array")?;
+    items
+        .iter()
+        .map(|v| Ok((entry_time(v)?, Request::from_value(v)?)))
+        .collect()
+}
+
+/// Encodes the responses of a replayed session, one per line.
+pub fn encode_responses(responses: &[Response]) -> String {
+    encode_entries(responses.iter().map(Response::to_value))
+}
+
+/// Decodes responses produced by [`encode_responses`].
+pub fn decode_responses(text: &str) -> Result<Vec<Response>, String> {
+    let value = json::parse(text)?;
+    let items = value.as_array().ok_or("responses must be a JSON array")?;
+    items.iter().map(Response::from_value).collect()
+}
+
+fn log_event_to_value(e: &LogEvent) -> Value {
+    let mut m: Vec<(String, Value)> = Vec::with_capacity(4);
+    let mut tag = |name: &str| m.push(("event".into(), Value::Str(name.into())));
+    match e {
+        LogEvent::RegisterQos { bot, env } => {
+            tag("register_qos");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("env".into(), Value::Str(env.clone())));
+        }
+        LogEvent::OrderQos { bot, credits } => {
+            tag("order_qos");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("credits".into(), num(*credits)));
+        }
+        LogEvent::Predicted {
+            bot,
+            completion_secs,
+            success_rate,
+        } => {
+            tag("predicted");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("completion_secs".into(), num(*completion_secs)));
+            if let Some(rate) = success_rate {
+                m.push(("success_rate".into(), num(*rate)));
+            }
+        }
+        LogEvent::StartCloudWorkers { bot, count } => {
+            tag("start_cloud_workers");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("count".into(), num((*count).into())));
+        }
+        LogEvent::StopCloudWorkers { bot } => {
+            tag("stop_cloud_workers");
+            m.push(("bot".into(), num(bot.0 as f64)));
+        }
+        LogEvent::Completed { bot } => {
+            tag("completed");
+            m.push(("bot".into(), num(bot.0 as f64)));
+        }
+        LogEvent::Paid { bot, refund } => {
+            tag("paid");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("refund".into(), num(*refund)));
+        }
+        LogEvent::Throttled {
+            bot,
+            requested,
+            granted,
+        } => {
+            tag("throttled");
+            m.push(("bot".into(), num(bot.0 as f64)));
+            m.push(("requested".into(), num((*requested).into())));
+            m.push(("granted".into(), num((*granted).into())));
+        }
+    }
+    Value::Obj(m)
+}
+
+fn log_event_from_value(v: &Value) -> Result<LogEvent, String> {
+    let bot = || Ok::<BotId, String>(BotId(u64_field(v, "bot")?));
+    match str_field(v, "event")? {
+        "register_qos" => Ok(LogEvent::RegisterQos {
+            bot: bot()?,
+            env: str_field(v, "env")?.to_string(),
+        }),
+        "order_qos" => Ok(LogEvent::OrderQos {
+            bot: bot()?,
+            credits: f64_field(v, "credits")?,
+        }),
+        "predicted" => Ok(LogEvent::Predicted {
+            bot: bot()?,
+            completion_secs: f64_field(v, "completion_secs")?,
+            success_rate: v.get("success_rate").and_then(Value::as_f64),
+        }),
+        "start_cloud_workers" => Ok(LogEvent::StartCloudWorkers {
+            bot: bot()?,
+            count: u32_field(v, "count")?,
+        }),
+        "stop_cloud_workers" => Ok(LogEvent::StopCloudWorkers { bot: bot()? }),
+        "completed" => Ok(LogEvent::Completed { bot: bot()? }),
+        "paid" => Ok(LogEvent::Paid {
+            bot: bot()?,
+            refund: f64_field(v, "refund")?,
+        }),
+        "throttled" => Ok(LogEvent::Throttled {
+            bot: bot()?,
+            requested: u32_field(v, "requested")?,
+            granted: u32_field(v, "granted")?,
+        }),
+        other => Err(format!("unknown log event `{other}`")),
+    }
+}
+
+/// Encodes a protocol log (e.g. [`SpeQuloS::log`]) as a JSON array, one
+/// event object per line.
+pub fn encode_log(log: &[(SimTime, LogEvent)]) -> String {
+    encode_entries(
+        log.iter()
+            .map(|(t, e)| tagged_entry(*t, log_event_to_value(e))),
+    )
+}
+
+/// Decodes a protocol log produced by [`encode_log`].
+pub fn decode_log(text: &str) -> Result<Vec<(SimTime, LogEvent)>, String> {
+    let value = json::parse(text)?;
+    let items = value.as_array().ok_or("log must be a JSON array")?;
+    items
+        .iter()
+        .map(|v| Ok((entry_time(v)?, log_event_from_value(v)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::credit::CreditError;
+
+    fn progress(secs: u64, done: u32, cloud: u32) -> BotProgress {
+        BotProgress {
+            now: SimTime::from_secs(secs),
+            size: 100,
+            completed: done,
+            dispatched: 100,
+            queued: 0,
+            running: 100 - done,
+            cloud_running: cloud,
+        }
+    }
+
+    #[test]
+    fn handle_runs_the_fig3_cycle() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(1);
+        let r = spq.handle(
+            Request::Deposit {
+                user,
+                credits: 1000.0,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            r,
+            Response::Deposited {
+                user,
+                balance: 1000.0
+            }
+        );
+        let Response::Registered { bot } = spq.handle(
+            Request::RegisterQos {
+                user,
+                env: "seti/XWHEP/SMALL".into(),
+                size: 100,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!("registration must succeed");
+        };
+        assert_eq!(
+            spq.handle(
+                Request::OrderQos {
+                    bot,
+                    credits: 150.0,
+                    strategy: None,
+                },
+                SimTime::ZERO,
+            ),
+            Response::Ordered { bot }
+        );
+        assert_eq!(spq.strategy(bot), Some(StrategyCombo::paper_default()));
+
+        for minute in 1..=89u64 {
+            let r = spq.handle(
+                Request::ReportProgress {
+                    bot,
+                    progress: progress(minute * 60, minute as u32, 0),
+                },
+                SimTime::from_secs(minute * 60),
+            );
+            assert_eq!(
+                r,
+                Response::Action {
+                    bot,
+                    action: CloudAction::None
+                },
+                "minute {minute}"
+            );
+        }
+        let Response::Predicted {
+            prediction: Some(p),
+            ..
+        } = spq.handle(Request::Predict { bot }, SimTime::from_secs(5_340))
+        else {
+            panic!("prediction must exist past 50%");
+        };
+        assert!(p.completion_secs > 0.0);
+
+        let Response::Action {
+            action: CloudAction::Start(n),
+            ..
+        } = spq.handle(
+            Request::ReportProgress {
+                bot,
+                progress: progress(5_400, 90, 0),
+            },
+            SimTime::from_secs(5_400),
+        )
+        else {
+            panic!("trigger at 90% must start the fleet");
+        };
+        assert!(n >= 1);
+
+        assert_eq!(
+            spq.handle(
+                Request::ReportProgress {
+                    bot,
+                    progress: progress(5_520, 100, n),
+                },
+                SimTime::from_secs(5_520),
+            ),
+            Response::Action {
+                bot,
+                action: CloudAction::StopAll
+            }
+        );
+        assert_eq!(
+            spq.handle(Request::Complete { bot }, SimTime::from_secs(5_520)),
+            Response::Completed { bot }
+        );
+        assert!(spq.credits.balance(user) > 850.0, "refund returned");
+    }
+
+    #[test]
+    fn unknown_bot_errors_do_not_panic() {
+        let mut spq = SpeQuloS::new();
+        let ghost = BotId(42);
+        for req in [
+            Request::OrderQos {
+                bot: ghost,
+                credits: 10.0,
+                strategy: None,
+            },
+            Request::Predict { bot: ghost },
+            Request::ReportProgress {
+                bot: ghost,
+                progress: progress(60, 1, 0),
+            },
+            Request::Complete { bot: ghost },
+        ] {
+            assert_eq!(
+                spq.handle(req, SimTime::ZERO),
+                Response::Error(RequestError::UnknownBot(ghost))
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_amounts_are_rejected() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(3);
+        assert!(matches!(
+            spq.handle(
+                Request::Deposit {
+                    user,
+                    credits: -5.0
+                },
+                SimTime::ZERO
+            ),
+            Response::Error(RequestError::Invalid(_))
+        ));
+        let Response::Registered { bot } = spq.handle(
+            Request::RegisterQos {
+                user,
+                env: "env".into(),
+                size: 10,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!();
+        };
+        assert!(matches!(
+            spq.handle(
+                Request::OrderQos {
+                    bot,
+                    credits: f64::NAN,
+                    strategy: None
+                },
+                SimTime::ZERO
+            ),
+            Response::Error(RequestError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn credit_errors_surface_typed() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(5);
+        let Response::Registered { bot } = spq.handle(
+            Request::RegisterQos {
+                user,
+                env: "env".into(),
+                size: 10,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!();
+        };
+        // No deposit: ordering fails with InsufficientCredits, typed.
+        assert_eq!(
+            spq.handle(
+                Request::OrderQos {
+                    bot,
+                    credits: 10.0,
+                    strategy: None
+                },
+                SimTime::ZERO
+            ),
+            Response::Error(RequestError::Credit(CreditError::InsufficientCredits))
+        );
+    }
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let requests = vec![
+            Request::Deposit {
+                user: UserId(1),
+                credits: 1000.5,
+            },
+            Request::RegisterQos {
+                user: UserId(1),
+                env: "g5klyo/XWHEP/BIG".into(),
+                size: 1000,
+            },
+            Request::OrderQos {
+                bot: BotId(0),
+                credits: 150.0,
+                strategy: Some(StrategyCombo::parse("9A-G-D").unwrap()),
+            },
+            Request::OrderQos {
+                bot: BotId(1),
+                credits: 10.0,
+                strategy: None,
+            },
+            Request::Predict { bot: BotId(0) },
+            Request::ReportProgress {
+                bot: BotId(0),
+                progress: progress(61, 7, 2),
+            },
+            Request::Complete { bot: BotId(0) },
+        ];
+        for req in &requests {
+            let text = req.to_json();
+            let back = Request::from_json(&text).expect("parses");
+            assert_eq!(&back, req, "{text}");
+            assert_eq!(back.to_json(), text, "re-encode bit-identical");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let responses = vec![
+            Response::Deposited {
+                user: UserId(1),
+                balance: 3.25,
+            },
+            Response::Registered { bot: BotId(7) },
+            Response::Ordered { bot: BotId(7) },
+            Response::Predicted {
+                bot: BotId(7),
+                prediction: Some(Prediction {
+                    completion_secs: 1234.5,
+                    success_rate: Some(0.75),
+                    alpha: 1.1,
+                }),
+            },
+            Response::Predicted {
+                bot: BotId(7),
+                prediction: None,
+            },
+            Response::Action {
+                bot: BotId(7),
+                action: CloudAction::Start(5),
+            },
+            Response::Action {
+                bot: BotId(7),
+                action: CloudAction::StopAll,
+            },
+            Response::Completed { bot: BotId(7) },
+            Response::Error(RequestError::Credit(CreditError::PoolSaturated)),
+            Response::Error(RequestError::UnknownBot(BotId(9))),
+            Response::Error(RequestError::Invalid("bad".into())),
+        ];
+        for resp in &responses {
+            let text = resp.to_json();
+            let back = Response::from_json(&text).expect("parses");
+            assert_eq!(&back, resp, "{text}");
+            assert_eq!(back.to_json(), text, "re-encode bit-identical");
+        }
+    }
+
+    #[test]
+    fn session_encoding_roundtrips() {
+        let session = vec![
+            (
+                SimTime::ZERO,
+                Request::Deposit {
+                    user: UserId(1),
+                    credits: 500.0,
+                },
+            ),
+            (
+                SimTime::from_secs(1),
+                Request::RegisterQos {
+                    user: UserId(1),
+                    env: "env".into(),
+                    size: 10,
+                },
+            ),
+            (
+                SimTime::from_secs(60),
+                Request::ReportProgress {
+                    bot: BotId(0),
+                    progress: progress(60, 1, 0),
+                },
+            ),
+        ];
+        let text = encode_session(&session);
+        let decoded = decode_session(&text).expect("decodes");
+        assert_eq!(decoded, session);
+        assert_eq!(encode_session(&decoded), text, "bit-identical");
+        assert_eq!(decode_session("[]\n").expect("empty"), vec![]);
+    }
+
+    #[test]
+    fn log_encoding_roundtrips() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(1);
+        spq.credits.deposit(user, 500.0);
+        let bot = spq.register_qos("env", 10, user, SimTime::ZERO);
+        spq.order_qos(bot, 100.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .unwrap();
+        let text = encode_log(spq.log());
+        let decoded = decode_log(&text).expect("decodes");
+        assert_eq!(decoded, spq.log());
+        assert_eq!(encode_log(&decoded), text);
+    }
+
+    #[test]
+    fn replay_reproduces_a_session() {
+        let session = vec![
+            (
+                SimTime::ZERO,
+                Request::Deposit {
+                    user: UserId(1),
+                    credits: 500.0,
+                },
+            ),
+            (
+                SimTime::ZERO,
+                Request::RegisterQos {
+                    user: UserId(1),
+                    env: "env".into(),
+                    size: 10,
+                },
+            ),
+            (
+                SimTime::ZERO,
+                Request::OrderQos {
+                    bot: BotId(0),
+                    credits: 100.0,
+                    strategy: None,
+                },
+            ),
+        ];
+        let mut a = SpeQuloS::new();
+        let mut b = SpeQuloS::new();
+        let ra = replay(&mut a, &session);
+        let rb = replay(&mut b, &session);
+        assert_eq!(ra, rb, "same session, same responses");
+        assert_eq!(a.log(), b.log(), "same protocol log");
+    }
+}

@@ -7,11 +7,12 @@
 //! or the credits run out.
 
 use crate::credit::{CreditSystem, CREDITS_PER_CPU_HOUR};
-use crate::info::Information;
-use crate::oracle::{Oracle, StrategyCombo};
+use crate::modules::{InfoBackend, OracleStrategy, SchedulingPolicy};
+use crate::oracle::{Provisioning, StrategyCombo};
 use crate::progress::BotProgress;
 use botwork::BotId;
-use std::collections::HashMap;
+use simcore::SimDuration;
+use std::collections::{HashMap, HashSet};
 
 /// Action the Scheduler orders after a monitoring tick.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +52,9 @@ impl Scheduler {
     /// by Algorithm 1's provisioning decision.
     ///
     /// `tick_hours` is the period length in hours (billing granularity).
+    /// The Information and Oracle modules come in behind their seams
+    /// ([`InfoBackend`] / [`OracleStrategy`]); concrete
+    /// [`crate::Information`] / [`crate::Oracle`] references coerce.
     // One parameter per collaborating module (Fig. 3); bundling them into
     // a context struct would only obscure the Algorithm 1/2 call shape.
     #[allow(clippy::too_many_arguments)]
@@ -58,8 +62,8 @@ impl Scheduler {
         &mut self,
         bot: BotId,
         progress: &BotProgress,
-        info: &Information,
-        oracle: &mut Oracle,
+        info: &dyn InfoBackend,
+        oracle: &mut dyn OracleStrategy,
         credits: &mut CreditSystem,
         strategy: StrategyCombo,
         tick_hours: f64,
@@ -135,11 +139,167 @@ impl Scheduler {
     }
 }
 
+/// The paper's Scheduler is the default [`SchedulingPolicy`].
+impl SchedulingPolicy for Scheduler {
+    fn tick(
+        &mut self,
+        bot: BotId,
+        progress: &BotProgress,
+        info: &dyn InfoBackend,
+        oracle: &mut dyn OracleStrategy,
+        credits: &mut CreditSystem,
+        strategy: StrategyCombo,
+        tick_hours: f64,
+    ) -> CloudAction {
+        Scheduler::tick(
+            self, bot, progress, info, oracle, credits, strategy, tick_hours,
+        )
+    }
+
+    fn cloud_started(&self, bot: BotId) -> bool {
+        Scheduler::cloud_started(self, bot)
+    }
+
+    fn reset_start(&mut self, bot: BotId) {
+        Scheduler::reset_start(self, bot);
+    }
+
+    fn forget(&mut self, bot: BotId) {
+        Scheduler::forget(self, bot);
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A deadline-aware [`SchedulingPolicy`] the paper never evaluated —
+/// proof that the scheduling seam opens new scenarios.
+///
+/// Where the paper's [`Scheduler`] waits for the strategy trigger and
+/// sizes the fleet *once*, `GreedyUntilTc` watches the constant-rate
+/// completion estimate `tc = elapsed / completion_ratio` and provisions
+/// greedily — topping the fleet up every tick — for as long as the BoT is
+/// projected to miss its target completion time `tc_target`. Once the
+/// estimate comes back under the target the policy stops adding workers
+/// (running ones keep billing until completion or exhaustion, Algorithm 2
+/// unchanged). Useful for deadline-driven tenants who would rather burn
+/// their whole credit order than finish late.
+///
+/// Select it through the builder:
+///
+/// ```
+/// use simcore::SimDuration;
+/// use spequlos::{GreedyUntilTc, SpeQuloS};
+///
+/// let spq = SpeQuloS::builder()
+///     .policy(GreedyUntilTc::new(SimDuration::from_hours(2)))
+///     .build();
+/// # let _ = spq;
+/// ```
+#[derive(Clone, Debug)]
+pub struct GreedyUntilTc {
+    /// Target completion time, measured from each BoT's submission.
+    pub target: SimDuration,
+    /// BoTs for which at least one `Start` was issued.
+    started: HashSet<u64>,
+}
+
+impl GreedyUntilTc {
+    /// A policy aiming every BoT at completing within `target` of its
+    /// submission.
+    pub fn new(target: SimDuration) -> Self {
+        GreedyUntilTc {
+            target,
+            started: HashSet::new(),
+        }
+    }
+}
+
+impl SchedulingPolicy for GreedyUntilTc {
+    fn tick(
+        &mut self,
+        bot: BotId,
+        progress: &BotProgress,
+        info: &dyn InfoBackend,
+        oracle: &mut dyn OracleStrategy,
+        credits: &mut CreditSystem,
+        _strategy: StrategyCombo,
+        tick_hours: f64,
+    ) -> CloudAction {
+        // --- Algorithm 2 (unchanged): bill and stop running workers -----
+        if progress.cloud_running > 0 {
+            let bill = progress.cloud_running as f64 * tick_hours * CREDITS_PER_CPU_HOUR;
+            let _ = credits.bill(bot, bill);
+            if progress.is_complete() || !credits.has_credits(bot) {
+                return CloudAction::StopAll;
+            }
+        }
+        if progress.is_complete() {
+            return CloudAction::None;
+        }
+
+        // --- Deadline watch: provision while projected to miss tc -------
+        if !credits.has_credits(bot) {
+            return CloudAction::None;
+        }
+        let Some(record) = info.record(bot) else {
+            return CloudAction::None;
+        };
+        let elapsed = progress.now.since(record.submitted_at).as_secs_f64();
+        let ratio = record.completion_ratio();
+        // Constant-rate projection; before any completion the projection is
+        // unbounded, so act only once the deadline itself has passed.
+        let projected = if ratio > 0.0 {
+            elapsed / ratio
+        } else if elapsed >= self.target.as_secs_f64() {
+            f64::INFINITY
+        } else {
+            return CloudAction::None;
+        };
+        if projected <= self.target.as_secs_f64() {
+            return CloudAction::None; // on track
+        }
+        // Greedy sizing, re-evaluated every tick: the whole remaining
+        // order, converted to workers, minus what already runs.
+        let desired = oracle.workers_to_start(
+            record,
+            progress.now,
+            Provisioning::Greedy,
+            credits.remaining(bot),
+        );
+        let delta = desired.saturating_sub(progress.cloud_running);
+        if delta == 0 {
+            return CloudAction::None;
+        }
+        self.started.insert(bot.0);
+        CloudAction::Start(delta)
+    }
+
+    fn cloud_started(&self, bot: BotId) -> bool {
+        self.started.contains(&bot.0)
+    }
+
+    fn reset_start(&mut self, _bot: BotId) {
+        // Nothing to reset: the policy re-evaluates provisioning every
+        // tick, so a denied grant is retried naturally.
+    }
+
+    fn forget(&mut self, bot: BotId) {
+        self.started.remove(&bot.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::credit::UserId;
-    use crate::oracle::Trigger;
+    use crate::info::Information;
+    use crate::oracle::{Oracle, Trigger};
     use simcore::SimTime;
 
     const BOT: BotId = BotId(1);

@@ -16,12 +16,13 @@
 
 use crate::credit::{CreditError, CreditSystem, FavorLedger, UserId};
 use crate::info::Information;
+use crate::modules::{InfoBackend, OracleStrategy, SchedulingPolicy};
 use crate::oracle::{Oracle, Prediction, StrategyCombo};
 use crate::progress::BotProgress;
 use crate::scheduler::{CloudAction, Scheduler};
 use crate::tenancy::{CloudPool, TenantMetrics};
 use botwork::BotId;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// One entry of the protocol log (the arrows of Fig. 3).
@@ -136,21 +137,29 @@ pub enum LogEvent {
 /// assert!(spq.credits.balance(user) > 850.0, "refund returned");
 /// # Ok::<(), spequlos::CreditError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SpeQuloS {
-    /// Information module (monitoring + archive).
-    pub info: Information,
+    /// Information module (monitoring + archive), behind the
+    /// [`InfoBackend`] seam. Default: the in-memory [`Information`] store.
+    info: Box<dyn InfoBackend>,
     /// Credit System module (accounts + orders).
     pub credits: CreditSystem,
-    /// Oracle module (prediction + strategies).
-    pub oracle: Oracle,
-    /// Scheduler module (Algorithms 1 & 2).
-    pub scheduler: Scheduler,
+    /// Oracle module (prediction + strategies), behind the
+    /// [`OracleStrategy`] seam. Default: the paper's [`Oracle`].
+    oracle: Box<dyn OracleStrategy>,
+    /// Scheduler module, behind the [`SchedulingPolicy`] seam. Default:
+    /// the paper's [`Scheduler`] (Algorithms 1 & 2).
+    scheduler: Box<dyn SchedulingPolicy>,
     /// Network-of-favors ledger (§3.3): the arbiter's tie-breaker. The
     /// service records cloud consumption here at `pay` time; donations are
     /// recorded by the operator (or harness) for peers that contribute
     /// computation to others.
     pub favors: FavorLedger,
+    /// Strategy used when a protocol `OrderQos` request names none.
+    default_strategy: StrategyCombo,
+    /// Clock granularity: the monitoring/billing period assumed by the
+    /// wire protocol's `ReportProgress` requests.
+    tick: SimDuration,
     strategies: HashMap<u64, StrategyCombo>,
     users: HashMap<u64, UserId>,
     next_bot: u64,
@@ -161,6 +170,117 @@ pub struct SpeQuloS {
     tenants: HashMap<u64, TenantMetrics>,
 }
 
+impl Default for SpeQuloS {
+    /// The builder's default assembly: the paper's modules, no pool.
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Assembles a [`SpeQuloS`] service from pluggable modules.
+///
+/// Obtained from [`SpeQuloS::builder`]; every knob has the paper's
+/// default, so `SpeQuloS::builder().build()` equals [`SpeQuloS::new`].
+///
+/// ```
+/// use simcore::SimDuration;
+/// use spequlos::{GreedyUntilTc, SpeQuloS, StrategyCombo};
+///
+/// let spq = SpeQuloS::builder()
+///     .pool(16)                                            // shared cloud pool
+///     .default_strategy(StrategyCombo::parse("9A-G-D").unwrap())
+///     .policy(GreedyUntilTc::new(SimDuration::from_hours(4)))
+///     .tick(SimDuration::from_secs(30))                    // clock granularity
+///     .build();
+/// assert_eq!(spq.pool().unwrap().capacity(), 16);
+/// assert_eq!(spq.default_strategy().to_string(), "9A-G-D");
+/// ```
+#[derive(Debug)]
+pub struct SpeQuloSBuilder {
+    info: Box<dyn InfoBackend>,
+    oracle: Box<dyn OracleStrategy>,
+    scheduler: Box<dyn SchedulingPolicy>,
+    pool: Option<u32>,
+    default_strategy: StrategyCombo,
+    tick: SimDuration,
+}
+
+impl Default for SpeQuloSBuilder {
+    fn default() -> Self {
+        SpeQuloSBuilder {
+            info: Box::new(Information::new()),
+            oracle: Box::new(Oracle::new()),
+            scheduler: Box::new(Scheduler::new()),
+            pool: None,
+            default_strategy: StrategyCombo::paper_default(),
+            tick: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl SpeQuloSBuilder {
+    /// Arbitrates all tenants over a shared pool of `capacity` cloud
+    /// workers (see [`crate::tenancy`]). Without this the cloud is
+    /// unbounded — the paper's single-BoT evaluation setting.
+    pub fn pool(mut self, capacity: u32) -> Self {
+        self.pool = Some(capacity);
+        self
+    }
+
+    /// Replaces the Information module.
+    pub fn info(mut self, info: impl InfoBackend + 'static) -> Self {
+        self.info = Box::new(info);
+        self
+    }
+
+    /// Replaces the Oracle module.
+    pub fn oracle(mut self, oracle: impl OracleStrategy + 'static) -> Self {
+        self.oracle = Box::new(oracle);
+        self
+    }
+
+    /// Replaces the Scheduler module (e.g. with
+    /// [`crate::GreedyUntilTc`]).
+    pub fn policy(mut self, policy: impl SchedulingPolicy + 'static) -> Self {
+        self.scheduler = Box::new(policy);
+        self
+    }
+
+    /// Strategy combination applied when a protocol `OrderQos` request
+    /// names none (default: the paper's `9C-C-R`).
+    pub fn default_strategy(mut self, strategy: StrategyCombo) -> Self {
+        self.default_strategy = strategy;
+        self
+    }
+
+    /// Clock granularity: the monitoring/billing period the wire
+    /// protocol's `ReportProgress` requests are billed at (default: the
+    /// paper's one minute).
+    pub fn tick(mut self, tick: SimDuration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Assembles the service.
+    pub fn build(self) -> SpeQuloS {
+        SpeQuloS {
+            info: self.info,
+            credits: CreditSystem::new(),
+            oracle: self.oracle,
+            scheduler: self.scheduler,
+            favors: FavorLedger::new(),
+            default_strategy: self.default_strategy,
+            tick: self.tick,
+            strategies: HashMap::new(),
+            users: HashMap::new(),
+            next_bot: 0,
+            log: Vec::new(),
+            pool: self.pool.map(CloudPool::new),
+            tenants: HashMap::new(),
+        }
+    }
+}
+
 impl SpeQuloS {
     /// Creates an empty service with an unbounded cloud (the paper's
     /// single-BoT evaluation setting).
@@ -168,13 +288,55 @@ impl SpeQuloS {
         Self::default()
     }
 
+    /// A builder assembling the service from pluggable modules (pool
+    /// capacity, default strategy, scheduling policy, clock granularity).
+    pub fn builder() -> SpeQuloSBuilder {
+        SpeQuloSBuilder::default()
+    }
+
     /// Creates a service arbitrating all tenants over a shared pool of
     /// `capacity` cloud workers (see [`crate::tenancy`]).
     pub fn with_pool(capacity: u32) -> Self {
-        SpeQuloS {
-            pool: Some(CloudPool::new(capacity)),
-            ..Self::default()
-        }
+        Self::builder().pool(capacity).build()
+    }
+
+    /// The Information module.
+    pub fn info(&self) -> &dyn InfoBackend {
+        self.info.as_ref()
+    }
+
+    /// The Information module, mutably (e.g. to
+    /// [`InfoBackend::archive_execution`] bootstrap history).
+    pub fn info_mut(&mut self) -> &mut dyn InfoBackend {
+        self.info.as_mut()
+    }
+
+    /// The Oracle module.
+    pub fn oracle(&self) -> &dyn OracleStrategy {
+        self.oracle.as_ref()
+    }
+
+    /// The Scheduler module.
+    pub fn scheduler(&self) -> &dyn SchedulingPolicy {
+        self.scheduler.as_ref()
+    }
+
+    /// The Scheduler module, mutably (ablations toggle
+    /// [`Scheduler::allow_topup`] through a downcast-free seam by
+    /// rebuilding instead; this accessor serves policies that expose
+    /// runtime knobs).
+    pub fn scheduler_mut(&mut self) -> &mut dyn SchedulingPolicy {
+        self.scheduler.as_mut()
+    }
+
+    /// Strategy used when a protocol `OrderQos` request names none.
+    pub fn default_strategy(&self) -> StrategyCombo {
+        self.default_strategy
+    }
+
+    /// Clock granularity (the `ReportProgress` billing period).
+    pub fn tick_granularity(&self) -> SimDuration {
+        self.tick
     }
 
     /// The shared cloud pool, if this service arbitrates one.
@@ -243,7 +405,7 @@ impl SpeQuloS {
     pub fn predict(&mut self, bot: BotId, now: SimTime) -> Option<Prediction> {
         let record = self.info.record(bot)?;
         let history = self.info.history(&record.env);
-        let p = Oracle::predict_completion(record, history, now)?;
+        let p = self.oracle.predict(record, history, now)?;
         self.log.push((
             now,
             LogEvent::Predicted {
@@ -281,8 +443,8 @@ impl SpeQuloS {
         let action = self.scheduler.tick(
             bot,
             progress,
-            &self.info,
-            &mut self.oracle,
+            self.info.as_ref(),
+            self.oracle.as_mut(),
             &mut self.credits,
             strategy,
             tick_hours,
@@ -464,7 +626,7 @@ mod tests {
         assert_eq!(a, CloudAction::StopAll);
         spq.on_complete(bot, SimTime::from_secs(5520));
         assert!(spq.credits.balance(user) > 850.0, "refund returned");
-        assert_eq!(spq.info.history("seti/XWHEP/SMALL").len(), 1);
+        assert_eq!(spq.info().history("seti/XWHEP/SMALL").len(), 1);
 
         // Log contains the Fig. 3 protocol sequence in order.
         let kinds: Vec<&'static str> = spq
@@ -644,7 +806,7 @@ mod tests {
         )
         .expect("one open order of four: admitted");
         // Tenant 1 triggers: pool exhausted ⇒ denial, no Start.
-        spq.info.sample(b1, &p); // it needs a progress history to trigger
+        spq.info_mut().sample(b1, &p); // it needs a progress history to trigger
         let a1 = spq.on_progress(b1, &progress(7260, 100, 90, 0), 1.0 / 60.0);
         assert_eq!(a1, CloudAction::None);
         assert_eq!(spq.tenant_metrics(b1).throttled_ticks, 1);
@@ -726,6 +888,41 @@ mod tests {
             .log()
             .iter()
             .any(|(_, e)| matches!(e, LogEvent::Throttled { .. })));
+    }
+
+    #[test]
+    fn builder_swaps_in_the_deadline_policy() {
+        use crate::scheduler::GreedyUntilTc;
+
+        // A service assembled with the deadline-aware policy bursts as
+        // soon as the BoT is projected to miss its target — long before
+        // the paper's 90% trigger would fire.
+        let mut spq = SpeQuloS::builder()
+            .policy(GreedyUntilTc::new(SimDuration::from_hours(1)))
+            .build();
+        let user = UserId(1);
+        spq.credits.deposit(user, 1500.0);
+        let bot = spq.register_qos("env", 100, user, SimTime::ZERO);
+        spq.order_qos(bot, 1500.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .unwrap();
+        // t = 30 min, 10% done → projected completion 5 h ≫ 1 h target.
+        let p = progress(1800, 100, 10, 0);
+        let a = spq.on_progress(bot, &p, 1.0 / 60.0);
+        let CloudAction::Start(n) = a else {
+            panic!("deadline policy must burst early, got {a:?}");
+        };
+        assert_eq!(n, 100, "greedy: the whole 100 CPU·h order at once");
+        assert!(spq.scheduler().cloud_started(bot));
+
+        // The paper's default policy sees the same snapshot and does
+        // nothing — the seam, not the data, changed the behaviour.
+        let mut paper = SpeQuloS::new();
+        paper.credits.deposit(user, 1500.0);
+        let b = paper.register_qos("env", 100, user, SimTime::ZERO);
+        paper
+            .order_qos(b, 1500.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(paper.on_progress(b, &p, 1.0 / 60.0), CloudAction::None);
     }
 
     #[test]

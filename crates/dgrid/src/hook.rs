@@ -6,6 +6,12 @@
 //! sampled once a minute, and can only start or stop cloud workers. This
 //! trait enforces exactly that boundary — the hook receives a [`TickView`]
 //! and answers with a [`CloudCommand`]; it cannot reach into the servers.
+//!
+//! On the service side this boundary is the wire protocol: the harness
+//! hooks (`spq-harness::SpqHook` and friends) translate each [`TickView`]
+//! into a `ReportProgress` message for the SpeQuloS service and each
+//! returned action back into a [`CloudCommand`], so a simulated tick and
+//! a `spequlos::protocol` request carry exactly the same information.
 
 use simcore::SimTime;
 

@@ -144,8 +144,9 @@ pub fn run_edgi(seed: u64, bots_per_dg: u32, scale: f64) -> EdgiReport {
     report
 }
 
-/// `run_with_spequlos`, but with the cloud commands mirrored into a
-/// provider driver for per-cloud accounting.
+/// A single QoS run (`Experiment::run_qos` in miniature), but with the
+/// cloud commands mirrored into a provider driver for per-cloud
+/// accounting.
 fn run_metered(
     scenario: &Scenario,
     mut service: SpeQuloS,

@@ -1,0 +1,537 @@
+//! The unified experiment API: one builder for every run mode.
+//!
+//! Historically the harness exposed four unrelated free functions —
+//! `run_baseline`, `run_with_spequlos`, `run_paired`, `run_multi_tenant` —
+//! and every repro binary, bench and example wired them up by hand. An
+//! [`Experiment`] replaces all four behind one builder:
+//!
+//! ```
+//! use betrace::Preset;
+//! use botwork::BotClass;
+//! use spequlos::StrategyCombo;
+//! use spq_harness::{Experiment, MwKind, Scenario};
+//!
+//! let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
+//!     .with_strategy(StrategyCombo::paper_default());
+//! sc.scale = 0.3; // shrink the cluster for a quick run
+//!
+//! // Seed-paired baseline + SpeQuloS comparison (§4.2.1):
+//! let paired = Experiment::new(sc.clone()).paired().run_paired();
+//! assert!(paired.baseline.completed && paired.speq.completed);
+//!
+//! // Multi-tenant: 4 concurrent BoTs over a shared 8-worker pool:
+//! let report = Experiment::new(sc).tenants(4).pool(8).run_multi_tenant();
+//! assert_eq!(report.tenants.len(), 4);
+//! ```
+//!
+//! The run mode is inferred: `.tenants(n)` selects a multi-tenant run,
+//! `.paired()` a seed-paired comparison, otherwise the scenario runs alone
+//! — with SpeQuloS when it carries a strategy, bare baseline when not.
+//! `run()` returns the mode-tagged [`Outcome`]; the typed `run_*`
+//! shortcuts skip the match when the mode is statically known.
+
+use crate::runner::{
+    metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SharedSpqHook, SpqHook,
+    TenantOutcome,
+};
+use crate::scenario::{MultiTenantScenario, Scenario, TenantArrivals};
+use botwork::{generate, Bot, BotId};
+use dgrid::{run_many, GridSim, NoQos};
+use simcore::SimTime;
+use spequlos::{tail_removal_efficiency, SpeQuloS, UserId, CREDITS_PER_CPU_HOUR};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A runnable experiment: one scenario plus the run-mode knobs.
+///
+/// Built with [`Experiment::new`], configured with the chained setters,
+/// executed with [`Experiment::run`] (or a typed `run_*` shortcut). See
+/// the [module docs](self) for examples and the migration map from the
+/// deprecated free functions.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    scenario: Scenario,
+    paired: bool,
+    tenants: Option<u32>,
+    pool: Option<u32>,
+    arrivals: TenantArrivals,
+    service: Option<SpeQuloS>,
+}
+
+/// What an [`Experiment::run`] produced, tagged by run mode.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// A bare BE-DCI execution (no strategy on the scenario).
+    Baseline(ExecutionMetrics),
+    /// A single QoS-supported execution, with the final service state
+    /// (billing, archive, favors).
+    Qos {
+        /// The execution's metrics.
+        metrics: ExecutionMetrics,
+        /// The service after the run (boxed: the service carries the
+        /// whole execution archive).
+        service: Box<SpeQuloS>,
+    },
+    /// A seed-paired baseline + SpeQuloS comparison.
+    Paired(PairedRun),
+    /// A multi-tenant run over a shared service and pool.
+    MultiTenant(MultiTenantReport),
+}
+
+impl Outcome {
+    /// The execution metrics of a single-run outcome (the SpeQuloS side
+    /// of a paired run).
+    ///
+    /// # Panics
+    /// Panics on a multi-tenant outcome — use [`Outcome::into_multi_tenant`].
+    pub fn into_metrics(self) -> ExecutionMetrics {
+        match self {
+            Outcome::Baseline(m) => m,
+            Outcome::Qos { metrics, .. } => metrics,
+            Outcome::Paired(p) => p.speq,
+            Outcome::MultiTenant(_) => {
+                panic!("multi-tenant outcome has per-tenant metrics; use into_multi_tenant()")
+            }
+        }
+    }
+
+    /// The paired comparison.
+    ///
+    /// # Panics
+    /// Panics unless the experiment ran `.paired()`.
+    pub fn into_paired(self) -> PairedRun {
+        match self {
+            Outcome::Paired(p) => p,
+            other => panic!("expected a paired outcome, got {}", other.mode_name()),
+        }
+    }
+
+    /// The multi-tenant report.
+    ///
+    /// # Panics
+    /// Panics unless the experiment ran `.tenants(n)`.
+    pub fn into_multi_tenant(self) -> MultiTenantReport {
+        match self {
+            Outcome::MultiTenant(r) => r,
+            other => panic!("expected a multi-tenant outcome, got {}", other.mode_name()),
+        }
+    }
+
+    fn mode_name(&self) -> &'static str {
+        match self {
+            Outcome::Baseline(_) => "baseline",
+            Outcome::Qos { .. } => "qos",
+            Outcome::Paired(_) => "paired",
+            Outcome::MultiTenant(_) => "multi-tenant",
+        }
+    }
+}
+
+impl Experiment {
+    /// An experiment over one scenario. The run mode defaults to a single
+    /// execution — with SpeQuloS when the scenario carries a strategy,
+    /// bare baseline otherwise.
+    pub fn new(scenario: Scenario) -> Self {
+        Experiment {
+            scenario,
+            paired: false,
+            tenants: None,
+            pool: None,
+            arrivals: TenantArrivals::Simultaneous,
+            service: None,
+        }
+    }
+
+    /// A multi-tenant experiment from an explicit [`MultiTenantScenario`].
+    pub fn from_multi_tenant(mt: MultiTenantScenario) -> Self {
+        Experiment::new(mt.base)
+            .tenants(mt.tenants)
+            .pool(mt.pool_capacity)
+            .arrivals(mt.arrivals)
+    }
+
+    /// Runs the same seed with and without SpeQuloS (§4.2.1's fair
+    /// comparison). Requires a strategy on the scenario.
+    pub fn paired(mut self) -> Self {
+        self.paired = true;
+        self
+    }
+
+    /// Runs `n` concurrent tenants against one shared service; pair with
+    /// [`Experiment::pool`]. Tenant `i` runs the scenario with seed
+    /// `base.seed + i` (see [`MultiTenantScenario`]).
+    pub fn tenants(mut self, n: u32) -> Self {
+        self.tenants = Some(n);
+        self
+    }
+
+    /// Caps the shared cloud-worker pool at `capacity` (multi-tenant
+    /// runs; on a single QoS run it builds the service with
+    /// [`SpeQuloS::with_pool`]).
+    pub fn pool(mut self, capacity: u32) -> Self {
+        self.pool = Some(capacity);
+        self
+    }
+
+    /// Tenant arrival pattern (multi-tenant runs; default simultaneous).
+    pub fn arrivals(mut self, arrivals: TenantArrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Seeds a single QoS run with an existing service — credits, archive
+    /// and favor state carry over (e.g. to accumulate prediction history
+    /// across runs). Only meaningful for QoS and paired runs (the QoS
+    /// half); baseline and multi-tenant modes reject a configured service
+    /// instead of silently discarding its state.
+    pub fn service(mut self, service: SpeQuloS) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// Overrides the scenario's strategy.
+    pub fn strategy(mut self, strategy: spequlos::StrategyCombo) -> Self {
+        self.scenario.strategy = Some(strategy);
+        self
+    }
+
+    /// Executes the experiment in its configured mode.
+    pub fn run(self) -> Outcome {
+        if self.tenants.is_some() {
+            Outcome::MultiTenant(self.run_multi_tenant())
+        } else if self.paired {
+            Outcome::Paired(self.run_paired())
+        } else if self.scenario.strategy.is_some() {
+            let (metrics, service) = self.run_qos();
+            Outcome::Qos {
+                metrics,
+                service: Box::new(service),
+            }
+        } else {
+            assert!(
+                self.service.is_none(),
+                "a .service(…) was configured but the scenario has no strategy: \
+                 a baseline run would silently discard the carried service state \
+                 — add a strategy or drop the .service() call"
+            );
+            Outcome::Baseline(self.run_baseline())
+        }
+    }
+
+    /// Generates the experiment's BoT (deterministic in `(class, seed)`).
+    pub fn bot(&self) -> Bot {
+        generate(self.scenario.class, BotId(0), self.scenario.seed)
+    }
+
+    /// Runs the scenario without SpeQuloS (the paper's baseline),
+    /// ignoring any strategy it carries.
+    pub fn run_baseline(&self) -> ExecutionMetrics {
+        let mut sc = self.scenario.clone();
+        sc.strategy = None;
+        let bot = generate(sc.class, BotId(0), sc.seed);
+        let dci = sc.preset.spec().build(sc.seed, sc.scale);
+        let sim = GridSim::new(dci, &bot, sc.sim_config(), sc.seed, NoQos);
+        let (result, _) = sim.run();
+        metrics_from(&sc, &result, 0.0, 0.0, bot.size() as u32)
+    }
+
+    /// Runs the scenario with SpeQuloS. Uses the service from
+    /// [`Experiment::service`] if one was provided (fresh otherwise —
+    /// pooled via [`Experiment::pool`] when set), and returns the service
+    /// back with the metrics.
+    ///
+    /// # Panics
+    /// Panics if the scenario has no strategy.
+    pub fn run_qos(self) -> (ExecutionMetrics, SpeQuloS) {
+        let scenario = &self.scenario;
+        let strategy = scenario
+            .strategy
+            .expect("a QoS experiment requires a strategy on the scenario");
+        let mut service = self.service.unwrap_or_else(|| match self.pool {
+            Some(capacity) => SpeQuloS::with_pool(capacity),
+            None => SpeQuloS::new(),
+        });
+        let bot = generate(scenario.class, BotId(0), scenario.seed);
+        let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
+
+        // Credits worth `credit_fraction` of the BoT workload (§4.1.3).
+        let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
+        let user = UserId(0);
+        service.credits.deposit(user, credits);
+        let bot_id = service.register_qos(&scenario.env(), bot.size() as u32, user, SimTime::ZERO);
+        service
+            .order_qos(bot_id, credits, strategy, SimTime::ZERO)
+            .expect("freshly deposited credits cover the order");
+
+        let tick_hours = scenario.tick.as_hours_f64();
+        let hook = SpqHook::new(service, bot_id, tick_hours);
+        let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
+        let (result, hook) = sim.run();
+        let service = hook.spq;
+        let spent = service.credits.spent(bot_id);
+        let metrics = metrics_from(scenario, &result, credits, spent, bot.size() as u32);
+        (metrics, service)
+    }
+
+    /// Runs the same scenario with and without SpeQuloS on the same seed
+    /// and scores the Tail Removal Efficiency.
+    ///
+    /// # Panics
+    /// Panics if the scenario has no strategy.
+    pub fn run_paired(self) -> PairedRun {
+        let baseline = self.run_baseline();
+        let (speq, _service) = self.run_qos();
+        let tre = match (&baseline.tail, baseline.completed, speq.completed) {
+            (Some(tail), true, true) => tail_removal_efficiency(
+                tail.ideal,
+                SimTime::from_secs_f64(baseline.completion_secs),
+                SimTime::from_secs_f64(speq.completion_secs),
+            ),
+            _ => None,
+        };
+        let speedup = if speq.completion_secs > 0.0 {
+            baseline.completion_secs / speq.completion_secs
+        } else {
+            1.0
+        };
+        PairedRun {
+            baseline,
+            speq,
+            tre,
+            speedup,
+        }
+    }
+
+    /// Runs `tenants` concurrent BoT executions against one shared
+    /// SpeQuloS service with a bounded cloud-worker pool. Deterministic:
+    /// the same experiment reproduces the same report bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the scenario has no strategy, if `.tenants(n)` /
+    /// `.pool(capacity)` were not both configured, or if a `.service(…)`
+    /// was configured (multi-tenant runs build their own pooled service;
+    /// silently discarding a carried one would lose its state).
+    pub fn run_multi_tenant(self) -> MultiTenantReport {
+        let tenants = self
+            .tenants
+            .expect("a multi-tenant experiment requires .tenants(n)");
+        let pool_capacity = self
+            .pool
+            .expect("a multi-tenant experiment requires .pool(capacity)");
+        assert!(
+            self.service.is_none(),
+            "multi-tenant experiments build their own pooled service; \
+             a carried .service(…) would be silently discarded"
+        );
+        let mt = MultiTenantScenario {
+            base: self.scenario,
+            tenants,
+            arrivals: self.arrivals,
+            pool_capacity,
+        };
+        let strategy = mt
+            .base
+            .strategy
+            .expect("a multi-tenant experiment requires a strategy on the scenario");
+        let offsets = mt.arrivals.offsets(mt.tenants);
+        let spq = Rc::new(RefCell::new(SpeQuloS::with_pool(mt.pool_capacity)));
+
+        let mut sims = Vec::with_capacity(mt.tenants as usize);
+        let mut meta = Vec::with_capacity(mt.tenants as usize);
+        for i in 0..mt.tenants {
+            let sc = mt.tenant_scenario(i);
+            let mut bot = generate(sc.class, BotId(0), sc.seed);
+            let offset = offsets[i as usize];
+            for task in &mut bot.tasks {
+                task.arrival += offset;
+            }
+            let dci = sc.preset.spec().build(sc.seed, sc.scale);
+            let credits = sc.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
+            let user = UserId(u64::from(i));
+            let bot_id = {
+                let mut service = spq.borrow_mut();
+                service.credits.deposit(user, credits);
+                service.register_qos(&sc.env(), bot.size() as u32, user, SimTime::ZERO + offset)
+            };
+            let hook = SharedSpqHook::new(
+                spq.clone(),
+                bot_id,
+                SimTime::ZERO + offset,
+                credits,
+                strategy,
+                sc.tick.as_hours_f64(),
+            );
+            sims.push(GridSim::new(dci, &bot, sc.sim_config(), sc.seed, hook));
+            meta.push((i, user, offset, sc, credits, bot.size() as u32));
+        }
+
+        let results = run_many(sims);
+        let mut tenants = Vec::with_capacity(results.len());
+        let mut events = 0u64;
+        {
+            let service = spq.borrow();
+            for ((result, hook), (i, user, offset, sc, credits, size)) in
+                results.into_iter().zip(meta)
+            {
+                events += result.events;
+                let admitted = hook.admitted().unwrap_or(false);
+                let bot = hook.bot();
+                let spent = service.credits.spent(bot);
+                let provisioned = if admitted { credits } else { 0.0 };
+                let metrics = metrics_from(&sc, &result, provisioned, spent, size);
+                tenants.push(TenantOutcome {
+                    tenant: i,
+                    user,
+                    bot,
+                    admitted,
+                    offset,
+                    metrics,
+                    qos: service.tenant_metrics(bot),
+                });
+            }
+        }
+        let peak = spq
+            .borrow()
+            .pool()
+            .map(|p| p.peak_in_use())
+            .unwrap_or_default();
+        let service = Rc::try_unwrap(spq)
+            .expect("all hooks dropped with their simulations")
+            .into_inner();
+        MultiTenantReport {
+            tenants,
+            pool_capacity: mt.pool_capacity,
+            peak_pool_in_use: peak,
+            events,
+            service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::MwKind;
+    use betrace::Preset;
+    use botwork::BotClass;
+    use spequlos::StrategyCombo;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
+        s.scale = 0.5;
+        s
+    }
+
+    #[test]
+    fn baseline_completes_and_uses_no_cloud() {
+        let m = Experiment::new(quick_scenario(1)).run_baseline();
+        assert!(m.completed);
+        assert_eq!(m.cloud.workers_started, 0);
+        assert_eq!(m.credits_spent, 0.0);
+        assert!(m.completion_secs > 0.0);
+        assert_eq!(m.env, "g5klyo/XWHEP/BIG");
+    }
+
+    #[test]
+    fn qos_run_bills_credits_within_provision() {
+        let sc = quick_scenario(2).with_strategy(StrategyCombo::paper_default());
+        let env = sc.env();
+        let (m, service) = Experiment::new(sc).run_qos();
+        assert!(m.completed);
+        assert!(m.credits_provisioned > 0.0);
+        assert!(m.credits_spent <= m.credits_provisioned + 1e-9);
+        // The service archived the execution for future predictions.
+        assert_eq!(service.info().history(&env).len(), 1);
+    }
+
+    #[test]
+    fn run_infers_the_mode() {
+        let base = Experiment::new(quick_scenario(3)).run();
+        assert!(matches!(base, Outcome::Baseline(_)));
+        let sc = quick_scenario(3).with_strategy(StrategyCombo::paper_default());
+        let qos = Experiment::new(sc.clone()).run();
+        assert!(matches!(qos, Outcome::Qos { .. }));
+        let paired = Experiment::new(sc.clone()).paired().run();
+        assert!(matches!(paired, Outcome::Paired(_)));
+        let mt = Experiment::new(sc).tenants(2).pool(8).run();
+        assert!(matches!(mt, Outcome::MultiTenant(_)));
+    }
+
+    #[test]
+    fn paired_run_baseline_not_slower_much() {
+        // SpeQuloS must never make the execution dramatically worse; on a
+        // churny trace it should usually help.
+        let sc = quick_scenario(3).with_strategy(StrategyCombo::paper_default());
+        let p = Experiment::new(sc).paired().run_paired();
+        assert!(p.baseline.completed && p.speq.completed);
+        assert!(
+            p.speq.completion_secs <= p.baseline.completion_secs * 1.05,
+            "speq {} vs baseline {}",
+            p.speq.completion_secs,
+            p.baseline.completion_secs
+        );
+        if let Some(tre) = p.tre {
+            assert!(tre <= 1.0);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_run_is_deterministic() {
+        let base = quick_scenario(7).with_strategy(StrategyCombo::paper_default());
+        let exp = Experiment::new(base).tenants(3).pool(6);
+        let a = exp.clone().run_multi_tenant();
+        let b = exp.run_multi_tenant();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(ta.metrics.completion_secs, tb.metrics.completion_secs);
+            assert_eq!(ta.metrics.credits_spent, tb.metrics.credits_spent);
+            assert_eq!(ta.qos, tb.qos);
+        }
+    }
+
+    #[test]
+    fn single_tenant_pool_run_matches_unpooled_run_when_uncontended() {
+        // One tenant over a pool far larger than any request: arbitration
+        // must be invisible — the execution equals the plain SpeQuloS run.
+        let sc = quick_scenario(5).with_strategy(StrategyCombo::paper_default());
+        let (solo, _) = Experiment::new(sc.clone()).run_qos();
+        let report = Experiment::new(sc)
+            .tenants(1)
+            .pool(10_000)
+            .run_multi_tenant();
+        let t = &report.tenants[0];
+        assert!(t.admitted);
+        assert_eq!(t.metrics.completion_secs, solo.completion_secs);
+        assert_eq!(t.metrics.events, solo.events);
+        assert_eq!(t.metrics.credits_spent, solo.credits_spent);
+        assert_eq!(t.metrics.cloud, solo.cloud);
+        assert_eq!(t.qos.denied, 0);
+    }
+
+    #[test]
+    fn paired_runs_share_the_pre_trigger_trajectory() {
+        // Same seed ⇒ identical completion curve up to (shortly before)
+        // the trigger point: compare tc(0.5) of both runs.
+        let sc = quick_scenario(4).with_strategy(StrategyCombo::paper_default());
+        let p = Experiment::new(sc).paired().run_paired();
+        let b = p.baseline.tc(0.5).expect("baseline reaches 50%");
+        let s = p.speq.tc(0.5).expect("speq reaches 50%");
+        assert_eq!(b, s, "pre-trigger trajectories must match");
+    }
+
+    #[test]
+    fn service_state_carries_across_runs() {
+        let sc = quick_scenario(6).with_strategy(StrategyCombo::paper_default());
+        let env = sc.env();
+        let (_, service) = Experiment::new(sc.clone()).run_qos();
+        let mut sc2 = sc;
+        sc2.seed = 60;
+        let (_, service) = Experiment::new(sc2).service(service).run_qos();
+        assert_eq!(
+            service.info().history(&env).len(),
+            2,
+            "archive accumulates across .service() chaining"
+        );
+    }
+}

@@ -7,23 +7,30 @@
 //! strategy) space, prediction-quality scoring, and the EDGI composite
 //! deployment of §5.
 //!
+//! Every run mode goes through one [`Experiment`] builder:
+//!
 //! ```
 //! use betrace::Preset;
 //! use botwork::BotClass;
-//! use spq_harness::{run_paired, MwKind, Scenario};
+//! use spq_harness::{Experiment, MwKind, Scenario};
 //! use spequlos::StrategyCombo;
 //!
 //! let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
 //!     .with_strategy(StrategyCombo::paper_default());
 //! sc.scale = 0.3; // shrink the cluster for a quick run
-//! let paired = run_paired(&sc);
+//! let paired = Experiment::new(sc).paired().run_paired();
 //! assert!(paired.baseline.completed && paired.speq.completed);
 //! ```
+//!
+//! The pre-builder free functions (`run_baseline`, `run_with_spequlos`,
+//! `run_paired`, `run_multi_tenant`) remain as deprecated shims; see the
+//! README's migration note for the one-line mapping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod edgi;
+pub mod experiment;
 pub mod prediction;
 pub mod report;
 pub mod runner;
@@ -31,11 +38,13 @@ pub mod scenario;
 pub mod sweep;
 
 pub use edgi::{run_edgi, EdgiReport};
+pub use experiment::{Experiment, Outcome};
 pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
 pub use report::{pct, secs, write_file, Table};
 pub use runner::{
-    bot_of, run_baseline, run_multi_tenant, run_paired, run_with_spequlos, ExecutionMetrics,
-    MultiTenantReport, PairedRun, SharedSpqHook, SpqHook, TenantOutcome,
+    bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SharedSpqHook, SpqHook, TenantOutcome,
 };
+#[allow(deprecated)]
+pub use runner::{run_baseline, run_multi_tenant, run_paired, run_with_spequlos};
 pub use scenario::{deployment_of, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 pub use sweep::parallel_map;

@@ -1,15 +1,19 @@
-//! Executes scenarios: baseline runs, SpeQuloS runs, the seed-paired
-//! combination the Tail-Removal-Efficiency metric requires, and
-//! multi-tenant runs in which N concurrent BoTs share one service, one
-//! credit economy and one bounded cloud-worker pool.
+//! Execution plumbing shared by every run mode: the QoS hooks bridging
+//! the simulator to a [`SpeQuloS`] service, the per-run metric types, and
+//! thin deprecated shims keeping the pre-[`Experiment`] free functions
+//! (`run_baseline` & co.) compiling.
+//!
+//! New code should drive runs through [`Experiment`]
+//! (`Experiment::new(scenario).paired().run()`); the free functions here
+//! delegate to it one-to-one.
 
+use crate::experiment::Experiment;
 use crate::scenario::{MultiTenantScenario, Scenario};
 use botwork::{generate, Bot, BotId};
-use dgrid::{run_many, CloudCommand, CloudUsage, GridSim, NoQos, QosHook, TickView};
+use dgrid::{CloudCommand, CloudUsage, QosHook, TickView};
 use simcore::{SimDuration, SimTime, TimeSeries};
 use spequlos::{
-    tail_removal_efficiency, tail_stats, BotProgress, CloudAction, SpeQuloS, StrategyCombo,
-    TailStats, TenantMetrics, UserId, CREDITS_PER_CPU_HOUR,
+    tail_stats, BotProgress, CloudAction, SpeQuloS, StrategyCombo, TailStats, TenantMetrics, UserId,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -116,7 +120,7 @@ pub fn bot_of(scenario: &Scenario) -> Bot {
     generate(scenario.class, BotId(0), scenario.seed)
 }
 
-fn metrics_from(
+pub(crate) fn metrics_from(
     scenario: &Scenario,
     result: &dgrid::RunResult,
     credits_provisioned: f64,
@@ -147,12 +151,12 @@ fn metrics_from(
 }
 
 /// Runs the scenario without SpeQuloS (the paper's baseline).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(scenario).run_baseline()`"
+)]
 pub fn run_baseline(scenario: &Scenario) -> ExecutionMetrics {
-    let bot = bot_of(scenario);
-    let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
-    let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, NoQos);
-    let (result, _) = sim.run();
-    metrics_from(scenario, &result, 0.0, 0.0, bot.size() as u32)
+    Experiment::new(scenario.clone()).run_baseline()
 }
 
 /// Runs the scenario with SpeQuloS using `service` (pass a fresh service,
@@ -161,33 +165,12 @@ pub fn run_baseline(scenario: &Scenario) -> ExecutionMetrics {
 ///
 /// # Panics
 /// Panics if the scenario has no strategy.
-pub fn run_with_spequlos(
-    scenario: &Scenario,
-    mut service: SpeQuloS,
-) -> (ExecutionMetrics, SpeQuloS) {
-    let strategy = scenario
-        .strategy
-        .expect("run_with_spequlos requires a strategy");
-    let bot = bot_of(scenario);
-    let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
-
-    // Credits worth `credit_fraction` of the BoT workload (§4.1.3).
-    let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
-    let user = UserId(0);
-    service.credits.deposit(user, credits);
-    let bot_id = service.register_qos(&scenario.env(), bot.size() as u32, user, SimTime::ZERO);
-    service
-        .order_qos(bot_id, credits, strategy, SimTime::ZERO)
-        .expect("freshly deposited credits cover the order");
-
-    let tick_hours = scenario.tick.as_hours_f64();
-    let hook = SpqHook::new(service, bot_id, tick_hours);
-    let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
-    let (result, hook) = sim.run();
-    let service = hook.spq;
-    let spent = service.credits.spent(bot_id);
-    let metrics = metrics_from(scenario, &result, credits, spent, bot.size() as u32);
-    (metrics, service)
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(scenario).service(service).run_qos()`"
+)]
+pub fn run_with_spequlos(scenario: &Scenario, service: SpeQuloS) -> (ExecutionMetrics, SpeQuloS) {
+    Experiment::new(scenario.clone()).service(service).run_qos()
 }
 
 /// A seed-paired baseline + SpeQuloS comparison (§4.2.1: "using the same
@@ -209,30 +192,12 @@ pub struct PairedRun {
 ///
 /// # Panics
 /// Panics if the scenario has no strategy.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(scenario).paired().run_paired()`"
+)]
 pub fn run_paired(scenario: &Scenario) -> PairedRun {
-    let mut base_sc = scenario.clone();
-    base_sc.strategy = None;
-    let baseline = run_baseline(&base_sc);
-    let (speq, _service) = run_with_spequlos(scenario, SpeQuloS::new());
-    let tre = match (&baseline.tail, baseline.completed, speq.completed) {
-        (Some(tail), true, true) => tail_removal_efficiency(
-            tail.ideal,
-            SimTime::from_secs_f64(baseline.completion_secs),
-            SimTime::from_secs_f64(speq.completion_secs),
-        ),
-        _ => None,
-    };
-    let speedup = if speq.completion_secs > 0.0 {
-        baseline.completion_secs / speq.completion_secs
-    } else {
-        1.0
-    };
-    PairedRun {
-        baseline,
-        speq,
-        tre,
-        speedup,
-    }
+    Experiment::new(scenario.clone()).paired().run_paired()
 }
 
 /// QoS adapter for one tenant of a shared service: like [`SpqHook`] but
@@ -376,87 +341,22 @@ impl MultiTenantReport {
 ///
 /// # Panics
 /// Panics if the base scenario has no strategy.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Experiment::new(base).tenants(n).pool(cap).run_multi_tenant()`"
+)]
 pub fn run_multi_tenant(mt: &MultiTenantScenario) -> MultiTenantReport {
-    let strategy = mt
-        .base
-        .strategy
-        .expect("run_multi_tenant requires a strategy");
-    let offsets = mt.arrivals.offsets(mt.tenants);
-    let spq = Rc::new(RefCell::new(SpeQuloS::with_pool(mt.pool_capacity)));
-
-    let mut sims = Vec::with_capacity(mt.tenants as usize);
-    let mut meta = Vec::with_capacity(mt.tenants as usize);
-    for i in 0..mt.tenants {
-        let sc = mt.tenant_scenario(i);
-        let mut bot = bot_of(&sc);
-        let offset = offsets[i as usize];
-        for task in &mut bot.tasks {
-            task.arrival += offset;
-        }
-        let dci = sc.preset.spec().build(sc.seed, sc.scale);
-        let credits = sc.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
-        let user = UserId(u64::from(i));
-        let bot_id = {
-            let mut service = spq.borrow_mut();
-            service.credits.deposit(user, credits);
-            service.register_qos(&sc.env(), bot.size() as u32, user, SimTime::ZERO + offset)
-        };
-        let hook = SharedSpqHook::new(
-            spq.clone(),
-            bot_id,
-            SimTime::ZERO + offset,
-            credits,
-            strategy,
-            sc.tick.as_hours_f64(),
-        );
-        sims.push(GridSim::new(dci, &bot, sc.sim_config(), sc.seed, hook));
-        meta.push((i, user, offset, sc, credits, bot.size() as u32));
-    }
-
-    let results = run_many(sims);
-    let mut tenants = Vec::with_capacity(results.len());
-    let mut events = 0u64;
-    {
-        let service = spq.borrow();
-        for ((result, hook), (i, user, offset, sc, credits, size)) in results.into_iter().zip(meta)
-        {
-            events += result.events;
-            let admitted = hook.admitted().unwrap_or(false);
-            let bot = hook.bot();
-            let spent = service.credits.spent(bot);
-            let provisioned = if admitted { credits } else { 0.0 };
-            let metrics = metrics_from(&sc, &result, provisioned, spent, size);
-            tenants.push(TenantOutcome {
-                tenant: i,
-                user,
-                bot,
-                admitted,
-                offset,
-                metrics,
-                qos: service.tenant_metrics(bot),
-            });
-        }
-    }
-    let peak = spq
-        .borrow()
-        .pool()
-        .map(|p| p.peak_in_use())
-        .unwrap_or_default();
-    let service = Rc::try_unwrap(spq)
-        .expect("all hooks dropped with their simulations")
-        .into_inner();
-    MultiTenantReport {
-        tenants,
-        pool_capacity: mt.pool_capacity,
-        peak_pool_in_use: peak,
-        events,
-        service,
-    }
+    Experiment::from_multi_tenant(mt.clone()).run_multi_tenant()
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions must keep producing exactly what the
+    // Experiment builder produces until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::experiment::Experiment;
     use crate::scenario::MwKind;
     use betrace::Preset;
     use botwork::BotClass;
@@ -468,84 +368,28 @@ mod tests {
     }
 
     #[test]
-    fn baseline_completes_and_uses_no_cloud() {
-        let m = run_baseline(&quick_scenario(1));
-        assert!(m.completed);
-        assert_eq!(m.cloud.workers_started, 0);
-        assert_eq!(m.credits_spent, 0.0);
-        assert!(m.completion_secs > 0.0);
-        assert_eq!(m.env, "g5klyo/XWHEP/BIG");
-    }
+    fn legacy_shims_match_the_experiment_builder() {
+        let sc = quick_scenario(9).with_strategy(StrategyCombo::paper_default());
 
-    #[test]
-    fn spequlos_run_bills_credits_within_provision() {
-        let sc = quick_scenario(2).with_strategy(StrategyCombo::paper_default());
-        let (m, service) = run_with_spequlos(&sc, SpeQuloS::new());
-        assert!(m.completed);
-        assert!(m.credits_provisioned > 0.0);
-        assert!(m.credits_spent <= m.credits_provisioned + 1e-9);
-        // The service archived the execution for future predictions.
-        assert_eq!(service.info.history(&sc.env()).len(), 1);
-    }
+        let shim = run_baseline(&sc);
+        let exp = Experiment::new(sc.clone()).run_baseline();
+        assert_eq!(shim.completion_secs, exp.completion_secs);
+        assert_eq!(shim.events, exp.events);
 
-    #[test]
-    fn paired_run_baseline_not_slower_much() {
-        // SpeQuloS must never make the execution dramatically worse; on a
-        // churny trace it should usually help.
-        let sc = quick_scenario(3).with_strategy(StrategyCombo::paper_default());
-        let p = run_paired(&sc);
-        assert!(p.baseline.completed && p.speq.completed);
-        assert!(
-            p.speq.completion_secs <= p.baseline.completion_secs * 1.05,
-            "speq {} vs baseline {}",
-            p.speq.completion_secs,
-            p.baseline.completion_secs
-        );
-        if let Some(tre) = p.tre {
-            assert!(tre <= 1.0);
-        }
-    }
+        let (shim, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        let (exp, _) = Experiment::new(sc.clone()).run_qos();
+        assert_eq!(shim.completion_secs, exp.completion_secs);
+        assert_eq!(shim.credits_spent, exp.credits_spent);
 
-    #[test]
-    fn multi_tenant_run_is_deterministic() {
-        let base = quick_scenario(7).with_strategy(StrategyCombo::paper_default());
-        let mt = crate::scenario::MultiTenantScenario::new(base, 3, 6);
-        let a = run_multi_tenant(&mt);
-        let b = run_multi_tenant(&mt);
-        assert_eq!(a.events, b.events);
-        assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
-        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
-            assert_eq!(ta.metrics.completion_secs, tb.metrics.completion_secs);
-            assert_eq!(ta.metrics.credits_spent, tb.metrics.credits_spent);
-            assert_eq!(ta.qos, tb.qos);
-        }
-    }
+        let shim = run_paired(&sc);
+        let exp = Experiment::new(sc.clone()).paired().run_paired();
+        assert_eq!(shim.speedup, exp.speedup);
+        assert_eq!(shim.tre, exp.tre);
 
-    #[test]
-    fn single_tenant_pool_run_matches_unpooled_run_when_uncontended() {
-        // One tenant over a pool far larger than any request: arbitration
-        // must be invisible — the execution equals the plain SpeQuloS run.
-        let sc = quick_scenario(5).with_strategy(StrategyCombo::paper_default());
-        let (solo, _) = run_with_spequlos(&sc, SpeQuloS::new());
-        let mt = crate::scenario::MultiTenantScenario::new(sc, 1, 10_000);
-        let report = run_multi_tenant(&mt);
-        let t = &report.tenants[0];
-        assert!(t.admitted);
-        assert_eq!(t.metrics.completion_secs, solo.completion_secs);
-        assert_eq!(t.metrics.events, solo.events);
-        assert_eq!(t.metrics.credits_spent, solo.credits_spent);
-        assert_eq!(t.metrics.cloud, solo.cloud);
-        assert_eq!(t.qos.denied, 0);
-    }
-
-    #[test]
-    fn paired_runs_share_the_pre_trigger_trajectory() {
-        // Same seed ⇒ identical completion curve up to (shortly before)
-        // the trigger point: compare tc(0.5) of both runs.
-        let sc = quick_scenario(4).with_strategy(StrategyCombo::paper_default());
-        let p = run_paired(&sc);
-        let b = p.baseline.tc(0.5).expect("baseline reaches 50%");
-        let s = p.speq.tc(0.5).expect("speq reaches 50%");
-        assert_eq!(b, s, "pre-trigger trajectories must match");
+        let mt = MultiTenantScenario::new(sc, 2, 6);
+        let shim = run_multi_tenant(&mt);
+        let exp = Experiment::from_multi_tenant(mt).run_multi_tenant();
+        assert_eq!(shim.events, exp.events);
+        assert_eq!(shim.peak_pool_in_use, exp.peak_pool_in_use);
     }
 }

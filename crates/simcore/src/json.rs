@@ -1,0 +1,469 @@
+//! Dependency-free JSON: a subset parser and a deterministic writer.
+//!
+//! The build environment has no registry access, so the workspace carries
+//! its own minimal JSON implementation instead of `serde`. It is shared by
+//! two consumers with the same constraints:
+//!
+//! * the bench telemetry records (`BENCH_<name>.json`, see
+//!   `spq-bench::telemetry`), and
+//! * the SpeQuloS wire protocol (`spequlos::protocol`), whose session
+//!   transcripts must round-trip bit-identically (encode → decode →
+//!   re-encode yields the same bytes).
+//!
+//! Supported: objects (member order preserved), arrays, strings with the
+//! standard escapes, numbers (kept as `f64`), booleans and null. Numbers
+//! are written with [`fmt_f64`] — Rust's shortest-roundtrip float
+//! formatting, with a `.0` suffix on integral values — which is what makes
+//! the round-trip guarantee hold.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, with member order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative number
+    /// with no fractional part (integer ids and millisecond timestamps).
+    /// Fractional values are rejected rather than silently truncated.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Looks up a member of an object by key (`None` for non-objects and
+    /// missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes the value compactly (no insignificant whitespace).
+    /// Deterministic: the same value always produces the same bytes, and
+    /// `parse(v.to_json())` reproduces `v` exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => out.push_str(&fmt_f64(*n)),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shortest-roundtrip float formatting, with a `.0` suffix so integral
+/// values still read as JSON numbers that parse back to `f64`.
+///
+/// JSON has no representation for non-finite numbers, so infinities and
+/// NaN are written as `null` — the output always parses (a consumer sees
+/// a clean "missing or invalid field" error instead of an unreadable
+/// document). The `parse(v.to_json()) == v` round-trip therefore holds
+/// for finite numbers only.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maximum container nesting [`parse`] accepts. Bounds recursion so
+/// hostile input (e.g. a megabyte of `[`) errors instead of overflowing
+/// the stack — this parser sits on the wire-protocol seam where
+/// untrusted requests arrive.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document (trailing whitespace allowed). Rejects
+/// documents nested deeper than [`MAX_DEPTH`].
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos, depth + 1)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(b, pos)?;
+                        // Standards-compliant encoders write non-BMP
+                        // characters as UTF-16 surrogate pairs: combine
+                        // them; a lone surrogate is an error, not a
+                        // silent U+FFFD.
+                        let scalar = if (0xD800..=0xDBFF).contains(&code) {
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return Err(format!("lone high surrogate at byte {pos}"));
+                            }
+                            *pos += 2;
+                            let low = parse_hex4(b, pos)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(format!("invalid low surrogate at byte {pos}"));
+                            }
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err(format!("lone low surrogate at byte {pos}"));
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = b
+        .get(*pos..*pos + 4)
+        .ok_or("truncated \\u escape")
+        .and_then(|h| std::str::from_utf8(h).map_err(|_| "non-utf8 \\u escape"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_nested_and_literals() {
+        let v = parse(r#"{"a": [1, 2.5, true, null], "b": {"c": "x"}}"#).expect("parse");
+        let obj = v.as_object().expect("obj");
+        assert_eq!(obj.len(), 2);
+        assert_eq!(
+            obj[0].1,
+            Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Num(2.5),
+                Value::Bool(true),
+                Value::Null,
+            ])
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips_bit_identically() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("a \"quoted\"\nline".into())),
+            ("n".into(), Value::Num(0.1 + 0.2)), // not representable exactly
+            ("whole".into(), Value::Num(42.0)),
+            (
+                "items".into(),
+                Value::Arr(vec![Value::Null, Value::Bool(false), Value::Num(-1.5)]),
+            ),
+            ("empty".into(), Value::Obj(vec![])),
+        ]);
+        let text = v.to_json();
+        let reparsed = parse(&text).expect("own output parses");
+        assert_eq!(reparsed, v);
+        assert_eq!(reparsed.to_json(), text, "encode → decode → re-encode");
+    }
+
+    #[test]
+    fn fmt_f64_is_shortest_roundtrip() {
+        assert_eq!(fmt_f64(1.0), "1.0");
+        assert_eq!(fmt_f64(1.25), "1.25");
+        let v: f64 = 0.1 + 0.2;
+        assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn escape_covers_control_chars() {
+        assert_eq!(escape("a\tb\u{1}"), "a\\tb\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_parseable_null() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let text = Value::Obj(vec![("x".into(), Value::Num(v))]).to_json();
+            let parsed = parse(&text).expect("output must always parse");
+            assert_eq!(parsed.get("x"), Some(&Value::Null));
+        }
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Value::Num(5.0).as_u64(), Some(5));
+        assert_eq!(Value::Num(5.9).as_u64(), None, "no silent truncation");
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Str("5".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_error() {
+        // A standards-compliant encoder writes U+1F600 as a pair.
+        let v = parse(r#""\ud83d\ude00""#).expect("surrogate pair");
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Round-trip: our writer emits the scalar directly.
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+        // Lone or malformed surrogates are errors, not silent U+FFFD.
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low");
+        assert!(parse(r#""\ud83dx""#).is_err(), "high + non-escape");
+        assert!(parse(r#""\ud83dA""#).is_err(), "high + non-low");
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).expect_err("must reject, not crash");
+        assert!(err.contains("nesting"), "{err}");
+        // Depths at the limit still parse.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -14,7 +14,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use simcore::SimDuration;
 use spequlos::{LogEvent, StrategyCombo};
-use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
+use spq_harness::{Experiment, MwKind, Scenario, TenantArrivals};
 
 fn main() {
     let mut base = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
@@ -22,18 +22,19 @@ fn main() {
     base.scale = 0.3;
 
     // Six tenants arriving over one hour, competing for six cloud workers.
-    let mt = MultiTenantScenario::new(base, 6, 6).with_arrivals(TenantArrivals::Uniform {
-        window: SimDuration::from_hours(1),
-    });
+    let (tenants, pool) = (6, 6);
+    let exp = Experiment::new(base)
+        .tenants(tenants)
+        .pool(pool)
+        .arrivals(TenantArrivals::Uniform {
+            window: SimDuration::from_hours(1),
+        });
 
     println!("SpeQuloS multi-tenant demo");
     println!("==========================");
-    println!(
-        "{} tenants, pool of {} cloud workers, uniform arrivals over 1 h\n",
-        mt.tenants, mt.pool_capacity
-    );
+    println!("{tenants} tenants, pool of {pool} cloud workers, uniform arrivals over 1 h\n");
 
-    let report = run_multi_tenant(&mt);
+    let report = exp.run_multi_tenant();
     println!("tenant  admitted  completed  makespan(s)  spent  granted  denied");
     for t in &report.tenants {
         // completion_secs is absolute shared-clock time; the tenant's own

@@ -9,8 +9,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spequlos::{LogEvent, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
-use spq_harness::{run_paired, MwKind, Scenario};
+use spequlos::{protocol, LogEvent, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
+use spq_harness::{Experiment, MwKind, Scenario};
 
 fn main() {
     // A SMALL BoT (1000 × 1h tasks) on a churny best-effort cluster.
@@ -31,7 +31,7 @@ fn main() {
     );
 
     // Paired execution: the same seed with and without SpeQuloS.
-    let paired = run_paired(&scenario);
+    let paired = Experiment::new(scenario.clone()).paired().run_paired();
 
     println!(
         "without SpeQuloS : completed in {:>8.0} s",
@@ -72,7 +72,7 @@ fn main() {
     let (metrics, service) = {
         let mut sc = scenario.clone();
         sc.seed = 43;
-        spq_harness::run_with_spequlos(&sc, service)
+        Experiment::new(sc).service(service).run_qos()
     };
     let _ = user;
     for (t, ev) in service.log() {
@@ -111,4 +111,18 @@ fn main() {
         "\nsecond run completed in {:.0} s using {:.1} credits",
         metrics.completion_secs, metrics.credits_spent
     );
+
+    // The same log as a wire-format transcript (spequlos::protocol): a
+    // diffable JSON document any frontend can decode and replay.
+    let transcript = protocol::encode_log(service.log());
+    let decoded = protocol::decode_log(&transcript).expect("own transcript decodes");
+    assert_eq!(decoded.as_slice(), service.log(), "lossless round-trip");
+    println!(
+        "\nJSON transcript: {} events, {} bytes; first entries:",
+        service.log().len(),
+        transcript.len()
+    );
+    for line in transcript.lines().skip(1).take(3) {
+        println!("  {}", line.trim_end_matches(','));
+    }
 }

@@ -12,7 +12,7 @@ use betrace::{BidLadder, MarketParams, Preset, PricePath, SimDuration, SimTime};
 use botwork::BotClass;
 use simcore::Prng;
 use spequlos::StrategyCombo;
-use spq_harness::{run_paired, MwKind, Scenario};
+use spq_harness::{Experiment, MwKind, Scenario};
 
 fn main() {
     println!("Spot-market best-effort infrastructure");
@@ -53,7 +53,7 @@ fn main() {
     println!("---------------------------------------------");
     let scenario = Scenario::new(Preset::Spot10, MwKind::Xwhep, BotClass::Random, 5)
         .with_strategy(StrategyCombo::paper_default());
-    let paired = run_paired(&scenario);
+    let paired = Experiment::new(scenario).paired().run_paired();
     println!(
         "without SpeQuloS: {:>8.0} s (tail slowdown {:.2})",
         paired.baseline.completion_secs,

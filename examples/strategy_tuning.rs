@@ -12,7 +12,7 @@
 use betrace::Preset;
 use botwork::BotClass;
 use spequlos::StrategyCombo;
-use spq_harness::{parallel_map, run_paired, MwKind, Scenario};
+use spq_harness::{parallel_map, Experiment, MwKind, Scenario};
 
 fn main() {
     let combos = ["9C-C-F", "9C-C-R", "9C-C-D", "9A-G-R", "9A-G-D", "D-C-R"];
@@ -36,7 +36,9 @@ fn main() {
                 sc
             })
             .collect();
-        let runs = parallel_map(&scenarios, 0, run_paired);
+        let runs = parallel_map(&scenarios, 0, |sc| {
+            Experiment::new(sc.clone()).paired().run_paired()
+        });
         let base: Vec<f64> = runs.iter().map(|r| r.baseline.completion_secs).collect();
         let speq: Vec<f64> = runs.iter().map(|r| r.speq.completion_secs).collect();
         let tres: Vec<f64> = runs.iter().filter_map(|r| r.tre).collect();

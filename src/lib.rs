@@ -14,6 +14,7 @@
 //! * [`spq_harness`] — scenario runner, paired executions, sweeps.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use betrace;
 pub use botwork;

@@ -4,8 +4,8 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spequlos::{SpeQuloS, StrategyCombo};
-use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
+use spequlos::StrategyCombo;
+use spq_harness::{Experiment, MwKind, Scenario};
 
 fn scenario(seed: u64) -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
@@ -15,8 +15,8 @@ fn scenario(seed: u64) -> Scenario {
 
 #[test]
 fn baseline_runs_are_bit_identical() {
-    let a = run_baseline(&scenario(11));
-    let b = run_baseline(&scenario(11));
+    let a = Experiment::new(scenario(11)).run_baseline();
+    let b = Experiment::new(scenario(11)).run_baseline();
     assert_eq!(a.completion_secs, b.completion_secs);
     assert_eq!(a.events, b.events);
     assert_eq!(a.completed_series.points(), b.completed_series.points());
@@ -25,8 +25,8 @@ fn baseline_runs_are_bit_identical() {
 #[test]
 fn spequlos_runs_are_bit_identical() {
     let sc = scenario(12).with_strategy(StrategyCombo::paper_default());
-    let (a, _) = run_with_spequlos(&sc, SpeQuloS::new());
-    let (b, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    let (a, _) = Experiment::new(sc.clone()).run_qos();
+    let (b, _) = Experiment::new(sc).run_qos();
     assert_eq!(a.completion_secs, b.completion_secs);
     assert_eq!(a.credits_spent, b.credits_spent);
     assert_eq!(a.cloud, b.cloud);
@@ -43,8 +43,8 @@ fn same_seed_matrix_is_bit_identical() {
             let mut sc = Scenario::new(preset, mw, BotClass::Big, 31)
                 .with_strategy(StrategyCombo::paper_default());
             sc.scale = 0.4;
-            let a = run_paired(&sc);
-            let b = run_paired(&sc);
+            let a = Experiment::new(sc.clone()).paired().run_paired();
+            let b = Experiment::new(sc).paired().run_paired();
             let ctx = format!("{preset:?}/{mw:?}");
             assert_eq!(
                 a.baseline.completion_secs, b.baseline.completion_secs,
@@ -98,12 +98,12 @@ fn single_tenant_runs_match_pre_multitenant_golden_output() {
     for g in goldens {
         let mut sc = Scenario::new(g.preset, g.mw, BotClass::Big, 2024);
         sc.scale = 0.4;
-        let b = run_baseline(&sc);
+        let b = Experiment::new(sc.clone()).run_baseline();
         let ctx = format!("{:?}/{:?}", g.preset, g.mw);
         assert_eq!(b.completion_secs, g.baseline.0, "{ctx} baseline time");
         assert_eq!(b.events, g.baseline.1, "{ctx} baseline events");
         let sc = sc.with_strategy(StrategyCombo::paper_default());
-        let (s, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        let (s, _) = Experiment::new(sc).run_qos();
         assert_eq!(s.completion_secs, g.speq.0, "{ctx} speq time");
         assert_eq!(s.events, g.speq.1, "{ctx} speq events");
         assert_eq!(s.credits_spent, g.speq.2, "{ctx} credits");
@@ -113,8 +113,8 @@ fn single_tenant_runs_match_pre_multitenant_golden_output() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_baseline(&scenario(13));
-    let b = run_baseline(&scenario(14));
+    let a = Experiment::new(scenario(13)).run_baseline();
+    let b = Experiment::new(scenario(14)).run_baseline();
     assert_ne!(a.completion_secs, b.completion_secs);
 }
 
@@ -122,8 +122,8 @@ fn different_seeds_differ() {
 fn boinc_is_deterministic_too() {
     let mut sc = Scenario::new(Preset::NotreDame, MwKind::Boinc, BotClass::Big, 15);
     sc.scale = 1.0;
-    let a = run_baseline(&sc);
-    let b = run_baseline(&sc);
+    let a = Experiment::new(sc.clone()).run_baseline();
+    let b = Experiment::new(sc).run_baseline();
     assert_eq!(a.completion_secs, b.completion_secs);
     assert_eq!(a.events, b.events);
 }
@@ -135,7 +135,7 @@ fn paired_runs_share_infrastructure_behaviour() {
     // at 25%, 50% and 75% (the 9C trigger fires at 90%).
     for seed in [21, 22, 23] {
         let sc = scenario(seed).with_strategy(StrategyCombo::paper_default());
-        let p = run_paired(&sc);
+        let p = Experiment::new(sc).paired().run_paired();
         for frac in [0.25, 0.5, 0.75] {
             let b = p.baseline.tc(frac);
             let s = p.speq.tc(frac);

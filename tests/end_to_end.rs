@@ -4,7 +4,7 @@
 use betrace::Preset;
 use botwork::BotClass;
 use spequlos::{SpeQuloS, StrategyCombo, CREDITS_PER_CPU_HOUR};
-use spq_harness::{run_baseline, run_paired, run_with_spequlos, MwKind, Scenario};
+use spq_harness::{Experiment, MwKind, Scenario};
 
 fn scenario(preset: Preset, mw: MwKind, class: BotClass, seed: u64, scale: f64) -> Scenario {
     let mut sc = Scenario::new(preset, mw, class, seed);
@@ -15,7 +15,8 @@ fn scenario(preset: Preset, mw: MwKind, class: BotClass, seed: u64, scale: f64) 
 #[test]
 fn baseline_completes_on_every_middleware() {
     for mw in [MwKind::Boinc, MwKind::Xwhep, MwKind::Condor] {
-        let m = run_baseline(&scenario(Preset::G5kLyon, mw, BotClass::Big, 1, 0.5));
+        let m =
+            Experiment::new(scenario(Preset::G5kLyon, mw, BotClass::Big, 1, 0.5)).run_baseline();
         assert!(m.completed, "{} must complete", mw.name());
         assert!(m.completion_secs > 0.0);
         assert_eq!(m.cloud.workers_started, 0);
@@ -31,8 +32,8 @@ fn condor_checkpointing_shortens_volatile_executions() {
     with.condor_checkpointing = true;
     let mut without = with.clone();
     without.condor_checkpointing = false;
-    let m_with = run_baseline(&with);
-    let m_without = run_baseline(&without);
+    let m_with = Experiment::new(with).run_baseline();
+    let m_without = Experiment::new(without).run_baseline();
     assert!(m_with.completed && m_without.completed);
     assert!(
         m_with.completion_secs < m_without.completion_secs,
@@ -47,7 +48,7 @@ fn spequlos_credits_never_exceed_provision() {
     for seed in 1..=3 {
         let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Big, seed, 1.0)
             .with_strategy(StrategyCombo::paper_default());
-        let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        let (m, _) = Experiment::new(sc).run_qos();
         assert!(m.completed, "seed {seed}");
         assert!(
             m.credits_spent <= m.credits_provisioned + 1e-6,
@@ -66,7 +67,7 @@ fn billing_matches_cloud_cpu_time_within_tick() {
     // billing until the next tick).
     let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 2, 1.0)
         .with_strategy(StrategyCombo::paper_default());
-    let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    let (m, _) = Experiment::new(sc).run_qos();
     if m.cloud.workers_started == 0 {
         return; // nothing to compare in this window
     }
@@ -83,7 +84,7 @@ fn billing_matches_cloud_cpu_time_within_tick() {
 fn cloud_duplication_strategy_completes_and_merges() {
     let combo = StrategyCombo::parse("9C-G-D").expect("valid");
     let sc = scenario(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 3, 0.5).with_strategy(combo);
-    let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+    let (m, _) = Experiment::new(sc).run_qos();
     assert!(m.completed);
 }
 
@@ -93,7 +94,7 @@ fn every_deployment_strategy_runs_on_boinc() {
         let combo = StrategyCombo::parse(name).expect("valid");
         let sc =
             scenario(Preset::G5kLyon, MwKind::Boinc, BotClass::Big, 4, 0.3).with_strategy(combo);
-        let (m, _) = run_with_spequlos(&sc, SpeQuloS::new());
+        let (m, _) = Experiment::new(sc).run_qos();
         assert!(m.completed, "{name} must complete");
     }
 }
@@ -106,11 +107,11 @@ fn service_archives_history_across_runs() {
     for seed in 1..=3 {
         let sc = scenario(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed, 0.4)
             .with_strategy(StrategyCombo::paper_default());
-        let (m, svc) = run_with_spequlos(&sc, service);
+        let (m, svc) = Experiment::new(sc).service(service).run_qos();
         service = svc;
         assert!(m.completed);
         assert_eq!(
-            service.info.history("g5klyo/XWHEP/BIG").len(),
+            service.info().history("g5klyo/XWHEP/BIG").len(),
             seed as usize
         );
     }
@@ -118,25 +119,27 @@ fn service_archives_history_across_runs() {
 
 #[test]
 fn random_class_with_arrivals_completes() {
-    let m = run_baseline(&scenario(
+    let m = Experiment::new(scenario(
         Preset::G5kGrenoble,
         MwKind::Xwhep,
         BotClass::Random,
         5,
         0.5,
-    ));
+    ))
+    .run_baseline();
     assert!(m.completed);
 }
 
 #[test]
 fn spot_infrastructure_executes_bots() {
-    let m = run_baseline(&scenario(
+    let m = Experiment::new(scenario(
         Preset::Spot10,
         MwKind::Boinc,
         BotClass::Big,
         6,
         1.0,
-    ));
+    ))
+    .run_baseline();
     assert!(m.completed);
 }
 
@@ -144,7 +147,7 @@ fn spot_infrastructure_executes_bots() {
 fn paired_run_reports_tre_only_with_tail() {
     let sc = scenario(Preset::NotreDame, MwKind::Xwhep, BotClass::Small, 7, 1.0)
         .with_strategy(StrategyCombo::paper_default());
-    let p = run_paired(&sc);
+    let p = Experiment::new(sc).paired().run_paired();
     if let Some(tre) = p.tre {
         assert!(tre <= 1.0);
         let tail = p.baseline.tail.expect("TRE implies baseline tail stats");

@@ -9,7 +9,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use simcore::SimDuration;
 use spequlos::{LogEvent, StrategyCombo};
-use spq_harness::{run_multi_tenant, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
+use spq_harness::{Experiment, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 
 fn base(seed: u64) -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
@@ -25,7 +25,7 @@ fn no_admitted_tenant_is_starved() {
     // transient — the Scheduler retries and completed tenants return
     // their leases.
     let mt = MultiTenantScenario::new(base(61), 4, 4);
-    let report = run_multi_tenant(&mt);
+    let report = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
     assert_eq!(report.tenants.len(), 4);
     let admitted: Vec<_> = report.admitted().collect();
     assert_eq!(admitted.len(), 4, "pool of 4 admits 4 orders");
@@ -59,7 +59,7 @@ fn aggregate_cloud_workers_never_exceed_the_pool() {
         },
     ] {
         let mt = MultiTenantScenario::new(base(62), 5, 6).with_arrivals(arrivals);
-        let report = run_multi_tenant(&mt);
+        let report = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
         assert!(
             report.peak_pool_in_use <= report.pool_capacity,
             "{arrivals:?}: peak {} exceeds pool {}",
@@ -87,7 +87,7 @@ fn admission_control_caps_concurrent_orders() {
     // are admitted (first-come order on the shared clock), the rest are
     // refused and keep their credits.
     let mt = MultiTenantScenario::new(base(63), 6, 3);
-    let report = run_multi_tenant(&mt);
+    let report = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
     let admitted = report.admitted().count();
     assert_eq!(admitted, 3, "pool of 3 admits exactly 3 concurrent orders");
     for t in report.tenants.iter().filter(|t| !t.admitted) {
@@ -108,7 +108,7 @@ fn staggered_arrivals_can_reuse_freed_slots() {
     let mt = MultiTenantScenario::new(base(63), 6, 3).with_arrivals(TenantArrivals::Uniform {
         window: SimDuration::from_days(2),
     });
-    let report = run_multi_tenant(&mt);
+    let report = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
     let admitted = report.admitted().count();
     assert!(
         admitted > 3,
@@ -121,8 +121,8 @@ fn multi_tenant_stack_is_deterministic() {
     let mt = MultiTenantScenario::new(base(64), 3, 5).with_arrivals(TenantArrivals::TailHeavy {
         window: SimDuration::from_hours(2),
     });
-    let a = run_multi_tenant(&mt);
-    let b = run_multi_tenant(&mt);
+    let a = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
+    let b = Experiment::from_multi_tenant(mt).run_multi_tenant();
     assert_eq!(a.events, b.events);
     assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
     assert_eq!(a.service.log().len(), b.service.log().len());
@@ -140,7 +140,7 @@ fn credits_are_conserved_across_the_whole_run() {
     // Total outstanding = deposits − billed cloud usage, no matter how
     // many tenants contended: the shared economy neither mints nor leaks.
     let mt = MultiTenantScenario::new(base(65), 4, 5);
-    let report = run_multi_tenant(&mt);
+    let report = Experiment::from_multi_tenant(mt.clone()).run_multi_tenant();
     let deposited: f64 = report
         .tenants
         .iter()

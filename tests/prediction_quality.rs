@@ -6,7 +6,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use spequlos::oracle::{learn_alpha, raw_estimate};
 use spq_harness::{
-    archive_of, parallel_map, prediction_success_rate, run_baseline, MwKind, Scenario,
+    archive_of, parallel_map, prediction_success_rate, Experiment, MwKind, Scenario,
 };
 
 fn runs_for(
@@ -22,7 +22,9 @@ fn runs_for(
             sc
         })
         .collect();
-    parallel_map(&scenarios, 0, run_baseline)
+    parallel_map(&scenarios, 0, |sc| {
+        Experiment::new(sc.clone()).run_baseline()
+    })
 }
 
 #[test]

@@ -1,0 +1,306 @@
+//! Wire-protocol integration: the quickstart request sequence replayed
+//! through `SpqService::handle`, with the JSON session transcript pinned
+//! to round-trip bit-identically, plus the protocol error paths.
+
+use botwork::BotId;
+use simcore::SimTime;
+use spequlos::protocol::{
+    self, decode_responses, decode_session, encode_responses, encode_session, replay, Request,
+    RequestError, Response, SpqService,
+};
+use spequlos::{BotProgress, CloudAction, CreditError, SpeQuloS, StrategyCombo, UserId};
+
+fn progress(secs: u64, done: u32, cloud: u32) -> BotProgress {
+    BotProgress {
+        now: SimTime::from_secs(secs),
+        size: 100,
+        completed: done,
+        dispatched: 100,
+        queued: 0,
+        running: 100 - done,
+        cloud_running: cloud,
+    }
+}
+
+/// The quickstart flow (examples/quickstart.rs and the `SpeQuloS`
+/// doctest) as a request sequence: deposit → register → order → 89 steady
+/// minutes → predict → trigger at 90% → completion.
+fn quickstart_session() -> Vec<(SimTime, Request)> {
+    let user = UserId(1);
+    let bot = BotId(0); // first registration on a fresh service
+    let mut session = vec![
+        (
+            SimTime::ZERO,
+            Request::Deposit {
+                user,
+                credits: 1_000.0,
+            },
+        ),
+        (
+            SimTime::ZERO,
+            Request::RegisterQos {
+                user,
+                env: "seti/XWHEP/SMALL".into(),
+                size: 100,
+            },
+        ),
+        (
+            SimTime::ZERO,
+            Request::OrderQos {
+                bot,
+                credits: 150.0,
+                strategy: Some(StrategyCombo::paper_default()),
+            },
+        ),
+    ];
+    for minute in 1..=89u64 {
+        session.push((
+            SimTime::from_secs(minute * 60),
+            Request::ReportProgress {
+                bot,
+                progress: progress(minute * 60, minute as u32, 0),
+            },
+        ));
+    }
+    session.push((SimTime::from_secs(5_340), Request::Predict { bot }));
+    session.push((
+        SimTime::from_secs(5_400),
+        Request::ReportProgress {
+            bot,
+            progress: progress(5_400, 90, 0),
+        },
+    ));
+    session
+}
+
+#[test]
+fn quickstart_transcript_replays_and_roundtrips_bit_identically() {
+    let session = quickstart_session();
+
+    // The JSON transcript is a lossless, stable encoding: decoding yields
+    // the identical request sequence, re-encoding the identical bytes.
+    let text = encode_session(&session);
+    let decoded = decode_session(&text).expect("own transcript decodes");
+    assert_eq!(decoded, session, "decoded session == original requests");
+    assert_eq!(encode_session(&decoded), text, "re-encode bit-identical");
+
+    // Replaying the decoded transcript behaves exactly like the original
+    // sequence — and like the façade API the quickstart doctest uses.
+    let mut live = SpeQuloS::new();
+    let responses = replay(&mut live, &decoded);
+    assert_eq!(responses.len(), session.len());
+
+    let bot = BotId(0);
+    assert_eq!(
+        responses[0],
+        Response::Deposited {
+            user: UserId(1),
+            balance: 1_000.0
+        }
+    );
+    assert_eq!(responses[1], Response::Registered { bot });
+    assert_eq!(responses[2], Response::Ordered { bot });
+    // 89 steady minutes: monitoring only, no cloud.
+    for r in &responses[3..92] {
+        assert_eq!(
+            *r,
+            Response::Action {
+                bot,
+                action: CloudAction::None
+            }
+        );
+    }
+    let Response::Predicted {
+        prediction: Some(p),
+        ..
+    } = &responses[92]
+    else {
+        panic!("prediction expected past 50%: {:?}", responses[92]);
+    };
+    assert!(p.completion_secs > 0.0);
+    let Response::Action {
+        action: CloudAction::Start(n),
+        ..
+    } = responses[93]
+    else {
+        panic!("90% trigger must start the fleet: {:?}", responses[93]);
+    };
+    assert!(n >= 1);
+
+    // Responses serialize with the same guarantees as requests.
+    let resp_text = encode_responses(&responses);
+    let resp_decoded = decode_responses(&resp_text).expect("responses decode");
+    assert_eq!(resp_decoded, responses);
+    assert_eq!(encode_responses(&resp_decoded), resp_text);
+
+    // And the service's own protocol log is a transcript too.
+    let log_text = protocol::encode_log(live.log());
+    let log_decoded = protocol::decode_log(&log_text).expect("log decodes");
+    assert_eq!(log_decoded.as_slice(), live.log());
+    assert_eq!(protocol::encode_log(&log_decoded), log_text);
+}
+
+#[test]
+fn golden_transcript_bytes_are_pinned() {
+    // The first lines of the quickstart transcript, pinned literally: a
+    // change here means the wire format changed and every stored
+    // transcript in the wild silently broke. Bump deliberately or not at
+    // all.
+    let text = encode_session(&quickstart_session());
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("["));
+    assert_eq!(
+        lines.next(),
+        Some(r#"{"t":0.0,"req":"deposit","user":1.0,"credits":1000.0},"#)
+    );
+    assert_eq!(
+        lines.next(),
+        Some(r#"{"t":0.0,"req":"register_qos","user":1.0,"env":"seti/XWHEP/SMALL","size":100.0},"#)
+    );
+    assert_eq!(
+        lines.next(),
+        Some(
+            r#"{"t":0.0,"req":"order_qos","bot":0.0,"credits":150.0,"strategy":{"trigger":"completion","threshold":0.9,"provisioning":"conservative","deployment":"reschedule"}},"#
+        )
+    );
+    assert_eq!(
+        lines.next(),
+        Some(
+            r#"{"t":60000.0,"req":"report_progress","bot":0.0,"progress":{"now":60000.0,"size":100.0,"completed":1.0,"dispatched":100.0,"queued":0.0,"running":99.0,"cloud_running":0.0}},"#
+        )
+    );
+}
+
+#[test]
+fn order_qos_on_unknown_bot_is_a_typed_error() {
+    let mut spq = SpeQuloS::new();
+    let ghost = BotId(7);
+    let r = spq.handle(
+        Request::OrderQos {
+            bot: ghost,
+            credits: 100.0,
+            strategy: None,
+        },
+        SimTime::ZERO,
+    );
+    assert_eq!(r, Response::Error(RequestError::UnknownBot(ghost)));
+    // The error response serializes and parses back identically.
+    let text = r.to_json();
+    assert_eq!(Response::from_json(&text).unwrap(), r);
+    assert_eq!(text, r#"{"resp":"error","error":"unknown_bot","bot":7.0}"#);
+}
+
+#[test]
+fn order_qos_on_saturated_pool_is_refused_with_pool_saturated() {
+    // Pool of 2 workers: the third concurrent order fails admission
+    // control through the protocol exactly as through the façade.
+    let mut spq = SpeQuloS::with_pool(2);
+    let mut bots = vec![];
+    for i in 0..3u64 {
+        let user = UserId(i);
+        assert!(matches!(
+            spq.handle(
+                Request::Deposit {
+                    user,
+                    credits: 200.0
+                },
+                SimTime::ZERO
+            ),
+            Response::Deposited { .. }
+        ));
+        let Response::Registered { bot } = spq.handle(
+            Request::RegisterQos {
+                user,
+                env: "env".into(),
+                size: 100,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!("registration is unconditional");
+        };
+        bots.push(bot);
+    }
+    for &bot in &bots[..2] {
+        assert_eq!(
+            spq.handle(
+                Request::OrderQos {
+                    bot,
+                    credits: 200.0,
+                    strategy: None
+                },
+                SimTime::ZERO
+            ),
+            Response::Ordered { bot }
+        );
+    }
+    let refused = spq.handle(
+        Request::OrderQos {
+            bot: bots[2],
+            credits: 200.0,
+            strategy: None,
+        },
+        SimTime::ZERO,
+    );
+    assert_eq!(
+        refused,
+        Response::Error(RequestError::Credit(CreditError::PoolSaturated))
+    );
+    assert_eq!(
+        refused.to_json(),
+        r#"{"resp":"error","error":"pool_saturated"}"#
+    );
+    // The refused tenant kept its credits and can retry after a slot
+    // frees.
+    assert_eq!(spq.credits.balance(UserId(2)), 200.0);
+    assert_eq!(
+        spq.handle(Request::Complete { bot: bots[0] }, SimTime::from_secs(60)),
+        Response::Completed { bot: bots[0] }
+    );
+    assert_eq!(
+        spq.handle(
+            Request::OrderQos {
+                bot: bots[2],
+                credits: 200.0,
+                strategy: None
+            },
+            SimTime::from_secs(60)
+        ),
+        Response::Ordered { bot: bots[2] }
+    );
+}
+
+#[test]
+fn builder_default_strategy_applies_to_protocol_orders() {
+    let strategy = StrategyCombo::parse("9A-G-D").unwrap();
+    let mut spq = SpeQuloS::builder().default_strategy(strategy).build();
+    let user = UserId(1);
+    spq.handle(
+        Request::Deposit {
+            user,
+            credits: 100.0,
+        },
+        SimTime::ZERO,
+    );
+    let Response::Registered { bot } = spq.handle(
+        Request::RegisterQos {
+            user,
+            env: "env".into(),
+            size: 10,
+        },
+        SimTime::ZERO,
+    ) else {
+        panic!();
+    };
+    assert_eq!(
+        spq.handle(
+            Request::OrderQos {
+                bot,
+                credits: 50.0,
+                strategy: None
+            },
+            SimTime::ZERO
+        ),
+        Response::Ordered { bot }
+    );
+    assert_eq!(spq.strategy(bot), Some(strategy));
+}

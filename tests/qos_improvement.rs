@@ -7,7 +7,7 @@ use betrace::Preset;
 use botwork::BotClass;
 use simcore::Cdf;
 use spequlos::StrategyCombo;
-use spq_harness::{parallel_map, run_paired, MwKind, PairedRun, Scenario};
+use spq_harness::{parallel_map, Experiment, MwKind, PairedRun, Scenario};
 
 fn paired_runs(preset: Preset, mw: MwKind, class: BotClass, seeds: u64) -> Vec<PairedRun> {
     let scenarios: Vec<Scenario> = (1..=seeds)
@@ -15,7 +15,9 @@ fn paired_runs(preset: Preset, mw: MwKind, class: BotClass, seeds: u64) -> Vec<P
             Scenario::new(preset, mw, class, seed).with_strategy(StrategyCombo::paper_default())
         })
         .collect();
-    parallel_map(&scenarios, 0, run_paired)
+    parallel_map(&scenarios, 0, |sc| {
+        Experiment::new(sc.clone()).paired().run_paired()
+    })
 }
 
 #[test]
