@@ -1,0 +1,139 @@
+//! Protocol throughput: requests/sec through `SpqService::handle`,
+//! batched vs. unbatched.
+//!
+//! The wire deployment (`spq-server`) funnels every middleware
+//! interaction through the typed protocol, so `handle` throughput bounds
+//! how many monitoring ticks a deployed service can absorb per second.
+//! This binary drives a synthetic multi-BoT monitoring workload through
+//! an in-process service two ways — one request per call, and whole
+//! ticks pipelined as `Request::Batch` frames — and emits
+//! `BENCH_repro_protocol.json` (total requests/sec over both phases) for
+//! the `spq-bench compare` CI gate.
+//!
+//! `--scale` multiplies the number of concurrent BoTs (default 200 at
+//! scale 1.0); `--seeds` repeats the whole workload to lengthen the
+//! measurement.
+
+use simcore::SimTime;
+use spequlos::protocol::{Request, Response, SpqService};
+use spequlos::{BotProgress, SpeQuloS, StrategyCombo, UserId};
+use spq_bench::{telemetry, Opts};
+use std::time::Instant;
+
+/// Monitoring minutes simulated per BoT.
+const TICKS: u64 = 400;
+
+fn progress(minute: u64, size: u32) -> BotProgress {
+    // A steady linear burn that crosses the 90% trigger near the end, so
+    // the workload exercises the scheduler paths too, deterministically.
+    let completed = ((minute * u64::from(size)) / TICKS).min(u64::from(size)) as u32;
+    BotProgress {
+        now: SimTime::from_secs(minute * 60),
+        size,
+        completed,
+        dispatched: size,
+        queued: 0,
+        running: size - completed,
+        cloud_running: 0,
+    }
+}
+
+/// Registers and orders `bots` BoTs on a fresh service; returns it with
+/// the assigned ids.
+fn primed_service(bots: u64) -> (SpeQuloS, Vec<botwork::BotId>) {
+    let mut spq = SpeQuloS::new();
+    let mut ids = Vec::with_capacity(bots as usize);
+    for b in 0..bots {
+        let user = UserId(b);
+        spq.credits.deposit(user, 10_000.0);
+        let bot = spq.register_qos("bench/XWHEP/SMALL", 1_000, user, SimTime::ZERO);
+        spq.order_qos(bot, 1_500.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .expect("funded");
+        ids.push(bot);
+    }
+    (spq, ids)
+}
+
+/// One request per `handle` call. Returns (requests served, wall secs).
+fn unbatched(bots: u64) -> (u64, f64) {
+    let (mut spq, ids) = primed_service(bots);
+    let start = Instant::now();
+    let mut served = 0u64;
+    for minute in 1..=TICKS {
+        let now = SimTime::from_secs(minute * 60);
+        for &bot in &ids {
+            let r = spq.handle(
+                Request::ReportProgress {
+                    bot,
+                    progress: progress(minute, 1_000),
+                },
+                now,
+            );
+            assert!(!matches!(r, Response::Error(_)), "{r:?}");
+            served += 1;
+        }
+    }
+    (served, start.elapsed().as_secs_f64())
+}
+
+/// Whole ticks pipelined: one `Request::Batch` per minute carrying every
+/// BoT's report. Returns (sub-requests served, wall secs).
+fn batched(bots: u64) -> (u64, f64) {
+    let (mut spq, ids) = primed_service(bots);
+    let start = Instant::now();
+    let mut served = 0u64;
+    for minute in 1..=TICKS {
+        let now = SimTime::from_secs(minute * 60);
+        let tick: Vec<Request> = ids
+            .iter()
+            .map(|&bot| Request::ReportProgress {
+                bot,
+                progress: progress(minute, 1_000),
+            })
+            .collect();
+        let Response::Batch(responses) = spq.handle(Request::Batch(tick), now) else {
+            panic!("a batch answers with a batch");
+        };
+        assert_eq!(responses.len(), ids.len());
+        served += responses.len() as u64;
+    }
+    (served, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let bots = ((200.0 * opts.scale).round() as u64).max(1);
+
+    let (report, tele) = telemetry::measure("repro_protocol", &opts, |o| {
+        let mut text = String::new();
+        text.push_str("Protocol throughput — requests/sec through SpqService::handle\n");
+        text.push_str(&format!(
+            "{bots} BoTs x {TICKS} monitoring minutes, {} repetition(s)\n\n",
+            o.seeds
+        ));
+        let mut total = 0u64;
+        let (mut un_req, mut un_wall) = (0u64, 0.0f64);
+        let (mut ba_req, mut ba_wall) = (0u64, 0.0f64);
+        for _ in 0..o.seeds.max(1) {
+            let (r, w) = unbatched(bots);
+            un_req += r;
+            un_wall += w;
+            let (r, w) = batched(bots);
+            ba_req += r;
+            ba_wall += w;
+        }
+        total += un_req + ba_req;
+        text.push_str(&format!(
+            "unbatched : {:>12.0} req/s  ({un_req} requests in {un_wall:.3}s)\n",
+            un_req as f64 / un_wall.max(1e-9),
+        ));
+        text.push_str(&format!(
+            "batched   : {:>12.0} req/s  ({ba_req} requests in {ba_wall:.3}s)\n",
+            ba_req as f64 / ba_wall.max(1e-9),
+        ));
+        (text, Some(total))
+    });
+    print!("{report}");
+    spq_harness::write_file(opts.out_dir.join("protocol.txt"), &report).expect("write report");
+    tele.with_config("bots", bots).write_or_warn();
+}

@@ -22,9 +22,10 @@
 //! A further implementation, [`crate::GreedyUntilTc`], ships as proof of
 //! the scheduling seam: a deadline-aware policy the paper never evaluated.
 //!
-//! All three traits require `Debug` and provide `clone_box`, so boxed
-//! modules keep the service `Clone + Debug` (harness reports carry the
-//! final service state by value).
+//! All three traits require `Debug + Send` and provide `clone_box`, so
+//! boxed modules keep the service `Clone + Debug` (harness reports carry
+//! the final service state by value) and `Send` (the `spq-server`
+//! dispatch loop owns the service on its own thread).
 
 use crate::credit::CreditSystem;
 use crate::info::{ArchivedExecution, BotRecord, Information};
@@ -41,7 +42,7 @@ use std::fmt::Debug;
 /// The default implementation is the in-memory [`Information`] store; a
 /// deployment-scale service would back this with a database without
 /// touching the rest of the service.
-pub trait InfoBackend: Debug {
+pub trait InfoBackend: Debug + Send {
     /// Registers a BoT for monitoring.
     fn register(&mut self, bot: BotId, env: &str, size: u32, now: SimTime);
 
@@ -82,7 +83,7 @@ impl Clone for Box<dyn InfoBackend> {
 /// piecewise ([`Trigger`] / [`Provisioning`]); implementations are free to
 /// honor it (the paper's [`crate::Oracle`] does) or substitute their own
 /// decision procedure.
-pub trait OracleStrategy: Debug {
+pub trait OracleStrategy: Debug + Send {
     /// Whether cloud workers should start for this BoT now
     /// (`Oracle.shouldUseCloud`, Algorithm 1).
     fn should_start_cloud(
@@ -131,7 +132,7 @@ impl Clone for Box<dyn OracleStrategy> {
 /// [`CloudAction`]. The default implementation is the paper's
 /// [`crate::Scheduler`] (Algorithms 1 & 2); [`crate::GreedyUntilTc`] is a
 /// deadline-aware alternative.
-pub trait SchedulingPolicy: Debug {
+pub trait SchedulingPolicy: Debug + Send {
     /// One scheduling period: billing followed by the provisioning
     /// decision. `tick_hours` is the billing granularity.
     // One parameter per collaborating module (Fig. 3); bundling them into

@@ -21,9 +21,16 @@
 //! | [`Request::Predict`] | [`Response::Predicted`] | `getQoSInformation(BoTId)` |
 //! | [`Request::ReportProgress`] | [`Response::Action`] | monitoring tick → start/stop cloud workers |
 //! | [`Request::Complete`] | [`Response::Completed`] | completion → billing → `pay` |
+//! | [`Request::Batch`] | [`Response::Batch`] | pipelining: one frame, many arrows |
 //!
 //! Failures come back as [`Response::Error`] wrapping a typed
 //! [`RequestError`] — never a panic, whatever the request stream.
+//! [`Request::Batch`] bundles several requests into one exchange (e.g. a
+//! whole monitoring tick across many BoTs); the service answers with a
+//! [`Response::Batch`] carrying one response per sub-request, in order,
+//! so a batched session replays to exactly the transcript of its
+//! unbatched form. Batches do not nest — a nested batch answers with
+//! [`RequestError::Invalid`] in its slot.
 //!
 //! Encoding guarantees: [`encode_session`] / [`decode_session`] round-trip
 //! bit-identically (encode → decode → re-encode yields the same bytes),
@@ -93,6 +100,12 @@ pub enum Request {
         /// The BoT.
         bot: BotId,
     },
+    /// A pipelined bundle: the sub-requests are served in order at the
+    /// batch's service time and answered by one [`Response::Batch`] with
+    /// one response per sub-request. Lets a client ship a whole
+    /// monitoring tick (N tenants' `ReportProgress`) in one frame
+    /// instead of N round trips. Batches do not nest.
+    Batch(Vec<Request>),
 }
 
 /// The service's answer to a [`Request`].
@@ -130,11 +143,20 @@ pub enum Response {
         /// The action the infrastructure must apply.
         action: CloudAction,
     },
-    /// Completion acknowledged; the order was paid.
+    /// Completion acknowledged; the order was paid. Carries the billing
+    /// summary of the `pay` arrow so a remote caller can settle accounts
+    /// without reaching into the service.
     Completed {
         /// The BoT.
         bot: BotId,
+        /// Credits billed against the order over the whole execution.
+        spent: f64,
+        /// Unspent credits returned to the user by `pay` (0 when the
+        /// order was already closed or never existed).
+        refund: f64,
     },
+    /// One response per sub-request of a [`Request::Batch`], in order.
+    Batch(Vec<Response>),
     /// The request failed; no state was changed.
     Error(RequestError),
 }
@@ -150,6 +172,11 @@ pub enum RequestError {
     UnknownBot(BotId),
     /// The request is malformed (e.g. a negative credit amount).
     Invalid(String),
+    /// The request never reached the service: connection lost, frame
+    /// malformed, or the reply did not correlate. Only produced by
+    /// transport clients (e.g. `spq-server`'s `RemoteService`) — an
+    /// in-process service never returns it.
+    Transport(String),
 }
 
 impl fmt::Display for RequestError {
@@ -158,6 +185,7 @@ impl fmt::Display for RequestError {
             RequestError::Credit(e) => write!(f, "credit system: {e}"),
             RequestError::UnknownBot(bot) => write!(f, "unknown BoT {bot}"),
             RequestError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            RequestError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }
@@ -172,12 +200,27 @@ impl From<CreditError> for RequestError {
 
 /// The protocol entry point: anything that can serve SpeQuloS requests.
 ///
-/// [`SpeQuloS`] implements this over its assembled modules; a remote
-/// frontend would implement it over a connection.
+/// [`SpeQuloS`] implements this over its assembled modules; a transport
+/// client (e.g. `spq-server`'s `RemoteService`) implements it over a
+/// connection, so callers written against `&mut dyn SpqService` swap
+/// local for remote without code changes. The blanket impls for
+/// `&mut S` and `Box<S>` keep both spellings usable at every seam.
 pub trait SpqService {
     /// Serves one request at service time `now`. Must never panic on any
     /// request stream — failures are [`Response::Error`].
     fn handle(&mut self, request: Request, now: SimTime) -> Response;
+}
+
+impl<S: SpqService + ?Sized> SpqService for &mut S {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        (**self).handle(request, now)
+    }
+}
+
+impl<S: SpqService + ?Sized> SpqService for Box<S> {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        (**self).handle(request, now)
+    }
 }
 
 impl SpqService for SpeQuloS {
@@ -240,9 +283,27 @@ impl SpqService for SpeQuloS {
                 if self.info().record(bot).is_none() {
                     return Response::Error(RequestError::UnknownBot(bot));
                 }
+                // Billing summary read before `pay` closes the order:
+                // `remaining` is exactly the refund `pay` will return for
+                // an open order, and 0 for a closed or never-ordered one.
+                let spent = self.credits.spent(bot);
+                let refund = self.credits.remaining(bot);
                 self.on_complete(bot, now);
-                Response::Completed { bot }
+                Response::Completed { bot, spent, refund }
             }
+            Request::Batch(items) => Response::Batch(
+                items
+                    .into_iter()
+                    .map(|item| match item {
+                        // One level only: nesting would allow unbounded
+                        // recursion from the wire.
+                        Request::Batch(_) => Response::Error(RequestError::Invalid(
+                            "batches do not nest".to_string(),
+                        )),
+                        item => self.handle(item, now),
+                    })
+                    .collect(),
+            ),
         }
     }
 }
@@ -367,6 +428,17 @@ fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing or invalid `{key}`"))
 }
 
+// Decode errors name the enclosing message, so a bad frame in a stored
+// transcript (or off the wire) pinpoints its field path instead of
+// reporting a bare "missing `bot`" with no context.
+fn in_request(tag: &str, e: String) -> String {
+    format!("request `{tag}`: {e}")
+}
+
+fn in_response(tag: &str, e: String) -> String {
+    format!("response `{tag}`: {e}")
+}
+
 fn progress_from_value(v: &Value) -> Result<BotProgress, String> {
     Ok(BotProgress {
         now: SimTime::from_millis(u64_field(v, "now")?),
@@ -456,6 +528,13 @@ impl Request {
                 m.push(("req".into(), Value::Str("complete".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
             }
+            Request::Batch(items) => {
+                m.push(("req".into(), Value::Str("batch".into())));
+                m.push((
+                    "items".into(),
+                    Value::Arr(items.iter().map(Request::to_value).collect()),
+                ));
+            }
         }
         Value::Obj(m)
     }
@@ -466,35 +545,60 @@ impl Request {
     }
 
     /// Rebuilds a request from a JSON value produced by
-    /// [`Request::to_value`].
+    /// [`Request::to_value`]. Error messages carry the offending field
+    /// path (e.g. ``request `order_qos`: missing or invalid `credits` ``).
     pub fn from_value(v: &Value) -> Result<Request, String> {
-        match str_field(v, "req")? {
-            "deposit" => Ok(Request::Deposit {
-                user: UserId(u64_field(v, "user")?),
-                credits: f64_field(v, "credits")?,
-            }),
-            "register_qos" => Ok(Request::RegisterQos {
-                user: UserId(u64_field(v, "user")?),
-                env: str_field(v, "env")?.to_string(),
-                size: u32_field(v, "size")?,
-            }),
-            "order_qos" => Ok(Request::OrderQos {
-                bot: BotId(u64_field(v, "bot")?),
-                credits: f64_field(v, "credits")?,
-                strategy: v.get("strategy").map(strategy_from_value).transpose()?,
-            }),
-            "predict" => Ok(Request::Predict {
-                bot: BotId(u64_field(v, "bot")?),
-            }),
-            "report_progress" => Ok(Request::ReportProgress {
-                bot: BotId(u64_field(v, "bot")?),
-                progress: progress_from_value(v.get("progress").ok_or("missing `progress`")?)?,
-            }),
-            "complete" => Ok(Request::Complete {
-                bot: BotId(u64_field(v, "bot")?),
-            }),
-            other => Err(format!("unknown request `{other}`")),
-        }
+        let tag = str_field(v, "req")?;
+        let parsed = match tag {
+            "deposit" => Request::Deposit {
+                user: UserId(u64_field(v, "user").map_err(|e| in_request(tag, e))?),
+                credits: f64_field(v, "credits").map_err(|e| in_request(tag, e))?,
+            },
+            "register_qos" => Request::RegisterQos {
+                user: UserId(u64_field(v, "user").map_err(|e| in_request(tag, e))?),
+                env: str_field(v, "env")
+                    .map_err(|e| in_request(tag, e))?
+                    .to_string(),
+                size: u32_field(v, "size").map_err(|e| in_request(tag, e))?,
+            },
+            "order_qos" => Request::OrderQos {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_request(tag, e))?),
+                credits: f64_field(v, "credits").map_err(|e| in_request(tag, e))?,
+                strategy: v
+                    .get("strategy")
+                    .map(strategy_from_value)
+                    .transpose()
+                    .map_err(|e| in_request(tag, format!("strategy: {e}")))?,
+            },
+            "predict" => Request::Predict {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_request(tag, e))?),
+            },
+            "report_progress" => Request::ReportProgress {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_request(tag, e))?),
+                progress: v
+                    .get("progress")
+                    .ok_or("missing `progress`".to_string())
+                    .and_then(progress_from_value)
+                    .map_err(|e| in_request(tag, format!("progress: {e}")))?,
+            },
+            "complete" => Request::Complete {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_request(tag, e))?),
+            },
+            "batch" => Request::Batch(
+                v.get("items")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| in_request(tag, "missing or invalid `items`".into()))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        Request::from_value(item)
+                            .map_err(|e| in_request(tag, format!("items[{i}]: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
+            other => return Err(format!("unknown request `{other}`")),
+        };
+        Ok(parsed)
     }
 
     /// Parses one JSON-encoded request.
@@ -534,9 +638,18 @@ impl Response {
                 m.push(("bot".into(), num(bot.0 as f64)));
                 m.push(("action".into(), action_to_value(*action)));
             }
-            Response::Completed { bot } => {
+            Response::Completed { bot, spent, refund } => {
                 m.push(("resp".into(), Value::Str("completed".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
+                m.push(("spent".into(), num(*spent)));
+                m.push(("refund".into(), num(*refund)));
+            }
+            Response::Batch(items) => {
+                m.push(("resp".into(), Value::Str("batch".into())));
+                m.push((
+                    "items".into(),
+                    Value::Arr(items.iter().map(Response::to_value).collect()),
+                ));
             }
             Response::Error(e) => {
                 m.push(("resp".into(), Value::Str("error".into())));
@@ -559,6 +672,10 @@ impl Response {
                         m.push(("error".into(), Value::Str("invalid".into())));
                         m.push(("message".into(), Value::Str(msg.clone())));
                     }
+                    RequestError::Transport(msg) => {
+                        m.push(("error".into(), Value::Str("transport".into())));
+                        m.push(("message".into(), Value::Str(msg.clone())));
+                    }
                 }
             }
         }
@@ -571,35 +688,58 @@ impl Response {
     }
 
     /// Rebuilds a response from a JSON value produced by
-    /// [`Response::to_value`].
+    /// [`Response::to_value`]. Error messages carry the offending field
+    /// path (e.g. ``response `action`: missing or invalid `bot` ``).
     pub fn from_value(v: &Value) -> Result<Response, String> {
-        match str_field(v, "resp")? {
-            "deposited" => Ok(Response::Deposited {
-                user: UserId(u64_field(v, "user")?),
-                balance: f64_field(v, "balance")?,
-            }),
-            "registered" => Ok(Response::Registered {
-                bot: BotId(u64_field(v, "bot")?),
-            }),
-            "ordered" => Ok(Response::Ordered {
-                bot: BotId(u64_field(v, "bot")?),
-            }),
-            "predicted" => Ok(Response::Predicted {
-                bot: BotId(u64_field(v, "bot")?),
+        let tag = str_field(v, "resp")?;
+        let parsed = match tag {
+            "deposited" => Response::Deposited {
+                user: UserId(u64_field(v, "user").map_err(|e| in_response(tag, e))?),
+                balance: f64_field(v, "balance").map_err(|e| in_response(tag, e))?,
+            },
+            "registered" => Response::Registered {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_response(tag, e))?),
+            },
+            "ordered" => Response::Ordered {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_response(tag, e))?),
+            },
+            "predicted" => Response::Predicted {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_response(tag, e))?),
                 prediction: match v.get("prediction") {
                     None | Some(Value::Null) => None,
-                    Some(p) => Some(prediction_from_value(p)?),
+                    Some(p) => Some(
+                        prediction_from_value(p)
+                            .map_err(|e| in_response(tag, format!("prediction: {e}")))?,
+                    ),
                 },
-            }),
-            "action" => Ok(Response::Action {
-                bot: BotId(u64_field(v, "bot")?),
-                action: action_from_value(v.get("action").ok_or("missing `action`")?)?,
-            }),
-            "completed" => Ok(Response::Completed {
-                bot: BotId(u64_field(v, "bot")?),
-            }),
+            },
+            "action" => Response::Action {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_response(tag, e))?),
+                action: v
+                    .get("action")
+                    .ok_or("missing `action`".to_string())
+                    .and_then(action_from_value)
+                    .map_err(|e| in_response(tag, format!("action: {e}")))?,
+            },
+            "completed" => Response::Completed {
+                bot: BotId(u64_field(v, "bot").map_err(|e| in_response(tag, e))?),
+                spent: f64_field(v, "spent").map_err(|e| in_response(tag, e))?,
+                refund: f64_field(v, "refund").map_err(|e| in_response(tag, e))?,
+            },
+            "batch" => Response::Batch(
+                v.get("items")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| in_response(tag, "missing or invalid `items`".into()))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        Response::from_value(item)
+                            .map_err(|e| in_response(tag, format!("items[{i}]: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
             "error" => {
-                let error = match str_field(v, "error")? {
+                let error = match str_field(v, "error").map_err(|e| in_response(tag, e))? {
                     "insufficient_credits" => {
                         RequestError::Credit(CreditError::InsufficientCredits)
                     }
@@ -607,14 +747,26 @@ impl Response {
                     "duplicate_order" => RequestError::Credit(CreditError::DuplicateOrder),
                     "order_closed" => RequestError::Credit(CreditError::OrderClosed),
                     "pool_saturated" => RequestError::Credit(CreditError::PoolSaturated),
-                    "unknown_bot" => RequestError::UnknownBot(BotId(u64_field(v, "bot")?)),
-                    "invalid" => RequestError::Invalid(str_field(v, "message")?.to_string()),
+                    "unknown_bot" => RequestError::UnknownBot(BotId(
+                        u64_field(v, "bot").map_err(|e| in_response("error", e))?,
+                    )),
+                    "invalid" => RequestError::Invalid(
+                        str_field(v, "message")
+                            .map_err(|e| in_response("error", e))?
+                            .to_string(),
+                    ),
+                    "transport" => RequestError::Transport(
+                        str_field(v, "message")
+                            .map_err(|e| in_response("error", e))?
+                            .to_string(),
+                    ),
                     other => return Err(format!("unknown error code `{other}`")),
                 };
-                Ok(Response::Error(error))
+                Response::Error(error)
             }
-            other => Err(format!("unknown response `{other}`")),
-        }
+            other => return Err(format!("unknown response `{other}`")),
+        };
+        Ok(parsed)
     }
 
     /// Parses one JSON-encoded response.
@@ -898,10 +1050,18 @@ mod tests {
                 action: CloudAction::StopAll
             }
         );
-        assert_eq!(
-            spq.handle(Request::Complete { bot }, SimTime::from_secs(5_520)),
-            Response::Completed { bot }
-        );
+        let Response::Completed {
+            bot: done,
+            spent,
+            refund,
+        } = spq.handle(Request::Complete { bot }, SimTime::from_secs(5_520))
+        else {
+            panic!("completion must be acknowledged");
+        };
+        assert_eq!(done, bot);
+        assert!(spent > 0.0, "the burst was billed");
+        assert_eq!(spent, spq.credits.spent(bot), "wire spent == ledger spent");
+        assert_eq!(spent + refund, 150.0, "order fully settled");
         assert!(spq.credits.balance(user) > 850.0, "refund returned");
     }
 
@@ -1022,6 +1182,11 @@ mod tests {
                 progress: progress(61, 7, 2),
             },
             Request::Complete { bot: BotId(0) },
+            Request::Batch(vec![
+                Request::Predict { bot: BotId(0) },
+                Request::Complete { bot: BotId(1) },
+            ]),
+            Request::Batch(vec![]),
         ];
         for req in &requests {
             let text = req.to_json();
@@ -1060,10 +1225,20 @@ mod tests {
                 bot: BotId(7),
                 action: CloudAction::StopAll,
             },
-            Response::Completed { bot: BotId(7) },
+            Response::Completed {
+                bot: BotId(7),
+                spent: 62.5,
+                refund: 87.5,
+            },
+            Response::Batch(vec![
+                Response::Ordered { bot: BotId(7) },
+                Response::Error(RequestError::Credit(CreditError::NoOrder)),
+            ]),
+            Response::Batch(vec![]),
             Response::Error(RequestError::Credit(CreditError::PoolSaturated)),
             Response::Error(RequestError::UnknownBot(BotId(9))),
             Response::Error(RequestError::Invalid("bad".into())),
+            Response::Error(RequestError::Transport("connection reset".into())),
         ];
         for resp in &responses {
             let text = resp.to_json();
@@ -1153,5 +1328,90 @@ mod tests {
         let rb = replay(&mut b, &session);
         assert_eq!(ra, rb, "same session, same responses");
         assert_eq!(a.log(), b.log(), "same protocol log");
+    }
+
+    #[test]
+    fn batch_equals_its_unbatched_form() {
+        let user = UserId(1);
+        let requests = vec![
+            Request::Deposit {
+                user,
+                credits: 500.0,
+            },
+            Request::RegisterQos {
+                user,
+                env: "env".into(),
+                size: 10,
+            },
+            Request::OrderQos {
+                bot: BotId(0),
+                credits: 100.0,
+                strategy: None,
+            },
+            Request::Predict { bot: BotId(9) }, // errors travel in batches too
+        ];
+
+        let mut unbatched = SpeQuloS::new();
+        let singles: Vec<Response> = requests
+            .iter()
+            .map(|r| unbatched.handle(r.clone(), SimTime::ZERO))
+            .collect();
+
+        let mut batched = SpeQuloS::new();
+        let Response::Batch(grouped) = batched.handle(Request::Batch(requests), SimTime::ZERO)
+        else {
+            panic!("a batch answers with a batch");
+        };
+        assert_eq!(grouped, singles, "response per sub-request, in order");
+        assert_eq!(batched.log(), unbatched.log(), "identical protocol log");
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_in_place() {
+        let mut spq = SpeQuloS::new();
+        let r = spq.handle(
+            Request::Batch(vec![
+                Request::Deposit {
+                    user: UserId(1),
+                    credits: 1.0,
+                },
+                Request::Batch(vec![Request::Predict { bot: BotId(0) }]),
+            ]),
+            SimTime::ZERO,
+        );
+        let Response::Batch(items) = r else {
+            panic!("batch response expected");
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Response::Deposited { .. }));
+        assert!(
+            matches!(&items[1], Response::Error(RequestError::Invalid(m)) if m.contains("nest")),
+            "{:?}",
+            items[1]
+        );
+    }
+
+    #[test]
+    fn decode_errors_carry_the_field_path() {
+        // Response paths: a `completed` missing its billing summary, and
+        // an `action` whose payload is garbage.
+        let err = Response::from_json(r#"{"resp":"completed","bot":7.0}"#).unwrap_err();
+        assert_eq!(err, "response `completed`: missing or invalid `spent`");
+        let err = Response::from_json(r#"{"resp":"action","bot":7.0,"action":42.0}"#).unwrap_err();
+        assert!(
+            err.starts_with("response `action`: action:"),
+            "path missing: {err}"
+        );
+        // Request paths, including one nested inside a batch.
+        let err = Request::from_json(r#"{"req":"order_qos","bot":1.0}"#).unwrap_err();
+        assert_eq!(err, "request `order_qos`: missing or invalid `credits`");
+        let err = Request::from_json(
+            r#"{"req":"batch","items":[{"req":"report_progress","bot":0.0,"progress":{"now":1.0}}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "request `batch`: items[0]: request `report_progress`: progress: missing or invalid `size`"
+        );
     }
 }

@@ -159,18 +159,25 @@ fn run_metered(
     let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
     let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
     let user = UserId(0);
+    // Protocol billing runs at the service's clock granularity — the
+    // shared EDGI service must agree with the scenarios it serves.
+    assert_eq!(
+        service.tick_granularity(),
+        scenario.tick,
+        "EDGI service and scenario disagree on the monitoring tick"
+    );
     service.credits.deposit(user, credits);
     let bot_id = service.register_qos(&scenario.env(), bot.size() as u32, user, SimTime::ZERO);
     service
         .order_qos(bot_id, credits, strategy, SimTime::ZERO)
         .expect("credits just deposited");
     let hook = MeteredHook {
-        inner: SpqHook::new(service, bot_id, scenario.tick.as_hours_f64()),
+        inner: SpqHook::new(service, bot_id),
         driver,
     };
     let sim = dgrid::GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
     let (result, hook) = sim.run();
-    let service = hook.inner.spq;
+    let service = hook.inner.into_service();
     let spent = service.credits.spent(bot_id);
     let completion = result
         .completion_time

@@ -1,4 +1,5 @@
-//! The unified experiment API: one builder for every run mode.
+//! The unified experiment API: one builder for every run mode and every
+//! transport.
 //!
 //! Historically the harness exposed four unrelated free functions —
 //! `run_baseline`, `run_with_spequlos`, `run_paired`, `run_multi_tenant` —
@@ -29,25 +30,55 @@
 //! — with SpeQuloS when it carries a strategy, bare baseline when not.
 //! `run()` returns the mode-tagged [`Outcome`]; the typed `run_*`
 //! shortcuts skip the match when the mode is statically known.
+//!
+//! Since the transport redesign the SpeQuloS side of every run is driven
+//! through the wire protocol ([`spequlos::protocol`]), so the service can
+//! live anywhere:
+//!
+//! * [`Transport::InProcess`] (default) — the service is a local value,
+//!   requests are plain calls;
+//! * [`Transport::Loopback`] — the experiment spawns a `spq-server` on
+//!   `127.0.0.1`, drives the whole run through `RemoteService`
+//!   connections, then shuts the server down and recovers the service.
+//!   Results are bit-identical to the in-process transport (pinned by
+//!   `tests/remote.rs`);
+//! * [`Experiment::run_qos_with`] / [`Experiment::service_dyn`] — bring
+//!   your own endpoint (`&mut dyn SpqService` works) for anything beyond
+//!   loopback.
 
 use crate::runner::{
-    metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SharedSpqHook, SpqHook,
-    TenantOutcome,
+    metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SharedService, SharedSpqHook,
+    SpqHook, TenantOutcome,
 };
 use crate::scenario::{MultiTenantScenario, Scenario, TenantArrivals};
 use botwork::{generate, Bot, BotId};
 use dgrid::{run_many, GridSim, NoQos};
-use simcore::SimTime;
-use spequlos::{tail_removal_efficiency, SpeQuloS, UserId, CREDITS_PER_CPU_HOUR};
-use std::cell::RefCell;
-use std::rc::Rc;
+use simcore::{SimDuration, SimTime};
+use spequlos::protocol::{Request, Response, SpqService};
+use spequlos::{tail_removal_efficiency, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
+use spq_server::{RemoteService, Server};
+
+/// Where the SpeQuloS service lives during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// The service is an in-process value; protocol requests are plain
+    /// method calls. The default.
+    #[default]
+    InProcess,
+    /// The service runs behind a `spq-server` on a loopback TCP port,
+    /// spawned and torn down by the experiment; every request crosses
+    /// the framed wire through a `RemoteService` connection (one per
+    /// tenant in multi-tenant mode). Bit-identical to
+    /// [`Transport::InProcess`].
+    Loopback,
+}
 
 /// A runnable experiment: one scenario plus the run-mode knobs.
 ///
 /// Built with [`Experiment::new`], configured with the chained setters,
 /// executed with [`Experiment::run`] (or a typed `run_*` shortcut). See
 /// the [module docs](self) for examples and the migration map from the
-/// deprecated free functions.
+/// removed free functions.
 #[derive(Clone, Debug)]
 pub struct Experiment {
     scenario: Scenario,
@@ -56,6 +87,7 @@ pub struct Experiment {
     pool: Option<u32>,
     arrivals: TenantArrivals,
     service: Option<SpeQuloS>,
+    transport: Transport,
 }
 
 /// What an [`Experiment::run`] produced, tagged by run mode.
@@ -127,10 +159,22 @@ impl Outcome {
     }
 }
 
+/// Per-tenant bookkeeping carried from setup to report assembly.
+type TenantMeta = (u32, UserId, SimDuration, Scenario, f64, u32);
+
+/// What one tenant's simulation produced, with the endpoint already
+/// dropped (so shared in-process services can be unwrapped).
+struct TenantRun {
+    result: dgrid::RunResult,
+    bot: BotId,
+    admitted: bool,
+    spent: f64,
+}
+
 impl Experiment {
     /// An experiment over one scenario. The run mode defaults to a single
     /// execution — with SpeQuloS when the scenario carries a strategy,
-    /// bare baseline otherwise.
+    /// bare baseline otherwise — on the in-process transport.
     pub fn new(scenario: Scenario) -> Self {
         Experiment {
             scenario,
@@ -139,6 +183,7 @@ impl Experiment {
             pool: None,
             arrivals: TenantArrivals::Simultaneous,
             service: None,
+            transport: Transport::InProcess,
         }
     }
 
@@ -166,8 +211,7 @@ impl Experiment {
     }
 
     /// Caps the shared cloud-worker pool at `capacity` (multi-tenant
-    /// runs; on a single QoS run it builds the service with
-    /// [`SpeQuloS::with_pool`]).
+    /// runs; on a single QoS run it builds a pooled service).
     pub fn pool(mut self, capacity: u32) -> Self {
         self.pool = Some(capacity);
         self
@@ -179,11 +223,41 @@ impl Experiment {
         self
     }
 
+    /// Selects where the service lives during the run (default
+    /// [`Transport::InProcess`]); see [`Experiment::loopback`].
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Runs the experiment end-to-end over loopback TCP: the service is
+    /// served by a `spq-server` the experiment spawns, every protocol
+    /// request crosses the framed wire, and the service state is
+    /// recovered at shutdown — results are bit-identical to the default
+    /// in-process transport.
+    ///
+    /// ```no_run
+    /// use betrace::Preset;
+    /// use botwork::BotClass;
+    /// use spequlos::StrategyCombo;
+    /// use spq_harness::{Experiment, MwKind, Scenario};
+    ///
+    /// let sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 7)
+    ///     .with_strategy(StrategyCombo::paper_default());
+    /// let (remote, _service) = Experiment::new(sc).loopback().run_qos();
+    /// assert!(remote.completed);
+    /// ```
+    pub fn loopback(self) -> Self {
+        self.transport(Transport::Loopback)
+    }
+
     /// Seeds a single QoS run with an existing service — credits, archive
     /// and favor state carry over (e.g. to accumulate prediction history
     /// across runs). Only meaningful for QoS and paired runs (the QoS
     /// half); baseline and multi-tenant modes reject a configured service
-    /// instead of silently discarding its state.
+    /// instead of silently discarding its state. The carried service's
+    /// clock granularity must match the scenario's tick — billing runs at
+    /// the service's granularity since the protocol redesign.
     pub fn service(mut self, service: SpeQuloS) -> Self {
         self.service = Some(service);
         self
@@ -224,7 +298,8 @@ impl Experiment {
     }
 
     /// Runs the scenario without SpeQuloS (the paper's baseline),
-    /// ignoring any strategy it carries.
+    /// ignoring any strategy it carries. No service is involved, so the
+    /// transport setting is irrelevant here.
     pub fn run_baseline(&self) -> ExecutionMetrics {
         let mut sc = self.scenario.clone();
         sc.strategy = None;
@@ -235,42 +310,66 @@ impl Experiment {
         metrics_from(&sc, &result, 0.0, 0.0, bot.size() as u32)
     }
 
-    /// Runs the scenario with SpeQuloS. Uses the service from
-    /// [`Experiment::service`] if one was provided (fresh otherwise —
-    /// pooled via [`Experiment::pool`] when set), and returns the service
+    /// Runs the scenario with SpeQuloS over the configured transport.
+    /// Uses the service from [`Experiment::service`] if one was provided
+    /// (fresh otherwise — pooled via [`Experiment::pool`] when set, clock
+    /// granularity matching the scenario tick), and returns the service
     /// back with the metrics.
     ///
     /// # Panics
-    /// Panics if the scenario has no strategy.
+    /// Panics if the scenario has no strategy, or if a carried service's
+    /// clock granularity disagrees with the scenario's tick.
     pub fn run_qos(self) -> (ExecutionMetrics, SpeQuloS) {
-        let scenario = &self.scenario;
-        let strategy = scenario
-            .strategy
-            .expect("a QoS experiment requires a strategy on the scenario");
-        let mut service = self.service.unwrap_or_else(|| match self.pool {
-            Some(capacity) => SpeQuloS::with_pool(capacity),
-            None => SpeQuloS::new(),
-        });
-        let bot = generate(scenario.class, BotId(0), scenario.seed);
-        let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
+        let service = match self.service {
+            Some(service) => {
+                assert_eq!(
+                    service.tick_granularity(),
+                    self.scenario.tick,
+                    "the carried service bills ReportProgress at its own clock \
+                     granularity; assemble it with SpeQuloS::builder().tick(…) \
+                     matching the scenario's tick"
+                );
+                service
+            }
+            None => Self::service_for(&self.scenario, self.pool),
+        };
+        match self.transport {
+            Transport::InProcess => Self::drive_qos(&self.scenario, service),
+            Transport::Loopback => {
+                let handle = Server::spawn_loopback(service).expect("bind loopback server");
+                let remote =
+                    RemoteService::connect(handle.addr()).expect("connect to loopback server");
+                let (metrics, remote) = Self::drive_qos(&self.scenario, remote);
+                drop(remote);
+                (metrics, handle.into_service())
+            }
+        }
+    }
 
-        // Credits worth `credit_fraction` of the BoT workload (§4.1.3).
-        let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
-        let user = UserId(0);
-        service.credits.deposit(user, credits);
-        let bot_id = service.register_qos(&scenario.env(), bot.size() as u32, user, SimTime::ZERO);
-        service
-            .order_qos(bot_id, credits, strategy, SimTime::ZERO)
-            .expect("freshly deposited credits cover the order");
+    /// Runs the QoS scenario against a caller-provided protocol endpoint
+    /// — the transport-agnostic seam under [`Experiment::run_qos`]. The
+    /// endpoint must be empty of prior state for this scenario (the run
+    /// opens its own deposit → register → order session); billing comes
+    /// back through the `Completed` response, so the metrics are complete
+    /// even when the service's internals are unreachable.
+    ///
+    /// **Contract:** the service behind the endpoint must bill at the
+    /// scenario's monitoring tick (`SpeQuloS::builder().tick(…)`), since
+    /// `ReportProgress` billing runs at the *service's* clock
+    /// granularity. Unlike [`Experiment::service`], this cannot be
+    /// asserted here — a remote endpoint's granularity is not observable
+    /// through the protocol — so a mismatch silently mis-bills.
+    pub fn run_qos_with<S: SpqService>(&self, endpoint: S) -> (ExecutionMetrics, S) {
+        Self::drive_qos(&self.scenario, endpoint)
+    }
 
-        let tick_hours = scenario.tick.as_hours_f64();
-        let hook = SpqHook::new(service, bot_id, tick_hours);
-        let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
-        let (result, hook) = sim.run();
-        let service = hook.spq;
-        let spent = service.credits.spent(bot_id);
-        let metrics = metrics_from(scenario, &result, credits, spent, bot.size() as u32);
-        (metrics, service)
+    /// [`Experiment::run_qos_with`] behind `&mut dyn SpqService`: drives
+    /// the scenario through any object-safe endpoint (an in-process
+    /// service, a `RemoteService`, a test double) without knowing its
+    /// type. The same clock-granularity contract applies.
+    pub fn service_dyn(&self, endpoint: &mut dyn SpqService) -> ExecutionMetrics {
+        let (metrics, _) = Self::drive_qos(&self.scenario, endpoint);
+        metrics
     }
 
     /// Runs the same scenario with and without SpeQuloS on the same seed
@@ -303,8 +402,11 @@ impl Experiment {
     }
 
     /// Runs `tenants` concurrent BoT executions against one shared
-    /// SpeQuloS service with a bounded cloud-worker pool. Deterministic:
-    /// the same experiment reproduces the same report bit-for-bit.
+    /// SpeQuloS service with a bounded cloud-worker pool, over the
+    /// configured transport (in-process sharing, or one `RemoteService`
+    /// connection per tenant to a spawned loopback server).
+    /// Deterministic: the same experiment reproduces the same report
+    /// bit-for-bit, on either transport.
     ///
     /// # Panics
     /// Panics if the scenario has no strategy, if `.tenants(n)` /
@@ -333,9 +435,127 @@ impl Experiment {
             .base
             .strategy
             .expect("a multi-tenant experiment requires a strategy on the scenario");
-        let offsets = mt.arrivals.offsets(mt.tenants);
-        let spq = Rc::new(RefCell::new(SpeQuloS::with_pool(mt.pool_capacity)));
+        let service = SpeQuloS::builder()
+            .pool(mt.pool_capacity)
+            .tick(mt.base.tick)
+            .build();
+        match self.transport {
+            Transport::InProcess => {
+                let shared = SharedService::new(service);
+                let mut admin = shared.clone();
+                let (runs, meta) =
+                    Self::drive_multi_tenant(&mt, strategy, &mut admin, |_| shared.clone());
+                drop(admin);
+                let service = shared
+                    .into_inner()
+                    .unwrap_or_else(|_| panic!("all tenant endpoints dropped with their sims"));
+                Self::assemble_report(&mt, runs, meta, service)
+            }
+            Transport::Loopback => {
+                let handle = Server::spawn_loopback(service).expect("bind loopback server");
+                let mut admin =
+                    RemoteService::connect(handle.addr()).expect("connect to loopback server");
+                let (runs, meta) = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
+                    RemoteService::connect(handle.addr())
+                        .unwrap_or_else(|e| panic!("connect tenant {i}: {e}"))
+                });
+                drop(admin);
+                Self::assemble_report(&mt, runs, meta, handle.into_service())
+            }
+        }
+    }
 
+    /// A fresh service assembled for this scenario: pooled when
+    /// requested, billing at the scenario's monitoring tick.
+    fn service_for(scenario: &Scenario, pool: Option<u32>) -> SpeQuloS {
+        let mut builder = SpeQuloS::builder().tick(scenario.tick);
+        if let Some(capacity) = pool {
+            builder = builder.pool(capacity);
+        }
+        builder.build()
+    }
+
+    /// Opens the Fig. 3 session for one funded BoT on any endpoint —
+    /// deposit → `registerQoS` → `orderQoS` — and returns the assigned
+    /// BoT id.
+    fn open_session<S: SpqService>(
+        endpoint: &mut S,
+        user: UserId,
+        env: &str,
+        size: u32,
+        credits: f64,
+        strategy: StrategyCombo,
+        now: SimTime,
+    ) -> BotId {
+        match endpoint.handle(Request::Deposit { user, credits }, now) {
+            Response::Deposited { .. } => {}
+            other => panic!("deposit refused: {other:?}"),
+        }
+        let bot = match endpoint.handle(
+            Request::RegisterQos {
+                user,
+                env: env.to_string(),
+                size,
+            },
+            now,
+        ) {
+            Response::Registered { bot } => bot,
+            other => panic!("registration refused: {other:?}"),
+        };
+        match endpoint.handle(
+            Request::OrderQos {
+                bot,
+                credits,
+                strategy: Some(strategy),
+            },
+            now,
+        ) {
+            Response::Ordered { .. } => {}
+            other => panic!("freshly deposited credits must cover the order: {other:?}"),
+        }
+        bot
+    }
+
+    /// The single-tenant QoS run against an arbitrary endpoint.
+    fn drive_qos<S: SpqService>(scenario: &Scenario, mut endpoint: S) -> (ExecutionMetrics, S) {
+        let strategy = scenario
+            .strategy
+            .expect("a QoS experiment requires a strategy on the scenario");
+        let bot = generate(scenario.class, BotId(0), scenario.seed);
+        let dci = scenario.preset.spec().build(scenario.seed, scenario.scale);
+
+        // Credits worth `credit_fraction` of the BoT workload (§4.1.3).
+        let credits = scenario.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
+        let user = UserId(0);
+        let bot_id = Self::open_session(
+            &mut endpoint,
+            user,
+            &scenario.env(),
+            bot.size() as u32,
+            credits,
+            strategy,
+            SimTime::ZERO,
+        );
+
+        let hook = SpqHook::new(endpoint, bot_id);
+        let sim = GridSim::new(dci, &bot, scenario.sim_config(), scenario.seed, hook);
+        let (result, hook) = sim.run();
+        let spent = hook.spent();
+        let metrics = metrics_from(scenario, &result, credits, spent, bot.size() as u32);
+        (metrics, hook.into_service())
+    }
+
+    /// Sets up and runs all tenant simulations against per-tenant
+    /// endpoints (`connect`), registering each tenant through `admin`
+    /// first. Endpoints are dropped before returning, so a shared
+    /// in-process service can be unwrapped by the caller.
+    fn drive_multi_tenant<A: SpqService, E: SpqService>(
+        mt: &MultiTenantScenario,
+        strategy: StrategyCombo,
+        admin: &mut A,
+        mut connect: impl FnMut(u32) -> E,
+    ) -> (Vec<TenantRun>, Vec<TenantMeta>) {
+        let offsets = mt.arrivals.offsets(mt.tenants);
         let mut sims = Vec::with_capacity(mt.tenants as usize);
         let mut meta = Vec::with_capacity(mt.tenants as usize);
         for i in 0..mt.tenants {
@@ -348,56 +568,64 @@ impl Experiment {
             let dci = sc.preset.spec().build(sc.seed, sc.scale);
             let credits = sc.credit_fraction * bot.workload_cpu_hours() * CREDITS_PER_CPU_HOUR;
             let user = UserId(u64::from(i));
-            let bot_id = {
-                let mut service = spq.borrow_mut();
-                service.credits.deposit(user, credits);
-                service.register_qos(&sc.env(), bot.size() as u32, user, SimTime::ZERO + offset)
+            let at = SimTime::ZERO + offset;
+            match admin.handle(Request::Deposit { user, credits }, at) {
+                Response::Deposited { .. } => {}
+                other => panic!("tenant {i} deposit refused: {other:?}"),
+            }
+            let bot_id = match admin.handle(
+                Request::RegisterQos {
+                    user,
+                    env: sc.env(),
+                    size: bot.size() as u32,
+                },
+                at,
+            ) {
+                Response::Registered { bot } => bot,
+                other => panic!("tenant {i} registration refused: {other:?}"),
             };
-            let hook = SharedSpqHook::new(
-                spq.clone(),
-                bot_id,
-                SimTime::ZERO + offset,
-                credits,
-                strategy,
-                sc.tick.as_hours_f64(),
-            );
+            // The order itself is deferred to the tenant's arrival tick —
+            // placed by the hook, through the tenant's own endpoint.
+            let hook = SharedSpqHook::new(connect(i), bot_id, at, credits, strategy);
             sims.push(GridSim::new(dci, &bot, sc.sim_config(), sc.seed, hook));
             meta.push((i, user, offset, sc, credits, bot.size() as u32));
         }
+        let runs = run_many(sims)
+            .into_iter()
+            .map(|(result, hook)| TenantRun {
+                result,
+                bot: hook.bot(),
+                admitted: hook.admitted().unwrap_or(false),
+                spent: hook.spent(),
+            })
+            .collect();
+        (runs, meta)
+    }
 
-        let results = run_many(sims);
-        let mut tenants = Vec::with_capacity(results.len());
+    /// Folds tenant runs and the recovered service into the report.
+    fn assemble_report(
+        mt: &MultiTenantScenario,
+        runs: Vec<TenantRun>,
+        meta: Vec<TenantMeta>,
+        service: SpeQuloS,
+    ) -> MultiTenantReport {
+        let mut tenants = Vec::with_capacity(runs.len());
         let mut events = 0u64;
-        {
-            let service = spq.borrow();
-            for ((result, hook), (i, user, offset, sc, credits, size)) in
-                results.into_iter().zip(meta)
-            {
-                events += result.events;
-                let admitted = hook.admitted().unwrap_or(false);
-                let bot = hook.bot();
-                let spent = service.credits.spent(bot);
-                let provisioned = if admitted { credits } else { 0.0 };
-                let metrics = metrics_from(&sc, &result, provisioned, spent, size);
-                tenants.push(TenantOutcome {
-                    tenant: i,
-                    user,
-                    bot,
-                    admitted,
-                    offset,
-                    metrics,
-                    qos: service.tenant_metrics(bot),
-                });
-            }
+        for (run, (i, user, offset, sc, credits, size)) in runs.into_iter().zip(meta) {
+            events += run.result.events;
+            let provisioned = if run.admitted { credits } else { 0.0 };
+            let metrics = metrics_from(&sc, &run.result, provisioned, run.spent, size);
+            tenants.push(TenantOutcome {
+                tenant: i,
+                user,
+                bot: run.bot,
+                admitted: run.admitted,
+                offset,
+                metrics,
+                qos: service.tenant_metrics(run.bot),
+            });
         }
-        let peak = spq
-            .borrow()
-            .pool()
-            .map(|p| p.peak_in_use())
-            .unwrap_or_default();
-        let service = Rc::try_unwrap(spq)
-            .expect("all hooks dropped with their simulations")
-            .into_inner();
+        let peak = service.pool().map(|p| p.peak_in_use()).unwrap_or_default();
         MultiTenantReport {
             tenants,
             pool_capacity: mt.pool_capacity,
@@ -533,5 +761,48 @@ mod tests {
             2,
             "archive accumulates across .service() chaining"
         );
+    }
+
+    #[test]
+    fn service_dyn_drives_any_endpoint_to_the_same_result() {
+        // The same scenario through the typed path and through a
+        // `&mut dyn SpqService` must agree exactly.
+        let sc = quick_scenario(8).with_strategy(StrategyCombo::paper_default());
+        let (typed, _) = Experiment::new(sc.clone()).run_qos();
+        let mut endpoint = SpeQuloS::builder().tick(sc.tick).build();
+        let dynamic = Experiment::new(sc).service_dyn(&mut endpoint);
+        assert_eq!(typed.completion_secs, dynamic.completion_secs);
+        assert_eq!(typed.events, dynamic.events);
+        assert_eq!(typed.credits_spent, dynamic.credits_spent);
+        assert_eq!(typed.cloud, dynamic.cloud);
+    }
+
+    #[test]
+    fn loopback_qos_run_is_bit_identical_to_in_process() {
+        let sc = quick_scenario(9).with_strategy(StrategyCombo::paper_default());
+        let (local, local_svc) = Experiment::new(sc.clone()).run_qos();
+        let (remote, remote_svc) = Experiment::new(sc).loopback().run_qos();
+        assert_eq!(local.completion_secs, remote.completion_secs);
+        assert_eq!(local.events, remote.events);
+        assert_eq!(local.credits_spent, remote.credits_spent);
+        assert_eq!(local.cloud, remote.cloud);
+        assert_eq!(local_svc.log(), remote_svc.log(), "same protocol log");
+    }
+
+    #[test]
+    fn loopback_multi_tenant_is_bit_identical_to_in_process() {
+        let base = quick_scenario(10).with_strategy(StrategyCombo::paper_default());
+        let exp = Experiment::new(base).tenants(2).pool(4);
+        let local = exp.clone().run_multi_tenant();
+        let remote = exp.loopback().run_multi_tenant();
+        assert_eq!(local.events, remote.events);
+        assert_eq!(local.peak_pool_in_use, remote.peak_pool_in_use);
+        assert_eq!(local.service.log(), remote.service.log());
+        for (a, b) in local.tenants.iter().zip(&remote.tenants) {
+            assert_eq!(a.admitted, b.admitted);
+            assert_eq!(a.metrics.completion_secs, b.metrics.completion_secs);
+            assert_eq!(a.metrics.credits_spent, b.metrics.credits_spent);
+            assert_eq!(a.qos, b.qos);
+        }
     }
 }

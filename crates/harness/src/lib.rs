@@ -22,9 +22,17 @@
 //! assert!(paired.baseline.completed && paired.speq.completed);
 //! ```
 //!
+//! The service side of every run speaks the wire protocol
+//! ([`spequlos::protocol`]) through the hooks in [`runner`], so an
+//! experiment can also run end-to-end over loopback TCP
+//! (`Experiment::new(sc).loopback()`, served by `spq-server`) or against
+//! any `&mut dyn SpqService` ([`Experiment::service_dyn`]) — with results
+//! bit-identical to the in-process transport.
+//!
 //! The pre-builder free functions (`run_baseline`, `run_with_spequlos`,
-//! `run_paired`, `run_multi_tenant`) remain as deprecated shims; see the
-//! README's migration note for the one-line mapping.
+//! `run_paired`, `run_multi_tenant`) completed their deprecation cycle
+//! and were removed; see the README's migration note for the one-line
+//! mapping onto [`Experiment`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,13 +46,12 @@ pub mod scenario;
 pub mod sweep;
 
 pub use edgi::{run_edgi, EdgiReport};
-pub use experiment::{Experiment, Outcome};
+pub use experiment::{Experiment, Outcome, Transport};
 pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
 pub use report::{pct, secs, write_file, Table};
 pub use runner::{
-    bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SharedSpqHook, SpqHook, TenantOutcome,
+    bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SharedService, SharedSpqHook, SpqHook,
+    TenantOutcome,
 };
-#[allow(deprecated)]
-pub use runner::{run_baseline, run_multi_tenant, run_paired, run_with_spequlos};
 pub use scenario::{deployment_of, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 pub use sweep::parallel_map;

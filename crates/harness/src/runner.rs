@@ -1,78 +1,173 @@
-//! Execution plumbing shared by every run mode: the QoS hooks bridging
-//! the simulator to a [`SpeQuloS`] service, the per-run metric types, and
-//! thin deprecated shims keeping the pre-[`Experiment`] free functions
-//! (`run_baseline` & co.) compiling.
+//! Execution plumbing shared by every run mode: the protocol-driven QoS
+//! hooks bridging the simulator to any [`SpqService`] endpoint, and the
+//! per-run metric types.
 //!
-//! New code should drive runs through [`Experiment`]
-//! (`Experiment::new(scenario).paired().run()`); the free functions here
-//! delegate to it one-to-one.
+//! Since the transport redesign the hooks do not touch a [`SpeQuloS`]
+//! directly: each monitoring tick becomes a `Request::ReportProgress`
+//! through [`SpqService::handle`], and each returned `Response::Action`
+//! becomes a simulator [`CloudCommand`]. The endpoint is a type
+//! parameter, so the *same* hook drives
+//!
+//! * a local [`SpeQuloS`] (single-tenant runs),
+//! * a [`SharedService`] — one in-process service shared by many tenants,
+//! * a `spq-server` `RemoteService` — the service behind loopback/LAN TCP,
+//! * or any `&mut dyn SpqService` (the blanket impls in
+//!   `spequlos::protocol` make references and boxes endpoints too).
+//!
+//! Runs are driven through [`Experiment`](crate::Experiment)
+//! (`Experiment::new(scenario).paired().run()`); the pre-builder free
+//! functions (`run_baseline` & co.) were removed after a deprecation
+//! cycle — see the README migration table.
 
-use crate::experiment::Experiment;
-use crate::scenario::{MultiTenantScenario, Scenario};
+use crate::scenario::Scenario;
 use botwork::{generate, Bot, BotId};
 use dgrid::{CloudCommand, CloudUsage, QosHook, TickView};
 use simcore::{SimDuration, SimTime, TimeSeries};
+use spequlos::protocol::{Request, Response, SpqService};
 use spequlos::{
     tail_stats, BotProgress, CloudAction, SpeQuloS, StrategyCombo, TailStats, TenantMetrics, UserId,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Adapter: drives a [`SpeQuloS`] service from the simulator's QoS hook,
-/// translating the simulator's tick view into the service's progress
-/// snapshots and the service's actions into simulator commands.
-pub struct SpqHook {
-    /// The service (recovered after the run for billing/α state).
-    pub spq: SpeQuloS,
+/// Translates the simulator's tick view into the protocol's progress
+/// snapshot (the only data that crosses the monitoring boundary, §3.2).
+fn progress_of(view: &TickView) -> BotProgress {
+    BotProgress {
+        now: view.now,
+        size: view.bot_size,
+        completed: view.completed,
+        dispatched: view.dispatched,
+        queued: view.ready,
+        running: view.running,
+        cloud_running: view.cloud_running,
+    }
+}
+
+/// Maps a protocol response onto the simulator command for this tick.
+/// Anything but an explicit `Action` — including transport errors from a
+/// remote endpoint — means "touch nothing": the hook contract forbids
+/// panicking mid-simulation.
+fn command_of(response: Response) -> CloudCommand {
+    match response {
+        Response::Action { action, .. } => match action {
+            CloudAction::None => CloudCommand::None,
+            CloudAction::Start(n) => CloudCommand::Start(n),
+            CloudAction::StopAll => CloudCommand::StopAll,
+        },
+        _ => CloudCommand::None,
+    }
+}
+
+/// Adapter: drives one BoT's QoS through a protocol endpoint from the
+/// simulator's hook seam. Generic over the endpoint (see the
+/// [module docs](self)); `SpqHook` with no parameter is the plain local
+/// service.
+pub struct SpqHook<S: SpqService = SpeQuloS> {
+    /// The protocol endpoint (recovered after the run — for a local
+    /// service this carries billing/archive/favor state).
+    pub service: S,
     bot: BotId,
-    tick_hours: f64,
     /// Ask the Oracle for a completion-time prediction once this
     /// completion ratio is reached (the `getQoSInformation` arrow of
     /// Fig. 3; also what Table 4 scores).
     predict_at: Option<f64>,
     predicted: bool,
+    billing: Option<(f64, f64)>,
 }
 
-impl SpqHook {
-    /// Wraps a service around one registered BoT; a prediction is
+impl<S: SpqService> SpqHook<S> {
+    /// Wraps an endpoint around one registered BoT; a prediction is
     /// requested once at 50% completion, as in the paper's evaluation.
-    pub fn new(spq: SpeQuloS, bot: BotId, tick_hours: f64) -> Self {
+    pub fn new(service: S, bot: BotId) -> Self {
         SpqHook {
-            spq,
+            service,
             bot,
-            tick_hours,
             predict_at: Some(0.5),
             predicted: false,
+            billing: None,
         }
+    }
+
+    /// The BoT this hook monitors.
+    pub fn bot(&self) -> BotId {
+        self.bot
+    }
+
+    /// Credits billed against the BoT's order, from the `Completed`
+    /// billing summary (0 before the run finished).
+    pub fn spent(&self) -> f64 {
+        self.billing.map(|(spent, _)| spent).unwrap_or(0.0)
+    }
+
+    /// Unspent credits refunded at `pay` time (0 before the run
+    /// finished).
+    pub fn refund(&self) -> f64 {
+        self.billing.map(|(_, refund)| refund).unwrap_or(0.0)
+    }
+
+    /// Consumes the hook, returning the endpoint.
+    pub fn into_service(self) -> S {
+        self.service
     }
 }
 
-impl QosHook for SpqHook {
+impl<S: SpqService> QosHook for SpqHook<S> {
     fn on_tick(&mut self, view: &TickView) -> CloudCommand {
-        let progress = BotProgress {
-            now: view.now,
-            size: view.bot_size,
-            completed: view.completed,
-            dispatched: view.dispatched,
-            queued: view.ready,
-            running: view.running,
-            cloud_running: view.cloud_running,
-        };
+        let progress = progress_of(view);
         if let Some(ratio) = self.predict_at {
             if !self.predicted && progress.completion_ratio() >= ratio {
                 self.predicted = true;
-                let _ = self.spq.predict(self.bot, view.now);
+                let _ = self
+                    .service
+                    .handle(Request::Predict { bot: self.bot }, view.now);
             }
         }
-        match self.spq.on_progress(self.bot, &progress, self.tick_hours) {
-            CloudAction::None => CloudCommand::None,
-            CloudAction::Start(n) => CloudCommand::Start(n),
-            CloudAction::StopAll => CloudCommand::StopAll,
-        }
+        command_of(self.service.handle(
+            Request::ReportProgress {
+                bot: self.bot,
+                progress,
+            },
+            view.now,
+        ))
     }
 
     fn on_finish(&mut self, now: SimTime) {
-        self.spq.on_complete(self.bot, now);
+        if let Response::Completed { spent, refund, .. } = self
+            .service
+            .handle(Request::Complete { bot: self.bot }, now)
+        {
+            self.billing = Some((spent, refund));
+        }
+    }
+}
+
+/// An in-process endpoint many hooks can share: one [`SpeQuloS`] behind
+/// `Rc<RefCell>`, one handle per tenant. The single-threaded interleaved
+/// driver ([`dgrid::run_many`]) calls at most one hook at a time, so the
+/// `borrow_mut` in [`SpqService::handle`] never contends.
+#[derive(Clone, Debug)]
+pub struct SharedService(Rc<RefCell<SpeQuloS>>);
+
+impl SharedService {
+    /// Wraps a service for sharing; [`SharedService::clone`] hands out
+    /// further endpoints to the same instance.
+    pub fn new(service: SpeQuloS) -> Self {
+        SharedService(Rc::new(RefCell::new(service)))
+    }
+
+    /// Recovers the service once every clone is dropped; `Err(self)`
+    /// while other endpoints are still alive.
+    pub fn into_inner(self) -> Result<SpeQuloS, SharedService> {
+        Rc::try_unwrap(self.0)
+            .map(RefCell::into_inner)
+            .map_err(SharedService)
+    }
+}
+
+impl SpqService for SharedService {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        self.0.borrow_mut().handle(request, now)
     }
 }
 
@@ -150,29 +245,6 @@ pub(crate) fn metrics_from(
     }
 }
 
-/// Runs the scenario without SpeQuloS (the paper's baseline).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::new(scenario).run_baseline()`"
-)]
-pub fn run_baseline(scenario: &Scenario) -> ExecutionMetrics {
-    Experiment::new(scenario.clone()).run_baseline()
-}
-
-/// Runs the scenario with SpeQuloS using `service` (pass a fresh service,
-/// or one carrying history/credit state across runs). Returns the metrics
-/// and the service back.
-///
-/// # Panics
-/// Panics if the scenario has no strategy.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::new(scenario).service(service).run_qos()`"
-)]
-pub fn run_with_spequlos(scenario: &Scenario, service: SpeQuloS) -> (ExecutionMetrics, SpeQuloS) {
-    Experiment::new(scenario.clone()).service(service).run_qos()
-}
-
 /// A seed-paired baseline + SpeQuloS comparison (§4.2.1: "using the same
 /// seed value allows a fair comparison").
 #[derive(Clone, Debug)]
@@ -188,57 +260,47 @@ pub struct PairedRun {
     pub speedup: f64,
 }
 
-/// Runs the same scenario with and without SpeQuloS on the same seed.
-///
-/// # Panics
-/// Panics if the scenario has no strategy.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::new(scenario).paired().run_paired()`"
-)]
-pub fn run_paired(scenario: &Scenario) -> PairedRun {
-    Experiment::new(scenario.clone()).paired().run_paired()
-}
-
 /// QoS adapter for one tenant of a shared service: like [`SpqHook`] but
-/// holding the service behind `Rc<RefCell>` so every tenant's simulation
-/// drives the *same* instance. The BoT is registered up front (at its
+/// the order is deferred. The BoT is registered up front (at its
 /// submission time, so the Oracle's elapsed-time estimates are anchored
-/// correctly), but the `orderQoS` call is deferred to the first
+/// correctly), but the `orderQoS` request is sent at the first
 /// monitoring tick at or after the tenant's arrival — admission control
 /// therefore sees the pool as it is *then*, so an order rejected at a
 /// busy moment differs from one arriving after earlier tenants completed
 /// and freed their slots.
-pub struct SharedSpqHook {
-    spq: Rc<RefCell<SpeQuloS>>,
+///
+/// Generic over the endpoint: [`SharedService`] clones for the
+/// in-process multi-tenant run, one `RemoteService` connection per
+/// tenant when the shared service lives behind `spq-server`.
+pub struct SharedSpqHook<S: SpqService = SharedService> {
+    service: S,
     bot: BotId,
     submit_at: SimTime,
     credits: f64,
     strategy: StrategyCombo,
-    tick_hours: f64,
     /// Admission-control verdict, once the order was placed.
     admitted: Option<bool>,
+    billing: Option<(f64, f64)>,
 }
 
-impl SharedSpqHook {
+impl<S: SpqService> SharedSpqHook<S> {
     /// A tenant whose (already registered) BoT `bot` arrives at
     /// `submit_at`, ordering `credits` of QoS under `strategy`.
     pub fn new(
-        spq: Rc<RefCell<SpeQuloS>>,
+        service: S,
         bot: BotId,
         submit_at: SimTime,
         credits: f64,
         strategy: StrategyCombo,
-        tick_hours: f64,
     ) -> Self {
         SharedSpqHook {
-            spq,
+            service,
             bot,
             submit_at,
             credits,
             strategy,
-            tick_hours,
             admitted: None,
+            billing: None,
         }
     }
 
@@ -252,43 +314,51 @@ impl SharedSpqHook {
     pub fn admitted(&self) -> Option<bool> {
         self.admitted
     }
+
+    /// Credits billed against the tenant's order, from the `Completed`
+    /// billing summary (0 before the run finished).
+    pub fn spent(&self) -> f64 {
+        self.billing.map(|(spent, _)| spent).unwrap_or(0.0)
+    }
+
+    /// Consumes the hook, returning the endpoint.
+    pub fn into_service(self) -> S {
+        self.service
+    }
 }
 
-impl QosHook for SharedSpqHook {
+impl<S: SpqService> QosHook for SharedSpqHook<S> {
     fn on_tick(&mut self, view: &TickView) -> CloudCommand {
         if self.admitted.is_none() {
             if view.now < self.submit_at {
                 return CloudCommand::None; // tenant has not arrived yet
             }
-            let verdict = self
-                .spq
-                .borrow_mut()
-                .order_qos(self.bot, self.credits, self.strategy, view.now)
-                .is_ok();
-            self.admitted = Some(verdict);
+            let verdict = self.service.handle(
+                Request::OrderQos {
+                    bot: self.bot,
+                    credits: self.credits,
+                    strategy: Some(self.strategy),
+                },
+                view.now,
+            );
+            self.admitted = Some(matches!(verdict, Response::Ordered { .. }));
         }
-        let progress = BotProgress {
-            now: view.now,
-            size: view.bot_size,
-            completed: view.completed,
-            dispatched: view.dispatched,
-            queued: view.ready,
-            running: view.running,
-            cloud_running: view.cloud_running,
-        };
-        match self
-            .spq
-            .borrow_mut()
-            .on_progress(self.bot, &progress, self.tick_hours)
-        {
-            CloudAction::None => CloudCommand::None,
-            CloudAction::Start(n) => CloudCommand::Start(n),
-            CloudAction::StopAll => CloudCommand::StopAll,
-        }
+        command_of(self.service.handle(
+            Request::ReportProgress {
+                bot: self.bot,
+                progress: progress_of(view),
+            },
+            view.now,
+        ))
     }
 
     fn on_finish(&mut self, now: SimTime) {
-        self.spq.borrow_mut().on_complete(self.bot, now);
+        if let Response::Completed { spent, refund, .. } = self
+            .service
+            .handle(Request::Complete { bot: self.bot }, now)
+        {
+            self.billing = Some((spent, refund));
+        }
     }
 }
 
@@ -311,7 +381,8 @@ pub struct TenantOutcome {
     pub qos: TenantMetrics,
 }
 
-/// Result of a [`run_multi_tenant`] execution.
+/// Result of a multi-tenant run
+/// ([`Experiment::run_multi_tenant`](crate::Experiment::run_multi_tenant)).
 #[derive(Clone, Debug)]
 pub struct MultiTenantReport {
     /// Per-tenant outcomes, in tenant order.
@@ -334,62 +405,91 @@ impl MultiTenantReport {
     }
 }
 
-/// Runs `mt.tenants` concurrent BoT executions against one shared
-/// SpeQuloS service with a cloud-worker pool of `mt.pool_capacity`
-/// (see [`MultiTenantScenario`]). Deterministic: the same scenario
-/// reproduces the same report bit-for-bit.
-///
-/// # Panics
-/// Panics if the base scenario has no strategy.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Experiment::new(base).tenants(n).pool(cap).run_multi_tenant()`"
-)]
-pub fn run_multi_tenant(mt: &MultiTenantScenario) -> MultiTenantReport {
-    Experiment::from_multi_tenant(mt.clone()).run_multi_tenant()
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated free functions must keep producing exactly what the
-    // Experiment builder produces until they are removed.
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::experiment::Experiment;
-    use crate::scenario::MwKind;
-    use betrace::Preset;
-    use botwork::BotClass;
+    use spequlos::protocol::RequestError;
 
-    fn quick_scenario(seed: u64) -> Scenario {
-        let mut s = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
-        s.scale = 0.5;
-        s
+    fn view(secs: u64, done: u32) -> TickView {
+        TickView {
+            now: SimTime::from_secs(secs),
+            bot_size: 100,
+            arrived: 100,
+            completed: done,
+            dispatched: 100,
+            ready: 0,
+            running: 100 - done,
+            cloud_running: 0,
+        }
+    }
+
+    /// An endpoint that answers everything with a transport error — the
+    /// worst a remote connection can degrade to.
+    #[derive(Debug)]
+    struct DeadEndpoint;
+
+    impl SpqService for DeadEndpoint {
+        fn handle(&mut self, _request: Request, _now: SimTime) -> Response {
+            Response::Error(RequestError::Transport("gone".into()))
+        }
     }
 
     #[test]
-    fn legacy_shims_match_the_experiment_builder() {
-        let sc = quick_scenario(9).with_strategy(StrategyCombo::paper_default());
+    fn hooks_swallow_endpoint_failures_as_no_commands() {
+        // The QosHook contract: never panic mid-simulation, whatever the
+        // endpoint does. A dead transport degrades to "no cloud".
+        let mut hook = SpqHook::new(DeadEndpoint, BotId(0));
+        assert_eq!(hook.on_tick(&view(60, 10)), CloudCommand::None);
+        hook.on_finish(SimTime::from_secs(120));
+        assert_eq!(hook.spent(), 0.0);
 
-        let shim = run_baseline(&sc);
-        let exp = Experiment::new(sc.clone()).run_baseline();
-        assert_eq!(shim.completion_secs, exp.completion_secs);
-        assert_eq!(shim.events, exp.events);
+        let mut shared = SharedSpqHook::new(
+            DeadEndpoint,
+            BotId(0),
+            SimTime::ZERO,
+            100.0,
+            StrategyCombo::paper_default(),
+        );
+        assert_eq!(shared.on_tick(&view(60, 10)), CloudCommand::None);
+        assert_eq!(shared.admitted(), Some(false), "error order = not admitted");
+        shared.on_finish(SimTime::from_secs(120));
+        assert_eq!(shared.spent(), 0.0);
+    }
 
-        let (shim, _) = run_with_spequlos(&sc, SpeQuloS::new());
-        let (exp, _) = Experiment::new(sc.clone()).run_qos();
-        assert_eq!(shim.completion_secs, exp.completion_secs);
-        assert_eq!(shim.credits_spent, exp.credits_spent);
+    #[test]
+    fn shared_service_recovers_the_instance_when_unshared() {
+        let shared = SharedService::new(SpeQuloS::new());
+        let clone = shared.clone();
+        let still_shared = shared.into_inner().expect_err("a clone is alive");
+        drop(clone);
+        assert!(still_shared.into_inner().is_ok(), "last handle unwraps");
+    }
 
-        let shim = run_paired(&sc);
-        let exp = Experiment::new(sc.clone()).paired().run_paired();
-        assert_eq!(shim.speedup, exp.speedup);
-        assert_eq!(shim.tre, exp.tre);
-
-        let mt = MultiTenantScenario::new(sc, 2, 6);
-        let shim = run_multi_tenant(&mt);
-        let exp = Experiment::from_multi_tenant(mt).run_multi_tenant();
-        assert_eq!(shim.events, exp.events);
-        assert_eq!(shim.peak_pool_in_use, exp.peak_pool_in_use);
+    #[test]
+    fn spq_hook_runs_the_protocol_cycle_against_a_local_service() {
+        let mut spq = SpeQuloS::new();
+        let user = UserId(1);
+        spq.credits.deposit(user, 1_000.0);
+        let bot = spq.register_qos("env", 100, user, SimTime::ZERO);
+        spq.order_qos(bot, 150.0, StrategyCombo::paper_default(), SimTime::ZERO)
+            .expect("funded");
+        let mut hook = SpqHook::new(spq, bot);
+        for minute in 1..=89u64 {
+            assert_eq!(
+                hook.on_tick(&view(minute * 60, minute as u32)),
+                CloudCommand::None,
+                "minute {minute}"
+            );
+        }
+        // The 90% trigger crosses the protocol boundary as a Start.
+        let CloudCommand::Start(n) = hook.on_tick(&view(5_400, 90)) else {
+            panic!("trigger at 90% must start the fleet");
+        };
+        assert!(n >= 1);
+        hook.on_finish(SimTime::from_secs(5_520));
+        let spent = hook.spent();
+        let service = hook.into_service();
+        assert_eq!(spent, service.credits.spent(bot), "wire == ledger");
+        assert!(service.credits.balance(user) > 850.0, "refund returned");
     }
 }

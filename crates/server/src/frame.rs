@@ -1,0 +1,272 @@
+//! Length-prefixed newline-JSON framing.
+//!
+//! A frame on the wire is
+//!
+//! ```text
+//! <decimal payload length>\n
+//! <payload: exactly that many bytes of UTF-8 JSON>\n
+//! ```
+//!
+//! The length prefix lets the reader allocate once and pull the payload
+//! with `read_exact` — no scanning for delimiters inside the JSON — while
+//! the newline after the header and after the payload keep a captured
+//! stream line-readable (`nc`-friendly, diffable, greppable). The
+//! trailing newline doubles as a cheap integrity check: if it is missing
+//! the peer and we disagree about the length, and the connection must be
+//! dropped rather than resynchronized.
+//!
+//! Every malformed input is a typed [`FrameError`] — short reads,
+//! oversized lengths, non-numeric headers — never a panic: this parser
+//! sits on the listening side of the wire where arbitrary bytes arrive.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// Default ceiling on a frame's payload size. A monitoring tick for
+/// thousands of tenants batches to well under a megabyte; anything near
+/// this limit is a bug or an attack, and is refused before allocation.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// The longest header accepted, in bytes (digits only). 10 digits cover
+/// every length up to ~9.9 GB — far beyond any accepted frame — so the
+/// header scan is bounded even against a stream of garbage digits.
+const MAX_HEADER_DIGITS: usize = 10;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The length header is not a bounded decimal number.
+    BadHeader(String),
+    /// The declared length exceeds the configured maximum.
+    TooLarge {
+        /// Length the header declared.
+        declared: usize,
+        /// Maximum the reader accepts.
+        max: usize,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// The byte after the payload was not the `\n` terminator: reader and
+    /// writer disagree about the payload length.
+    MissingTerminator,
+    /// The payload is not valid UTF-8.
+    NotUtf8(std::string::FromUtf8Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+            FrameError::BadHeader(h) => write!(f, "bad length header {h:?}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Truncated { context } => {
+                write!(f, "stream ended mid-frame (while reading {context})")
+            }
+            FrameError::MissingTerminator => {
+                write!(f, "payload not followed by the `\\n` terminator")
+            }
+            FrameError::NotUtf8(e) => write!(f, "payload is not UTF-8: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame. The caller flushes (frames are usually batched with
+/// a `BufWriter` and flushed once per exchange).
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let mut header = payload.len().to_string();
+    header.push('\n');
+    w.write_all(header.as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Reads one frame, enforcing `max` on the declared payload length.
+///
+/// Returns `Ok(None)` on a clean end of stream *at a frame boundary*
+/// (the peer closed between frames); an end of stream anywhere inside a
+/// frame is [`FrameError::Truncated`].
+pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, FrameError> {
+    // Header: digits up to '\n', with the scan bounded so a hostile
+    // stream of digits cannot grow the buffer.
+    let mut header = Vec::with_capacity(MAX_HEADER_DIGITS + 1);
+    let took = r
+        .by_ref()
+        .take(MAX_HEADER_DIGITS as u64 + 1)
+        .read_until(b'\n', &mut header)?;
+    if took == 0 {
+        return Ok(None);
+    }
+    if header.last() != Some(&b'\n') {
+        // Either the bounded scan ran out of budget (header too long) or
+        // the stream ended mid-header.
+        return if took > MAX_HEADER_DIGITS {
+            Err(FrameError::BadHeader(printable(&header)))
+        } else {
+            Err(FrameError::Truncated { context: "header" })
+        };
+    }
+    header.pop();
+    if header.is_empty() || !header.iter().all(u8::is_ascii_digit) {
+        return Err(FrameError::BadHeader(printable(&header)));
+    }
+    // ≤ 10 ASCII digits always parse as u64; the range check is ours.
+    let declared = std::str::from_utf8(&header)
+        .expect("digits are UTF-8")
+        .parse::<u64>()
+        .map_err(|_| FrameError::BadHeader(printable(&header)))?;
+    let declared = usize::try_from(declared).map_err(|_| FrameError::TooLarge {
+        declared: usize::MAX,
+        max,
+    })?;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated { context: "payload" }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+
+    let mut terminator = [0u8; 1];
+    r.read_exact(&mut terminator).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated {
+                context: "terminator",
+            }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    if terminator[0] != b'\n' {
+        return Err(FrameError::MissingTerminator);
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(FrameError::NotUtf8)
+}
+
+fn printable(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &str) -> String {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).expect("write");
+        let mut r = Cursor::new(buf);
+        read_frame(&mut r, MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("one frame")
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for payload in ["", "{}", "{\"a\":1.0}", "päylöad \u{1F600}", "a\nb\nc"] {
+            assert_eq!(roundtrip(payload), payload);
+        }
+    }
+
+    #[test]
+    fn wire_shape_is_length_newline_payload_newline() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"x\":1.0}").unwrap();
+        assert_eq!(buf, b"9\n{\"x\":1.0}\n");
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "one").unwrap();
+        write_frame(&mut buf, "two").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), "one");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), "two");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_truncation_errors() {
+        let mut empty = Cursor::new(Vec::new());
+        assert!(read_frame(&mut empty, 64).unwrap().is_none());
+
+        // Every proper prefix of a valid frame must error, never panic,
+        // never return a frame.
+        let mut full = Vec::new();
+        write_frame(&mut full, "payload").unwrap();
+        for cut in 1..full.len() {
+            let mut r = Cursor::new(full[..cut].to_vec());
+            let out = read_frame(&mut r, 64);
+            assert!(out.is_err(), "prefix of {cut} bytes must error");
+        }
+    }
+
+    #[test]
+    fn oversized_and_garbage_headers_are_rejected() {
+        let mut r = Cursor::new(b"999999999999999999999\npayload".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        let mut r = Cursor::new(b"12a\npayload".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        let mut r = Cursor::new(b"\npayload".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        let mut r = Cursor::new(b"100\nxxx".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::TooLarge {
+                declared: 100,
+                max: 64
+            })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_detected() {
+        // Header says 2 bytes but the payload is 3: the terminator check
+        // catches the disagreement.
+        let mut r = Cursor::new(b"2\nabc\n".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::MissingTerminator)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payloads_error() {
+        let mut r = Cursor::new(b"2\n\xff\xfe\n".to_vec());
+        assert!(matches!(
+            read_frame(&mut r, 64),
+            Err(FrameError::NotUtf8(_))
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! # spq-server — the SpeQuloS wire protocol over TCP
+//!
+//! The paper deploys SpeQuloS as a set of web services that BOINC /
+//! XtremWeb-HEP middleware call over the network (§3, Fig. 3). This crate
+//! is that deployment seam for the reproduction: it serves the existing
+//! typed protocol ([`spequlos::protocol`]) over loopback or LAN TCP using
+//! nothing but `std::net` and threads, and provides the client half —
+//! [`RemoteService`] — which implements [`spequlos::protocol::SpqService`]
+//! so every caller written against the trait (the harness hooks, the
+//! `Experiment` builder, `protocol::replay`) can swap the in-process
+//! service for a remote one without code changes.
+//!
+//! Three layers, one module each:
+//!
+//! * [`frame`] — length-prefixed newline-JSON framing: `<len>\n<payload>\n`.
+//!   Truncated or oversized frames are typed [`frame::FrameError`]s, never
+//!   panics.
+//! * [`wire`] — correlation envelopes: each request frame carries an `id`
+//!   and the service time `t`; the response frame echoes the `id`. A
+//!   `Request::Batch` lets a client pipeline a whole monitoring tick in a
+//!   single frame.
+//! * [`server`] / [`client`] — a multi-client [`Server`] that owns one
+//!   `SpeQuloS` behind a bounded mailbox and dispatch loop (per-connection
+//!   session threads, FIFO per connection, backpressure by blocking), and
+//!   the [`RemoteService`] client.
+//!
+//! ```no_run
+//! use simcore::SimTime;
+//! use spequlos::protocol::{Request, Response, SpqService};
+//! use spequlos::{SpeQuloS, UserId};
+//! use spq_server::{RemoteService, Server};
+//!
+//! let handle = Server::spawn_loopback(SpeQuloS::new())?;
+//! let mut remote = RemoteService::connect(handle.addr())?;
+//! let r = remote.handle(
+//!     Request::Deposit { user: UserId(1), credits: 100.0 },
+//!     SimTime::ZERO,
+//! );
+//! assert!(matches!(r, Response::Deposited { .. }));
+//! drop(remote);
+//! let service = handle.into_service(); // recover the state, bit-identical
+//! assert_eq!(service.credits.balance(UserId(1)), 100.0);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::RemoteService;
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{RequestEnvelope, ResponseEnvelope};

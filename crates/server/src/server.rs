@@ -1,0 +1,450 @@
+//! The multi-client protocol server.
+//!
+//! One [`Server`] owns one [`SpeQuloS`] instance behind a *mailbox*: a
+//! bounded channel feeding a single dispatch thread, the only thread that
+//! ever touches the service. Each accepted connection gets a session
+//! thread that reads frames, decodes [`RequestEnvelope`]s, forwards them
+//! to the mailbox and writes the replies back — so the service itself
+//! needs no locking, requests from all connections serialize in arrival
+//! order (exactly like the in-process call sequence they replace), and a
+//! flood of clients backpressures naturally: when the mailbox is full,
+//! session threads block, their sockets stop being read, and TCP flow
+//! control pushes back to the senders.
+//!
+//! Ordering guarantees: FIFO per connection (a session answers each frame
+//! before reading the next, so pipelined frames queue in the kernel
+//! buffer and are served in order), global order = mailbox arrival order.
+//! A client that needs many requests served back-to-back atomically sends
+//! one `Request::Batch` frame — the dispatch loop serves the whole batch
+//! before the next mailbox job.
+//!
+//! Shutdown recovers the service: [`ServerHandle::into_service`] stops
+//! the listener, disconnects the remaining sessions, drains the mailbox
+//! and returns the `SpeQuloS` with all the state the request stream built
+//! — which is how the harness pins remote runs bit-identical to
+//! in-process ones.
+
+use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use crate::wire::{peek_id, RequestEnvelope, ResponseEnvelope};
+use spequlos::protocol::{RequestError, Response, SpqService};
+use spequlos::SpeQuloS;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Server tuning knobs; [`ServerConfig::default`] suits tests and
+/// loopback experiment runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Mailbox depth: how many decoded requests may wait for the dispatch
+    /// loop before session threads block (the backpressure bound).
+    pub mailbox_depth: usize,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mailbox_depth: 64,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// One queued request: where it came from is irrelevant to the dispatch
+/// loop; `reply` routes the response back to the owning session.
+struct Job {
+    envelope: RequestEnvelope,
+    reply: SyncSender<ResponseEnvelope>,
+}
+
+/// Live-session registry: each entry pairs the session thread's handle
+/// with a clone of its stream, so shutdown can force-disconnect and then
+/// join.
+type SessionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// Factory for protocol servers; see the [module docs](self).
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and serves `service` until the returned handle shuts
+    /// down. `addr` may be anything `ToSocketAddrs` accepts —
+    /// `"127.0.0.1:0"` picks a free loopback port (see
+    /// [`ServerHandle::addr`]).
+    pub fn spawn(
+        service: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sessions: SessionRegistry = Arc::new(Mutex::new(Vec::new()));
+
+        let (mailbox, jobs) = mpsc::sync_channel::<Job>(config.mailbox_depth.max(1));
+
+        // The dispatch loop: sole owner of the service. Exits — returning
+        // the service — once every mailbox sender (accept loop + sessions)
+        // is gone.
+        let dispatch = thread::spawn(move || {
+            let mut service = service;
+            while let Ok(job) = jobs.recv() {
+                let RequestEnvelope { id, at, request } = job.envelope;
+                let response = service.handle(request, at);
+                // A send error means the session died mid-request (client
+                // hung up); the state change stands, the reply is moot.
+                let _ = job.reply.send(ResponseEnvelope { id, response });
+            }
+            service
+        });
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let sessions = Arc::clone(&sessions);
+            let mailbox = mailbox.clone();
+            let max_frame = config.max_frame_bytes;
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let Ok(registered) = stream.try_clone() else {
+                        continue;
+                    };
+                    let mailbox = mailbox.clone();
+                    let handle = thread::spawn(move || session(stream, mailbox, max_frame));
+                    let mut registry = sessions.lock().expect("registry");
+                    // Prune sessions whose clients already hung up, so a
+                    // long-lived server under connection churn does not
+                    // accumulate one duplicated fd per past connection
+                    // (dropping a finished handle just detaches it).
+                    registry.retain(|(h, _)| !h.is_finished());
+                    registry.push((handle, registered));
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            sessions,
+            accept: Some(accept),
+            dispatch: Some(dispatch),
+            mailbox: Some(mailbox),
+        })
+    }
+
+    /// [`Server::spawn`] on `127.0.0.1:0` with the default configuration —
+    /// the loopback deployment the harness's `Transport::Loopback` mode
+    /// and the integration tests use.
+    pub fn spawn_loopback(service: SpeQuloS) -> io::Result<ServerHandle> {
+        Server::spawn(service, "127.0.0.1:0", ServerConfig::default())
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down (and
+/// discards the service); call [`ServerHandle::into_service`] to shut
+/// down *and* recover the service state.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    sessions: SessionRegistry,
+    accept: Option<JoinHandle<()>>,
+    dispatch: Option<JoinHandle<SpeQuloS>>,
+    mailbox: Option<SyncSender<Job>>,
+}
+
+impl ServerHandle {
+    /// The bound address — with `"127.0.0.1:0"` this carries the actual
+    /// port clients must connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and returns the service with every state change
+    /// the request stream produced. In-flight requests finish first;
+    /// connections still open are dropped.
+    pub fn into_service(mut self) -> SpeQuloS {
+        self.stop().expect("first stop returns the service")
+    }
+
+    /// Idempotent teardown; returns the service on the first call.
+    fn stop(&mut self) -> Option<SpeQuloS> {
+        let dispatch = self.dispatch.take()?;
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking `accept` so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Disconnect lingering sessions; their threads exit on the next
+        // read/write against the closed socket.
+        let drained: Vec<(JoinHandle<()>, TcpStream)> = {
+            let mut guard = self.sessions.lock().expect("registry");
+            guard.drain(..).collect()
+        };
+        for (handle, stream) in drained {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        // All mailbox senders are gone once this template drops, so the
+        // dispatch loop drains what is queued and returns the service.
+        self.mailbox = None;
+        Some(dispatch.join().expect("dispatch loop never panics"))
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+/// One connection: read frame → mailbox → reply → write frame, until the
+/// client hangs up or the stream desynchronizes.
+fn session(stream: TcpStream, mailbox: SyncSender<Job>, max_frame: usize) {
+    // Loopback exchanges are single small frames; Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let (reply, replies) = mpsc::sync_channel::<ResponseEnvelope>(1);
+
+    loop {
+        let payload = match read_frame(&mut reader, max_frame) {
+            Ok(Some(payload)) => payload,
+            // Clean disconnect, or a framing violation we cannot resync
+            // from (lengths out of agreement): drop the connection. A
+            // *decodable* frame with a bad payload is answered below
+            // instead — the stream itself is still healthy.
+            Ok(None) | Err(_) => return,
+        };
+        let outcome = match RequestEnvelope::from_json(&payload) {
+            Ok(envelope) => {
+                if mailbox
+                    .send(Job {
+                        envelope,
+                        reply: reply.clone(),
+                    })
+                    .is_err()
+                {
+                    return; // server shutting down
+                }
+                match replies.recv() {
+                    Ok(out) => out,
+                    Err(_) => return,
+                }
+            }
+            Err(e) => ResponseEnvelope {
+                id: peek_id(&payload).unwrap_or(0),
+                response: Response::Error(RequestError::Invalid(format!("bad envelope: {e}"))),
+            },
+        };
+        if write_frame(&mut writer, &outcome.to_json()).is_err() {
+            return;
+        }
+        if io::Write::flush(&mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteService;
+    use simcore::SimTime;
+    use spequlos::protocol::Request;
+    use spequlos::UserId;
+
+    #[test]
+    fn serves_one_client_and_returns_the_state() {
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+        let user = UserId(3);
+        let r = remote.handle(
+            Request::Deposit {
+                user,
+                credits: 250.0,
+            },
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            r,
+            Response::Deposited {
+                user,
+                balance: 250.0
+            }
+        );
+        let Response::Registered { bot } = remote.handle(
+            Request::RegisterQos {
+                user,
+                env: "env".into(),
+                size: 10,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!("registration over the wire");
+        };
+        drop(remote);
+        let service = handle.into_service();
+        assert_eq!(service.credits.balance(user), 250.0);
+        assert_eq!(service.user_of(bot), Some(user));
+        assert_eq!(service.log().len(), 1, "one RegisterQos logged");
+    }
+
+    #[test]
+    fn serves_concurrent_clients_without_losing_requests() {
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let addr = handle.addr();
+        let clients: Vec<_> = (0..8u64)
+            .map(|i| {
+                thread::spawn(move || {
+                    let mut remote = RemoteService::connect(addr).expect("connect");
+                    for k in 0..25 {
+                        let r = remote.handle(
+                            Request::Deposit {
+                                user: UserId(i),
+                                credits: 1.0,
+                            },
+                            SimTime::from_secs(k),
+                        );
+                        assert!(matches!(r, Response::Deposited { .. }), "{r:?}");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client");
+        }
+        let service = handle.into_service();
+        for i in 0..8u64 {
+            assert_eq!(service.credits.balance(UserId(i)), 25.0, "user {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_mailbox_backpressures_instead_of_failing() {
+        let config = ServerConfig {
+            mailbox_depth: 1,
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(SpeQuloS::new(), "127.0.0.1:0", config).expect("bind loopback");
+        let addr = handle.addr();
+        let clients: Vec<_> = (0..4u64)
+            .map(|i| {
+                thread::spawn(move || {
+                    let mut remote = RemoteService::connect(addr).expect("connect");
+                    for _ in 0..50 {
+                        let r = remote.handle(
+                            Request::Deposit {
+                                user: UserId(i),
+                                credits: 2.0,
+                            },
+                            SimTime::ZERO,
+                        );
+                        assert!(matches!(r, Response::Deposited { .. }));
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client");
+        }
+        let service = handle.into_service();
+        for i in 0..4u64 {
+            assert_eq!(service.credits.balance(UserId(i)), 100.0);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_get_error_replies_and_the_session_survives() {
+        use crate::frame;
+        use std::io::Write;
+
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+
+        // A well-framed but non-envelope payload: the server answers with
+        // a typed error (echoing the id it could recover) and keeps the
+        // connection open.
+        frame::write_frame(&mut writer, r#"{"id":7.0,"wat":true}"#).unwrap();
+        writer.flush().unwrap();
+        let reply = frame::read_frame(&mut reader, MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("reply");
+        let envelope = ResponseEnvelope::from_json(&reply).expect("decodes");
+        assert_eq!(envelope.id, 7);
+        assert!(matches!(
+            envelope.response,
+            Response::Error(RequestError::Invalid(_))
+        ));
+
+        // …and a valid request on the same connection still works.
+        let env = RequestEnvelope {
+            id: 8,
+            at: SimTime::ZERO,
+            request: Request::Deposit {
+                user: UserId(1),
+                credits: 5.0,
+            },
+        };
+        frame::write_frame(&mut writer, &env.to_json()).unwrap();
+        writer.flush().unwrap();
+        let reply = frame::read_frame(&mut reader, MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("reply");
+        let envelope = ResponseEnvelope::from_json(&reply).expect("decodes");
+        assert_eq!(envelope.id, 8);
+        assert!(matches!(envelope.response, Response::Deposited { .. }));
+    }
+
+    #[test]
+    fn a_broken_frame_drops_only_that_connection() {
+        use std::io::Write;
+
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+
+        // Feed bytes that violate the framing itself.
+        let mut vandal = TcpStream::connect(handle.addr()).expect("connect");
+        vandal.write_all(b"not a frame at all\n").unwrap();
+        vandal.flush().unwrap();
+
+        // The server stays up for everyone else.
+        let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+        let r = remote.handle(
+            Request::Deposit {
+                user: UserId(1),
+                credits: 1.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Deposited { .. }));
+    }
+
+    #[test]
+    fn dropping_the_handle_shuts_the_server_down() {
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let addr = handle.addr();
+        drop(handle);
+        // The listener is gone: new connections are refused (or, at
+        // worst, accepted by nothing and immediately closed).
+        let outcome = TcpStream::connect(addr);
+        if let Ok(stream) = outcome {
+            let mut reader = BufReader::new(stream);
+            assert!(matches!(
+                read_frame(&mut reader, MAX_FRAME_BYTES),
+                Ok(None) | Err(_)
+            ));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Correlation envelopes: one request/response per frame, tagged with an
+//! `id` the response echoes.
+//!
+//! Ids let a client pipeline several frames before reading any reply and
+//! still pair replies with requests (the server answers FIFO per
+//! connection, so ids double as a protocol self-check: a mismatch means
+//! the stream is desynchronized and the connection must be dropped). The
+//! envelope flattens into the request object — `{"id":…,"t":…,"req":…}` —
+//! exactly like `spequlos::protocol::encode_session` flattens its `t`
+//! tag, so envelope payloads stay line-diffable against stored session
+//! transcripts.
+
+use simcore::json::{self, Value};
+use simcore::SimTime;
+use spequlos::protocol::{Request, Response};
+
+/// One request on the wire: correlation id, service time, payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestEnvelope {
+    /// Correlation id, echoed by the response. Client-chosen; unique per
+    /// connection (monotonically increasing in [`crate::RemoteService`]).
+    pub id: u64,
+    /// Service time the request is handled at (`SpqService::handle`'s
+    /// `now`).
+    pub at: SimTime,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// One response on the wire: the request's id plus the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseEnvelope {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// The response itself.
+    pub response: Response,
+}
+
+fn envelope(head: Vec<(String, Value)>, inner: Value) -> String {
+    let mut members = head;
+    if let Value::Obj(m) = inner {
+        members.extend(m);
+    }
+    Value::Obj(members).to_json()
+}
+
+impl RequestEnvelope {
+    /// Serializes the envelope as one JSON object (one frame payload).
+    pub fn to_json(&self) -> String {
+        envelope(
+            vec![
+                ("id".into(), Value::Num(self.id as f64)),
+                ("t".into(), Value::Num(self.at.as_millis() as f64)),
+            ],
+            self.request.to_value(),
+        )
+    }
+
+    /// Parses a frame payload produced by [`RequestEnvelope::to_json`].
+    pub fn from_json(text: &str) -> Result<RequestEnvelope, String> {
+        let v = json::parse(text)?;
+        Ok(RequestEnvelope {
+            id: id_of(&v).ok_or("missing or invalid `id`")?,
+            at: SimTime::from_millis(
+                v.get("t")
+                    .and_then(Value::as_u64)
+                    .ok_or("missing or invalid `t`")?,
+            ),
+            request: Request::from_value(&v)?,
+        })
+    }
+}
+
+impl ResponseEnvelope {
+    /// Serializes the envelope as one JSON object (one frame payload).
+    pub fn to_json(&self) -> String {
+        envelope(
+            vec![("id".into(), Value::Num(self.id as f64))],
+            self.response.to_value(),
+        )
+    }
+
+    /// Parses a frame payload produced by [`ResponseEnvelope::to_json`].
+    pub fn from_json(text: &str) -> Result<ResponseEnvelope, String> {
+        let v = json::parse(text)?;
+        Ok(ResponseEnvelope {
+            id: id_of(&v).ok_or("missing or invalid `id`")?,
+            response: Response::from_value(&v)?,
+        })
+    }
+}
+
+fn id_of(v: &Value) -> Option<u64> {
+    v.get("id").and_then(Value::as_u64)
+}
+
+/// Best-effort correlation id of a frame payload that failed to decode as
+/// a full envelope — lets the server echo the id on its error reply so
+/// the client's pairing survives a bad request.
+pub fn peek_id(text: &str) -> Option<u64> {
+    json::parse(text).ok().as_ref().and_then(id_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spequlos::protocol::RequestError;
+    use spequlos::UserId;
+
+    #[test]
+    fn request_envelopes_roundtrip_bit_identically() {
+        let env = RequestEnvelope {
+            id: 42,
+            at: SimTime::from_secs(61),
+            request: Request::Deposit {
+                user: UserId(7),
+                credits: 12.5,
+            },
+        };
+        let text = env.to_json();
+        assert_eq!(
+            text,
+            r#"{"id":42.0,"t":61000.0,"req":"deposit","user":7.0,"credits":12.5}"#
+        );
+        let back = RequestEnvelope::from_json(&text).expect("parses");
+        assert_eq!(back, env);
+        assert_eq!(back.to_json(), text, "re-encode bit-identical");
+    }
+
+    #[test]
+    fn response_envelopes_roundtrip_bit_identically() {
+        let env = ResponseEnvelope {
+            id: 43,
+            response: Response::Error(RequestError::Invalid("nope".into())),
+        };
+        let text = env.to_json();
+        let back = ResponseEnvelope::from_json(&text).expect("parses");
+        assert_eq!(back, env);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn missing_id_or_time_is_an_error_not_a_panic() {
+        assert!(RequestEnvelope::from_json(r#"{"t":0.0,"req":"predict","bot":1.0}"#).is_err());
+        assert!(RequestEnvelope::from_json(r#"{"id":1.0,"req":"predict","bot":1.0}"#).is_err());
+        assert!(ResponseEnvelope::from_json(r#"{"resp":"ordered","bot":1.0}"#).is_err());
+        assert!(RequestEnvelope::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn peek_id_recovers_ids_from_broken_envelopes() {
+        assert_eq!(peek_id(r#"{"id":9.0,"req":"unknown_kind"}"#), Some(9));
+        assert_eq!(peek_id(r#"{"req":"predict"}"#), None);
+        assert_eq!(peek_id("garbage"), None);
+    }
+}

@@ -6,6 +6,8 @@
 //! APIs:
 //!
 //! * [`spequlos`] — the paper's contribution: the QoS service itself;
+//! * [`spq_server`] — the wire deployment: framed TCP transport serving
+//!   the protocol, plus the `RemoteService` client;
 //! * [`dgrid`] — BOINC / XtremWeb-HEP middleware simulators;
 //! * [`betrace`] — BE-DCI availability trace generators (Table 2);
 //! * [`botwork`] — Bag-of-Tasks workloads (Table 3);
@@ -22,4 +24,5 @@ pub use dgrid;
 pub use simcore;
 pub use spequlos;
 pub use spq_harness;
+pub use spq_server;
 pub use unicloud;

@@ -1,6 +1,8 @@
 //! Wire-protocol integration: the quickstart request sequence replayed
 //! through `SpqService::handle`, with the JSON session transcript pinned
-//! to round-trip bit-identically, plus the protocol error paths.
+//! to round-trip bit-identically, plus the protocol error paths and a
+//! proptest fuzz of request/response/frame round-trips (arbitrary
+//! strings, huge and NaN-adjacent numbers, truncated frames).
 
 use botwork::BotId;
 use simcore::SimTime;
@@ -254,7 +256,11 @@ fn order_qos_on_saturated_pool_is_refused_with_pool_saturated() {
     assert_eq!(spq.credits.balance(UserId(2)), 200.0);
     assert_eq!(
         spq.handle(Request::Complete { bot: bots[0] }, SimTime::from_secs(60)),
-        Response::Completed { bot: bots[0] }
+        Response::Completed {
+            bot: bots[0],
+            spent: 0.0,
+            refund: 200.0, // nothing billed: the full order refunds
+        }
     );
     assert_eq!(
         spq.handle(
@@ -303,4 +309,255 @@ fn builder_default_strategy_applies_to_protocol_orders() {
         Response::Ordered { bot }
     );
     assert_eq!(spq.strategy(bot), Some(strategy));
+}
+
+#[test]
+fn non_finite_numbers_reject_cleanly_on_decode() {
+    // JSON cannot carry NaN/∞: the encoder writes `null`, so the document
+    // always parses — and the decoder reports a typed field error rather
+    // than panicking or inventing a value.
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let text = Request::Deposit {
+            user: UserId(1),
+            credits: v,
+        }
+        .to_json();
+        simcore::json::parse(&text).expect("document must stay parseable");
+        let err = Request::from_json(&text).expect_err("null credits rejected");
+        assert_eq!(err, "request `deposit`: missing or invalid `credits`");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest fuzz: arbitrary values through the codec and the framing
+// ---------------------------------------------------------------------------
+
+mod fuzz {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use spequlos::{CloudAction, Prediction};
+    use spq_server::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+    use std::io::Cursor;
+
+    /// Strings exercising every escape class the JSON writer knows:
+    /// quotes, backslashes, control characters, non-ASCII, non-BMP.
+    fn wild_string() -> impl Strategy<Value = String> {
+        vec(
+            prop_oneof![
+                Just('a'),
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('\r'),
+                Just('\t'),
+                Just('\u{1}'),
+                Just('é'),
+                Just('\u{1F600}'),
+                Just('{'),
+                Just('['),
+                (0x20u32..0x7f).prop_map(|c| char::from_u32(c).expect("printable ASCII")),
+            ],
+            0..24,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    /// Finite floats spanning tiny, huge, negative and integral-boundary
+    /// values (non-finite floats are covered by the decode-reject test —
+    /// they are unrepresentable in JSON by design).
+    fn wild_f64() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(1.5e-300),
+            Just(1.0e300),
+            Just(f64::MAX),
+            Just(f64::MIN_POSITIVE),
+            Just(4_503_599_627_370_495.5), // largest fractional step
+            -1.0e9..1.0e9,
+        ]
+    }
+
+    /// Ids and millisecond timestamps travel as JSON numbers: exact below
+    /// 2^53 (the documented protocol limit).
+    fn wild_id() -> impl Strategy<Value = u64> {
+        prop_oneof![0u64..16, Just((1u64 << 53) - 1), 0u64..(1 << 53)]
+    }
+
+    fn wild_progress() -> impl Strategy<Value = BotProgress> {
+        (wild_id(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(millis, size, completed, cloud)| BotProgress {
+                now: SimTime::from_millis(millis),
+                size,
+                completed,
+                dispatched: completed / 2,
+                queued: completed % 7,
+                running: size.saturating_sub(completed),
+                cloud_running: cloud,
+            },
+        )
+    }
+
+    fn leaf_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (wild_id(), wild_f64()).prop_map(|(u, c)| Request::Deposit {
+                user: UserId(u),
+                credits: c,
+            }),
+            (wild_id(), wild_string(), any::<u32>()).prop_map(|(u, env, size)| {
+                Request::RegisterQos {
+                    user: UserId(u),
+                    env,
+                    size,
+                }
+            }),
+            (wild_id(), wild_f64(), any::<bool>()).prop_map(|(b, c, with_strategy)| {
+                Request::OrderQos {
+                    bot: BotId(b),
+                    credits: c,
+                    strategy: with_strategy.then(StrategyCombo::paper_default),
+                }
+            }),
+            wild_id().prop_map(|b| Request::Predict { bot: BotId(b) }),
+            (wild_id(), wild_progress()).prop_map(|(b, progress)| Request::ReportProgress {
+                bot: BotId(b),
+                progress,
+            }),
+            wild_id().prop_map(|b| Request::Complete { bot: BotId(b) }),
+        ]
+    }
+
+    fn wild_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            leaf_request(),
+            vec(leaf_request(), 0..4).prop_map(Request::Batch),
+        ]
+    }
+
+    fn leaf_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            (wild_id(), wild_f64()).prop_map(|(u, balance)| Response::Deposited {
+                user: UserId(u),
+                balance,
+            }),
+            wild_id().prop_map(|b| Response::Registered { bot: BotId(b) }),
+            wild_id().prop_map(|b| Response::Ordered { bot: BotId(b) }),
+            (wild_id(), wild_f64(), wild_f64(), any::<bool>()).prop_map(
+                |(b, completion, alpha, with)| Response::Predicted {
+                    bot: BotId(b),
+                    prediction: with.then(|| Prediction {
+                        completion_secs: completion,
+                        alpha,
+                        success_rate: (alpha > 0.0).then_some(0.75),
+                    }),
+                }
+            ),
+            (wild_id(), any::<u32>(), any::<bool>()).prop_map(|(b, n, stop)| Response::Action {
+                bot: BotId(b),
+                action: if stop {
+                    CloudAction::StopAll
+                } else {
+                    CloudAction::Start(n)
+                },
+            }),
+            (wild_id(), wild_f64(), wild_f64()).prop_map(|(b, spent, refund)| {
+                Response::Completed {
+                    bot: BotId(b),
+                    spent,
+                    refund,
+                }
+            }),
+            wild_string().prop_map(|m| Response::Error(RequestError::Invalid(m))),
+            wild_string().prop_map(|m| Response::Error(RequestError::Transport(m))),
+            wild_id().prop_map(|b| Response::Error(RequestError::UnknownBot(BotId(b)))),
+            Just(Response::Error(RequestError::Credit(
+                CreditError::PoolSaturated
+            ))),
+        ]
+    }
+
+    fn wild_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            leaf_response(),
+            vec(leaf_response(), 0..4).prop_map(Response::Batch),
+        ]
+    }
+
+    proptest! {
+        /// Every request the protocol can express round-trips through its
+        /// JSON encoding bit-identically.
+        #[test]
+        fn prop_requests_roundtrip(req in wild_request()) {
+            let text = req.to_json();
+            let back = Request::from_json(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} for {text}")))?;
+            prop_assert_eq!(&back, &req, "{}", text);
+            prop_assert_eq!(back.to_json(), text, "re-encode bit-identical");
+        }
+
+        /// Same for responses, including nested batch responses.
+        #[test]
+        fn prop_responses_roundtrip(resp in wild_response()) {
+            let text = resp.to_json();
+            let back = Response::from_json(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} for {text}")))?;
+            prop_assert_eq!(&back, &resp, "{}", text);
+            prop_assert_eq!(back.to_json(), text, "re-encode bit-identical");
+        }
+
+        /// Any payload survives the framing; a stream of several frames
+        /// reads back in order with a clean EOF.
+        #[test]
+        fn prop_frames_roundtrip(payloads in vec(wild_string(), 0..5)) {
+            let mut buf = Vec::new();
+            for p in &payloads {
+                write_frame(&mut buf, p).expect("write to Vec");
+            }
+            let mut r = Cursor::new(buf);
+            for p in &payloads {
+                let frame = read_frame(&mut r, MAX_FRAME_BYTES)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(frame.as_deref(), Some(p.as_str()));
+            }
+            prop_assert!(read_frame(&mut r, MAX_FRAME_BYTES).expect("eof").is_none());
+        }
+
+        /// Every proper prefix of a frame errors — truncation can never
+        /// panic, hang, or yield a frame.
+        #[test]
+        fn prop_truncated_frames_error(payload in wild_string(), cut_seed in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &payload).expect("write to Vec");
+            let cut = 1 + (cut_seed as usize) % (buf.len() - 1); // 1..len
+            let mut r = Cursor::new(buf[..cut].to_vec());
+            prop_assert!(
+                read_frame(&mut r, MAX_FRAME_BYTES).is_err(),
+                "prefix of {} bytes must error",
+                cut
+            );
+        }
+
+        /// Arbitrary bytes through the frame reader and the decoders:
+        /// errors allowed, panics not.
+        #[test]
+        fn prop_garbage_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+            let mut r = Cursor::new(bytes.clone());
+            match read_frame(&mut r, 1024) {
+                Ok(Some(payload)) => {
+                    // A lucky frame: the decoders must still not panic.
+                    let _ = Request::from_json(&payload);
+                    let _ = Response::from_json(&payload);
+                }
+                Ok(None) => prop_assert!(bytes.is_empty()),
+                Err(FrameError::Io(_)) => {
+                    return Err(TestCaseError::fail("no I/O errors on a Cursor"));
+                }
+                Err(_) => {}
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = Request::from_json(&text);
+            let _ = Response::from_json(&text);
+        }
+    }
 }

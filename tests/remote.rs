@@ -1,0 +1,214 @@
+//! Remote-transport equivalence: the same experiments driven through
+//! `RemoteService` over loopback TCP must be *bit-identical* to the
+//! in-process path — same metrics, same protocol logs, same credit
+//! ledgers — and a pipelined `Request::Batch` session must replay to the
+//! same transcript as its unbatched form.
+//!
+//! This is the reproduction's deployment claim (§3, Fig. 3: SpeQuloS as
+//! web services the middleware calls over the network): putting the wire
+//! between the simulator and the service changes nothing but latency.
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimTime;
+use spequlos::protocol::{self, Request, Response, SpqService};
+use spequlos::{SpeQuloS, StrategyCombo, UserId};
+use spq_harness::{Experiment, MwKind, Scenario, TenantArrivals};
+use spq_server::{RemoteService, Server};
+
+fn scenario(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = 0.4;
+    sc
+}
+
+#[test]
+fn quickstart_scenario_over_loopback_is_bit_identical() {
+    let sc = scenario(2024);
+    let (local, local_svc) = Experiment::new(sc.clone()).run_qos();
+    let (remote, remote_svc) = Experiment::new(sc).loopback().run_qos();
+
+    assert_eq!(local.completed, remote.completed);
+    assert_eq!(local.completion_secs, remote.completion_secs);
+    assert_eq!(local.events, remote.events);
+    assert_eq!(local.credits_provisioned, remote.credits_provisioned);
+    assert_eq!(local.credits_spent, remote.credits_spent);
+    assert_eq!(local.cloud, remote.cloud);
+    assert_eq!(
+        local.completed_series.points(),
+        remote.completed_series.points(),
+        "identical progress curve"
+    );
+    // The recovered service states agree down to the protocol log bytes
+    // and the credit ledger.
+    assert_eq!(local_svc.log(), remote_svc.log());
+    assert_eq!(
+        protocol::encode_log(local_svc.log()),
+        protocol::encode_log(remote_svc.log()),
+        "transcripts byte-identical"
+    );
+    assert_eq!(
+        local_svc.credits.balance(UserId(0)),
+        remote_svc.credits.balance(UserId(0))
+    );
+    assert_eq!(
+        local_svc.credits.total_outstanding(),
+        remote_svc.credits.total_outstanding()
+    );
+}
+
+#[test]
+fn multi_tenant_scenario_over_loopback_is_bit_identical() {
+    let base = scenario(64);
+    let exp = Experiment::new(base)
+        .tenants(3)
+        .pool(5)
+        .arrivals(TenantArrivals::TailHeavy {
+            window: simcore::SimDuration::from_hours(2),
+        });
+    let local = exp.clone().run_multi_tenant();
+    let remote = exp.loopback().run_multi_tenant();
+
+    assert_eq!(local.events, remote.events);
+    assert_eq!(local.peak_pool_in_use, remote.peak_pool_in_use);
+    assert_eq!(local.service.log(), remote.service.log());
+    assert_eq!(
+        local.service.credits.total_outstanding(),
+        remote.service.credits.total_outstanding()
+    );
+    assert_eq!(local.tenants.len(), remote.tenants.len());
+    for (a, b) in local.tenants.iter().zip(&remote.tenants) {
+        assert_eq!(a.admitted, b.admitted, "tenant {}", a.tenant);
+        assert_eq!(a.metrics.completion_secs, b.metrics.completion_secs);
+        assert_eq!(a.metrics.events, b.metrics.events);
+        assert_eq!(a.metrics.credits_spent, b.metrics.credits_spent);
+        assert_eq!(a.metrics.cloud, b.metrics.cloud);
+        assert_eq!(a.qos, b.qos);
+        assert_eq!(
+            local.service.credits.balance(a.user),
+            remote.service.credits.balance(b.user)
+        );
+    }
+}
+
+/// A short Fig. 3 session with several requests per service time, so
+/// batching has something to bundle.
+fn batched_friendly_session() -> Vec<(SimTime, Request)> {
+    let user = UserId(1);
+    let bot = botwork::BotId(0);
+    let progress = |secs: u64, done: u32| spequlos::BotProgress {
+        now: SimTime::from_secs(secs),
+        size: 10,
+        completed: done,
+        dispatched: 10,
+        queued: 0,
+        running: 10 - done,
+        cloud_running: 0,
+    };
+    let mut session = vec![
+        (
+            SimTime::ZERO,
+            Request::Deposit {
+                user,
+                credits: 500.0,
+            },
+        ),
+        (
+            SimTime::ZERO,
+            Request::RegisterQos {
+                user,
+                env: "seti/XWHEP/SMALL".into(),
+                size: 10,
+            },
+        ),
+        (
+            SimTime::ZERO,
+            Request::OrderQos {
+                bot,
+                credits: 100.0,
+                strategy: Some(StrategyCombo::paper_default()),
+            },
+        ),
+    ];
+    for minute in 1..=9u64 {
+        let t = SimTime::from_secs(minute * 60);
+        session.push((
+            t,
+            Request::ReportProgress {
+                bot,
+                progress: progress(minute * 60, minute as u32),
+            },
+        ));
+        session.push((t, Request::Predict { bot }));
+    }
+    session.push((SimTime::from_secs(600), Request::Complete { bot }));
+    session
+}
+
+#[test]
+fn pipelined_batches_replay_to_the_same_transcript_as_unbatched() {
+    let session = batched_friendly_session();
+
+    // Unbatched: one frame per request through one connection.
+    let unbatched_server = Server::spawn_loopback(SpeQuloS::new()).expect("bind");
+    let mut one_by_one = RemoteService::connect(unbatched_server.addr()).expect("connect");
+    let mut singles = Vec::new();
+    for (t, req) in &session {
+        singles.push(one_by_one.handle(req.clone(), *t));
+    }
+    drop(one_by_one);
+    let unbatched_service = unbatched_server.into_service();
+
+    // Batched: group the consecutive requests sharing a service time and
+    // pipeline each group as one `Request::Batch` frame.
+    let batched_server = Server::spawn_loopback(SpeQuloS::new()).expect("bind");
+    let mut pipeline = RemoteService::connect(batched_server.addr()).expect("connect");
+    let mut grouped = Vec::new();
+    let mut i = 0;
+    while i < session.len() {
+        let t = session[i].0;
+        let mut group = Vec::new();
+        while i < session.len() && session[i].0 == t {
+            group.push(session[i].1.clone());
+            i += 1;
+        }
+        grouped.extend(pipeline.handle_batch(group, t));
+    }
+    drop(pipeline);
+    let batched_service = batched_server.into_service();
+
+    assert_eq!(grouped, singles, "same responses, frame count aside");
+    assert!(
+        grouped.iter().all(|r| !matches!(r, Response::Error(_))),
+        "the session is error-free: {grouped:?}"
+    );
+    assert_eq!(
+        batched_service.log(),
+        unbatched_service.log(),
+        "same server-side protocol log"
+    );
+    assert_eq!(
+        protocol::encode_log(batched_service.log()),
+        protocol::encode_log(unbatched_service.log()),
+        "transcripts byte-identical"
+    );
+}
+
+#[test]
+fn remote_service_plugs_into_replay_like_any_service() {
+    // `protocol::replay` is written against `SpqService`; a remote
+    // connection satisfies it unchanged (the seam the redesign is about).
+    let session = batched_friendly_session();
+
+    let mut local = SpeQuloS::new();
+    let local_responses = protocol::replay(&mut local, &session);
+
+    let server = Server::spawn_loopback(SpeQuloS::new()).expect("bind");
+    let mut remote = RemoteService::connect(server.addr()).expect("connect");
+    let remote_responses = protocol::replay(&mut remote, &session);
+    drop(remote);
+
+    assert_eq!(local_responses, remote_responses);
+    assert_eq!(local.log(), server.into_service().log());
+}
