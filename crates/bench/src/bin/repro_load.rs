@@ -1,0 +1,215 @@
+//! Open-loop load generation against a real loopback `spq-server`, with
+//! latency-SLO telemetry (`spq-load`).
+//!
+//! Fires the recorded request mix at a live TCP server on a fixed,
+//! seeded schedule (see [`spq_bench::loadgen`] for why open-loop), then
+//! emits `BENCH_repro_load.json` carrying the `latency` object — p50 /
+//! p95 / p99 / p999, error and timeout counts, offered vs achieved rate
+//! and, when the stepped rate sweep runs, the max sustained rate under
+//! the p99 SLO. The checked-in `BENCH_repro_load.json` baseline plus
+//! `spq-bench compare --latency-threshold` turn those numbers into the
+//! CI tail-latency gate.
+//!
+//! Binary-specific flags (on top of the shared `--seeds/--scale/...`):
+//!
+//! ```text
+//! --rate R          offered requests/second for the primary run (default 1000)
+//! --connections N   client connections (default 4)
+//! --secs S          measured seconds per run (default 2.0)
+//! --warmup S        warmup seconds excluded from the histogram (default 0.5)
+//! --slo-ms MS       p99 budget in milliseconds (default 50)
+//! --seed N          arrival-plan seed (default 1; same seed = same plan)
+//! --sweep-steps N   rate-ladder steps for max-sustained-rate (default 5, 0 = off)
+//! --gate            exit 1 when the primary run misses the SLO or times out
+//! ```
+
+use spequlos::SpeQuloS;
+use spq_bench::loadgen::{
+    self, max_sustained_rate, sweep_ladder, ArrivalPlan, ArrivalSpec, LatencyHistogram, LoadReport,
+};
+use spq_bench::telemetry::LatencyTelemetry;
+use spq_bench::{telemetry, Opts};
+use spq_harness::workload::RequestMix;
+use spq_server::{Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+
+/// One run: a fresh observed server, the plan at `rate`, both sides'
+/// histograms (client sojourn time, server service time).
+fn run_at(
+    rate: f64,
+    connections: u32,
+    warmup_secs: f64,
+    measured_secs: f64,
+    seed: u64,
+    mix: &RequestMix,
+) -> std::io::Result<(LoadReport, LatencyHistogram)> {
+    let service_hist = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let observer_hist = Arc::clone(&service_hist);
+    let handle = Server::spawn_observed(
+        SpeQuloS::new(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Box::new(move |_kind, elapsed| {
+            observer_hist
+                .lock()
+                .expect("service histogram poisoned")
+                .record(elapsed.as_nanos() as u64);
+        }),
+    )?;
+    let plan = ArrivalPlan::generate(
+        ArrivalSpec {
+            rate,
+            connections,
+            warmup_secs,
+            measured_secs,
+            seed,
+        },
+        mix,
+    );
+    let report = loadgen::run(handle.addr(), &plan)?;
+    drop(handle.into_service());
+    let hist = service_hist.lock().expect("service histogram poisoned");
+    Ok((report, hist.clone()))
+}
+
+fn line(rate: f64, r: &LoadReport) -> String {
+    format!(
+        "{rate:>8.0} req/s | p50 {:>8.3} ms | p99 {:>8.3} ms | p999 {:>8.3} ms | \
+         achieved {:>8.0} req/s | err {} | timeout {}\n",
+        r.p50_ms(),
+        r.p99_ms(),
+        r.p999_ms(),
+        r.achieved_rate,
+        r.errors,
+        r.timeouts,
+    )
+}
+
+fn main() {
+    let mut rate = 1_000.0f64;
+    let mut connections = 4u32;
+    let mut secs = 2.0f64;
+    let mut warmup = 0.5f64;
+    let mut slo_ms = 50.0f64;
+    let mut seed = 1u64;
+    let mut sweep_steps = 5usize;
+    let mut gate = false;
+    let opts = Opts::from_args_with(|flag, rest| {
+        let mut num = |name: &str| -> f64 {
+            rest.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| spq_bench::opts::usage(&format!("{name} needs a number")))
+        };
+        match flag {
+            "--rate" => rate = num("--rate"),
+            "--connections" => connections = num("--connections") as u32,
+            "--secs" => secs = num("--secs"),
+            "--warmup" => warmup = num("--warmup"),
+            "--slo-ms" => slo_ms = num("--slo-ms"),
+            "--seed" => seed = num("--seed") as u64,
+            "--sweep-steps" => sweep_steps = num("--sweep-steps") as usize,
+            "--gate" => gate = true,
+            _ => return false,
+        }
+        true
+    });
+    if rate <= 0.0 || secs <= 0.0 || connections == 0 {
+        spq_bench::opts::usage("--rate/--secs must be positive, --connections nonzero");
+    }
+
+    let mix = loadgen::recorded_mix();
+    let ladder = sweep_ladder(rate, sweep_steps);
+
+    let (value, mut tele) = telemetry::measure("repro_load", &opts, |_| {
+        let mut text = String::new();
+        text.push_str("Open-loop load against a loopback spq-server\n");
+        text.push_str(&format!(
+            "{connections} connections, {secs}s measured after {warmup}s warmup, \
+             SLO p99 <= {slo_ms} ms, seed {seed}\n"
+        ));
+        text.push_str(&format!("request mix: {}\n\n", mix.describe()));
+
+        let (primary, service_hist) = run_at(rate, connections, warmup, secs, seed, &mix)
+            .expect("load run failed — is something else bound to loopback?");
+        text.push_str("primary: ");
+        text.push_str(&line(rate, &primary));
+        text.push_str(&format!(
+            "  server-side service time: p50 {:.4} ms, p99 {:.4} ms over {} requests\n",
+            service_hist.quantile_ms(0.50),
+            service_hist.quantile_ms(0.99),
+            service_hist.count(),
+        ));
+        text.push_str(&format!(
+            "  (sojourn p99 {:.3} ms vs service p99 {:.4} ms — the gap is queueing)\n",
+            primary.p99_ms(),
+            service_hist.quantile_ms(0.99),
+        ));
+
+        let mut events = primary.sent;
+        let mut steps: Vec<(f64, LoadReport)> = Vec::new();
+        if !ladder.is_empty() {
+            text.push_str("\nrate sweep:\n");
+            for &step_rate in &ladder {
+                let report = if (step_rate - rate).abs() < 1e-9 {
+                    primary.clone()
+                } else {
+                    let (report, _) = run_at(step_rate, connections, warmup, secs, seed, &mix)
+                        .expect("sweep step failed");
+                    events += report.sent;
+                    report
+                };
+                text.push_str("  ");
+                text.push_str(&line(step_rate, &report));
+                steps.push((step_rate, report));
+            }
+        }
+        let sustained = max_sustained_rate(&steps, slo_ms);
+        match sustained {
+            Some(r) => text.push_str(&format!(
+                "\nmax sustained rate under the SLO: {r:.0} req/s\n"
+            )),
+            None if steps.is_empty() => text.push_str("\n(no sweep: --sweep-steps 0)\n"),
+            None => text.push_str("\nno swept rate met the SLO\n"),
+        }
+        ((text, primary, sustained), Some(events))
+    });
+
+    let (text, primary, sustained) = value;
+    tele.latency = Some(LatencyTelemetry {
+        p50_ms: primary.p50_ms(),
+        p95_ms: primary.p95_ms(),
+        p99_ms: primary.p99_ms(),
+        p999_ms: primary.p999_ms(),
+        max_ms: primary.max_ms(),
+        requests: primary.sent,
+        errors: primary.errors,
+        timeouts: primary.timeouts,
+        offered_rate: primary.offered_rate,
+        achieved_rate: primary.achieved_rate,
+        max_sustained_rate: sustained,
+        slo_p99_ms: slo_ms,
+    });
+
+    print!("{text}");
+    spq_harness::write_file(opts.out_dir.join("load.txt"), &text).expect("write report");
+    tele.with_config("rate", rate)
+        .with_config("connections", connections)
+        .with_config("secs", secs)
+        .with_config("warmup", warmup)
+        .with_config("slo_ms", slo_ms)
+        .with_config("seed", seed)
+        .with_config("sweep_steps", sweep_steps)
+        .write_or_warn();
+
+    let missed = primary.p99_ms() > slo_ms || primary.timeouts > 0;
+    if missed {
+        eprintln!(
+            "SLO MISSED: p99 {:.3} ms (budget {slo_ms} ms), {} timeouts",
+            primary.p99_ms(),
+            primary.timeouts
+        );
+    }
+    if gate && missed {
+        std::process::exit(1);
+    }
+}

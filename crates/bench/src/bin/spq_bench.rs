@@ -1,16 +1,20 @@
 //! `spq-bench` — telemetry tooling for the reproduction.
 //!
 //! ```text
-//! spq-bench compare <baseline.json> <current.json> [--threshold F]
+//! spq-bench compare <baseline.json> <current.json> [--threshold F] [--latency-threshold F]
 //! spq-bench show <telemetry.json>
 //! ```
 //!
-//! `compare` diffs two `BENCH_*.json` records (events/sec when both carry
-//! it, wall time otherwise) and exits 1 when the current run regressed
-//! past the threshold (default 0.25 = 25 %) — the CI perf gate. `show`
-//! pretty-prints one record. Usage errors and unreadable files exit 2.
+//! `compare` diffs two `BENCH_*.json` records and exits 1 when the
+//! current run regressed — the CI perf gate. Throughput (events/sec when
+//! both records carry it, wall time otherwise) is gated by `--threshold`
+//! (default 0.25 = 25 %); when both records carry latency telemetry
+//! (`repro_load` runs), tail latency `p99_ms` is additionally gated by
+//! the tighter `--latency-threshold` (default 0.15) and
+//! `max_sustained_rate` by `--threshold`. `show` pretty-prints one
+//! record. Usage errors and unreadable files exit 2.
 
-use spq_bench::telemetry::{compare, Telemetry};
+use spq_bench::telemetry::{compare_with, Telemetry, DEFAULT_LATENCY_THRESHOLD};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +23,8 @@ fn main() {
         Some("show") => run_show(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!(
-                "usage:\n  spq-bench compare <baseline.json> <current.json> [--threshold F]\n  \
+                "usage:\n  spq-bench compare <baseline.json> <current.json> \
+                 [--threshold F] [--latency-threshold F]\n  \
                  spq-bench show <telemetry.json>"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });
@@ -39,20 +44,27 @@ fn load(path: &str) -> Telemetry {
     Telemetry::from_json(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
 }
 
+fn threshold_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> f64 {
+    let value: f64 = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(&format!("{flag} needs a number")));
+    if !(0.0..10.0).contains(&value) {
+        fail(&format!("{flag} must be in [0, 10)"));
+    }
+    value
+}
+
 fn run_compare(args: &[String]) {
     let mut paths: Vec<&String> = Vec::new();
     let mut threshold = 0.25f64;
+    let mut latency_threshold = DEFAULT_LATENCY_THRESHOLD;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--threshold" => {
-                threshold = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| fail("--threshold needs a number"));
-                if !(0.0..10.0).contains(&threshold) {
-                    fail("--threshold must be in [0, 10)");
-                }
+            "--threshold" => threshold = threshold_arg(&mut it, "--threshold"),
+            "--latency-threshold" => {
+                latency_threshold = threshold_arg(&mut it, "--latency-threshold");
             }
             _ => paths.push(arg),
         }
@@ -60,7 +72,12 @@ fn run_compare(args: &[String]) {
     let [baseline, current] = paths.as_slice() else {
         fail("compare needs exactly two telemetry files");
     };
-    let outcome = compare(&load(baseline), &load(current), threshold);
+    let outcome = compare_with(
+        &load(baseline),
+        &load(current),
+        threshold,
+        latency_threshold,
+    );
     print!("{}", outcome.report);
     std::process::exit(i32::from(outcome.regressed));
 }

@@ -27,9 +27,10 @@
 
 pub mod experiments;
 pub mod grid;
+pub mod loadgen;
 pub mod opts;
 pub mod telemetry;
 
 pub use grid::{all_envs, baseline_metrics, baseline_scenarios, paired_metrics, strategy_sweep};
 pub use opts::Opts;
-pub use telemetry::Telemetry;
+pub use telemetry::{LatencyTelemetry, Telemetry};

@@ -1,0 +1,274 @@
+//! A fixed-bucket log2 latency histogram: std-only, allocation-bounded,
+//! mergeable across connections.
+//!
+//! Latency distributions span five-plus orders of magnitude under load
+//! (a healthy loopback round trip is tens of microseconds; a queueing
+//! collapse pushes the tail to seconds), so the buckets are geometric:
+//! each power-of-two *octave* is split into 32 linear sub-buckets. That
+//! bounds the relative recording error at `1/32` (≈3.1%) everywhere
+//! while keeping the whole table a fixed 1 920 counters (15 KiB) — no
+//! allocation on the record path, `record` is a few shifts and an
+//! increment, and two histograms merge by adding counters (merge is
+//! associative and commutative, so per-connection histograms can be
+//! folded in any order; pinned by proptests).
+//!
+//! Quantile queries return the *upper bound* of the bucket containing
+//! the requested rank, so a reported percentile never understates the
+//! true one and overstates it by at most one bucket width:
+//! `true ≤ reported ≤ true × (1 + 1/32) + 1` (the `+1` covers integer
+//! granularity in the exact low buckets). Never report a tail percentile
+//! flattering than reality — that is the whole point of the instrument.
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` linear
+/// buckets, bounding relative error at `2^-SUB_BITS`.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count for the full `u64` value domain.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Bucket index for a recorded value (nanoseconds).
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let shift = e - SUB_BITS;
+        let sub = (v >> shift) - SUB;
+        ((((e - SUB_BITS) + 1) as usize) << SUB_BITS) + sub as usize
+    }
+}
+
+/// Inclusive upper bound of the values a bucket holds.
+fn bucket_high(i: usize) -> u64 {
+    let octave = (i >> SUB_BITS) as u32;
+    let sub = (i as u64) & (SUB - 1);
+    if octave == 0 {
+        sub
+    } else {
+        let low = (SUB + sub) << (octave - 1);
+        low + ((1u64 << (octave - 1)) - 1)
+    }
+}
+
+/// A mergeable fixed-bucket log2 histogram over `u64` values
+/// (nanoseconds, by convention of the load generator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.total += 1;
+        self.max = self.max.max(nanos);
+        self.sum += u128::from(nanos);
+    }
+
+    /// Adds every count of `other` into `self`. Associative and
+    /// commutative, so per-connection histograms fold in any order to
+    /// the same aggregate.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded value (0 when empty).
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank, `0.0 < q <= 1.0`) as the upper
+    /// bound of its bucket: never below the true quantile, at most one
+    /// bucket width (≈3.1% + 1 ns) above it. Returns 0 on an empty
+    /// histogram.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the exact observed maximum.
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// [`LatencyHistogram::quantile_nanos`] in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_nanos(q) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simcore::Prng;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        // Bucket upper bounds are non-decreasing, every value maps to a
+        // bucket whose bound brackets it, and the error is within 1/32.
+        let mut prev_high = 0u64;
+        for i in 0..BUCKETS {
+            let high = bucket_high(i);
+            assert!(high >= prev_high, "bucket {i}");
+            prev_high = high;
+        }
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let high = bucket_high(bucket_of(v));
+            assert!(high >= v, "v={v}");
+            assert!(high - v <= v / SUB + 1, "v={v} high={high}");
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn exact_in_the_low_buckets() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB);
+        assert_eq!(h.quantile_nanos(1.0), SUB - 1);
+        assert_eq!(h.quantile_nanos(1.0 / SUB as f64), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_nanos(0.99), 0);
+        assert_eq!(h.max_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile_nanos(0.5), 1_000_003);
+        assert_eq!(h.quantile_nanos(0.999), 1_000_003);
+    }
+
+    /// Nearest-rank quantile on the raw values, for comparison.
+    fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantiles_bracket_true_quantiles(seed in any::<u64>(), n in 1usize..400) {
+            // Heavy-tailed values spanning the realistic latency range:
+            // ~100ns .. ~10s.
+            let mut rng = Prng::seed_from(seed);
+            let mut values: Vec<u64> = (0..n)
+                .map(|_| (rng.pareto(100.0, 0.7) as u64).min(10_000_000_000))
+                .collect();
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            for q in [0.5, 0.95, 0.99, 0.999, 1.0] {
+                let truth = true_quantile(&values, q);
+                let reported = h.quantile_nanos(q);
+                prop_assert!(reported >= truth, "q={q}: reported {reported} < true {truth}");
+                prop_assert!(
+                    reported <= truth + truth / SUB + 1,
+                    "q={q}: reported {reported} exceeds bucket bound over true {truth}"
+                );
+            }
+        }
+
+        #[test]
+        fn prop_merge_is_associative_and_order_free(seed in any::<u64>()) {
+            let mut rng = Prng::seed_from(seed);
+            let mut parts: Vec<LatencyHistogram> = Vec::new();
+            for _ in 0..3 {
+                let mut h = LatencyHistogram::new();
+                for _ in 0..rng.range_u64(1, 50) {
+                    h.record(rng.range_u64(0, 50_000_000));
+                }
+                parts.push(h);
+            }
+            // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), and order does not matter.
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            let mut bc = parts[1].clone();
+            bc.merge(&parts[2]);
+            let mut right = parts[0].clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+            let mut reversed = parts[2].clone();
+            reversed.merge(&parts[1]);
+            reversed.merge(&parts[0]);
+            prop_assert_eq!(&left, &reversed);
+            prop_assert_eq!(left.count(), parts.iter().map(LatencyHistogram::count).sum::<u64>());
+        }
+
+        #[test]
+        fn prop_merge_equals_recording_everything_in_one(seed in any::<u64>()) {
+            let mut rng = Prng::seed_from(seed);
+            let values: Vec<u64> = (0..200).map(|_| rng.range_u64(0, 1 << 40)).collect();
+            let mut whole = LatencyHistogram::new();
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                whole.record(v);
+                if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            }
+            a.merge(&b);
+            prop_assert_eq!(whole, a);
+        }
+    }
+}

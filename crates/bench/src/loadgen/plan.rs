@@ -1,0 +1,241 @@
+//! Deterministic open-loop arrival plans.
+//!
+//! An open-loop load generator must decide *when* to send every request
+//! before the run starts — arrivals are a property of the offered load,
+//! not of how fast the server answers. The plan is computed up front
+//! from a seeded RNG: slot `i` fires at `(i + jitter_i) / rate` seconds,
+//! where `jitter_i ∈ [0, 1)` is a per-slot uniform draw. The jitter
+//! de-phases requests (no metronome lockstep with the server's internal
+//! periods) while the slot grid pins the long-run offered rate exactly:
+//! over any window of `k` slots the plan offers `k` requests in `k/rate`
+//! seconds, so the realized rate is within one request of the target —
+//! the "within 1%" property the tests pin needs only ~100 requests.
+//!
+//! Each arrival also pre-draws its connection (round-robin, so every
+//! connection carries `1/N` of the load and arrivals stay time-ordered
+//! per connection) and its request kind (sampled from a recorded
+//! [`RequestMix`]). The result: two runs with the same
+//! [`ArrivalSpec`] and mix produce *bit-identical* plans — the
+//! determinism pin the acceptance tests check — and any difference
+//! between two runs' latency reports is attributable to the server, not
+//! the generator.
+
+use simcore::Prng;
+use spq_harness::workload::{RequestKind, RequestMix};
+
+/// Everything that determines an arrival plan. Same spec (plus the same
+/// mix) ⇒ same plan, bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArrivalSpec {
+    /// Offered request rate, requests/second (> 0).
+    pub rate: f64,
+    /// Client connections the arrivals are spread over (≥ 1).
+    pub connections: u32,
+    /// Warmup seconds: arrivals in `[0, warmup_secs)` are sent and
+    /// answered but excluded from the measured histogram.
+    pub warmup_secs: f64,
+    /// Measured seconds after warmup; the plan covers
+    /// `warmup_secs + measured_secs` in total.
+    pub measured_secs: f64,
+    /// Master seed for jitter, connection-independent kind draws.
+    pub seed: u64,
+}
+
+/// One scheduled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Send instant, nanoseconds from run start.
+    pub at_nanos: u64,
+    /// The connection that fires it (`0..connections`).
+    pub connection: u32,
+    /// The request kind to send.
+    pub kind: RequestKind,
+    /// True while the clock is inside the warmup window: answered but
+    /// not measured.
+    pub warmup: bool,
+}
+
+/// A complete open-loop schedule; see the [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalPlan {
+    spec: ArrivalSpec,
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalPlan {
+    /// Computes the full schedule for `spec`, drawing request kinds from
+    /// `mix`. Deterministic: same `(spec, mix)` ⇒ same plan.
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate, zero connections, a non-finite
+    /// duration, or an empty mix.
+    pub fn generate(spec: ArrivalSpec, mix: &RequestMix) -> ArrivalPlan {
+        assert!(
+            spec.rate.is_finite() && spec.rate > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(spec.connections >= 1, "need at least one connection");
+        let total_secs = spec.warmup_secs + spec.measured_secs;
+        assert!(
+            total_secs.is_finite() && total_secs > 0.0,
+            "plan duration must be positive"
+        );
+        let mut rng = Prng::stream(spec.seed, "loadgen-arrivals");
+        let n = (spec.rate * total_secs).floor().max(1.0) as u64;
+        let mut arrivals = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let at_secs = (i as f64 + rng.next_f64()) / spec.rate;
+            arrivals.push(Arrival {
+                at_nanos: (at_secs * 1e9) as u64,
+                connection: (i % u64::from(spec.connections)) as u32,
+                kind: mix.sample(&mut rng),
+                warmup: at_secs < spec.warmup_secs,
+            });
+        }
+        ArrivalPlan { spec, arrivals }
+    }
+
+    /// The spec the plan was generated from.
+    pub fn spec(&self) -> ArrivalSpec {
+        self.spec
+    }
+
+    /// All arrivals, in non-decreasing send order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Total scheduled requests.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the plan is empty (never after [`ArrivalPlan::generate`]).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrivals one connection fires, in send order.
+    pub fn for_connection(&self, connection: u32) -> Vec<Arrival> {
+        self.arrivals
+            .iter()
+            .filter(|a| a.connection == connection)
+            .copied()
+            .collect()
+    }
+
+    /// The rate the plan actually offers over its span (requests divided
+    /// by the planned duration) — within 1% of `spec.rate` for any plan
+    /// of ≥ 100 requests.
+    pub fn offered_rate(&self) -> f64 {
+        self.arrivals.len() as f64 / (self.spec.warmup_secs + self.spec.measured_secs)
+    }
+
+    /// Scheduled requests inside the measured (post-warmup) window.
+    pub fn measured_len(&self) -> usize {
+        self.arrivals.iter().filter(|a| !a.warmup).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mix() -> RequestMix {
+        RequestMix::from_weights(&[
+            (RequestKind::ReportProgress, 80),
+            (RequestKind::Predict, 10),
+            (RequestKind::Deposit, 5),
+            (RequestKind::Complete, 5),
+        ])
+    }
+
+    fn spec(seed: u64) -> ArrivalSpec {
+        ArrivalSpec {
+            rate: 500.0,
+            connections: 4,
+            warmup_secs: 0.5,
+            measured_secs: 2.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_plans() {
+        let a = ArrivalPlan::generate(spec(42), &mix());
+        let b = ArrivalPlan::generate(spec(42), &mix());
+        assert_eq!(a, b, "same (spec, mix) must be bit-identical");
+        let c = ArrivalPlan::generate(spec(43), &mix());
+        assert_ne!(a, c, "a different seed must change the schedule");
+    }
+
+    #[test]
+    fn offered_rate_tracks_the_target_within_one_percent() {
+        let plan = ArrivalPlan::generate(spec(7), &mix());
+        let offered = plan.offered_rate();
+        assert!(
+            (offered - 500.0).abs() / 500.0 < 0.01,
+            "offered {offered} vs target 500"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_round_robin() {
+        let plan = ArrivalPlan::generate(spec(9), &mix());
+        for w in plan.arrivals().windows(2) {
+            assert!(w[0].at_nanos <= w[1].at_nanos, "global send order");
+        }
+        for conn in 0..4 {
+            let own = plan.for_connection(conn);
+            // Round-robin: every connection carries ~1/4 of the load.
+            let share = own.len() as f64 / plan.len() as f64;
+            assert!((share - 0.25).abs() < 0.01, "conn {conn} share {share}");
+            for w in own.windows(2) {
+                assert!(w[0].at_nanos <= w[1].at_nanos);
+            }
+        }
+    }
+
+    #[test]
+    fn warmup_flags_split_at_the_warmup_boundary() {
+        let plan = ArrivalPlan::generate(spec(3), &mix());
+        let warmup_nanos = (0.5 * 1e9) as u64;
+        for a in plan.arrivals() {
+            assert_eq!(a.warmup, a.at_nanos < warmup_nanos);
+        }
+        let measured = plan.measured_len();
+        // 2.0s of 2.5s total is measured: ~80% of arrivals.
+        let share = measured as f64 / plan.len() as f64;
+        assert!((share - 0.8).abs() < 0.02, "measured share {share}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rate_and_determinism_hold_across_specs(
+            seed in any::<u64>(),
+            rate in 100.0f64..5_000.0,
+            connections in 1u32..16,
+        ) {
+            let spec = ArrivalSpec {
+                rate,
+                connections,
+                warmup_secs: 0.2,
+                measured_secs: 1.0,
+                seed,
+            };
+            let a = ArrivalPlan::generate(spec, &mix());
+            let b = ArrivalPlan::generate(spec, &mix());
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.len() >= 100, "rate>=100 over 1.2s");
+            let offered = a.offered_rate();
+            prop_assert!(
+                (offered - rate).abs() / rate < 0.01,
+                "offered {} vs target {}", offered, rate
+            );
+            for w in a.arrivals().windows(2) {
+                prop_assert!(w[0].at_nanos <= w[1].at_nanos);
+            }
+        }
+    }
+}

@@ -12,11 +12,55 @@
 //!
 //! The JSON encoding is deliberately minimal and dependency-free (the
 //! build environment has no registry access): records are a flat object
-//! with one nested `config` object. The parser and the string/number
-//! formatting live in the shared [`simcore::json`] module — one
-//! implementation serves both this telemetry format and the SpeQuloS wire
-//! protocol (`spequlos::protocol`) — and are re-exported here as
-//! [`json`] for existing callers.
+//! with one nested `config` object and one optional nested `latency`
+//! object. The parser and the string/number formatting live in the
+//! shared [`simcore::json`] module — one implementation serves both this
+//! telemetry format and the SpeQuloS wire protocol
+//! (`spequlos::protocol`) — and are re-exported here as [`json`] for
+//! existing callers.
+//!
+//! # The `BENCH_<name>.json` schema
+//!
+//! Top-level keys (see [`SCHEMA_KEYS`]; a unit test pins the emitted
+//! keys to this list):
+//!
+//! | key | type | presence | meaning |
+//! |-----|------|----------|---------|
+//! | `name` | string | always | record name; the file is `BENCH_<name>.json` |
+//! | `git_sha` | string | always | commit that produced the record, or `unknown` |
+//! | `wall_secs` | number | always | wall-clock seconds of the measured section |
+//! | `events` | integer | when counted | simulation events (or requests sent, for load runs) |
+//! | `events_per_sec` | number | when counted | `events / wall_secs` |
+//! | `peak_rss_bytes` | integer | always | peak resident set size (0 if unknown) |
+//! | `latency` | object | load runs only | latency-SLO telemetry, below |
+//! | `config` | object | always | run configuration, string → string |
+//!
+//! The nested `latency` object (see [`LATENCY_SCHEMA_KEYS`]) is emitted
+//! by the open-loop load generator (`repro_load`, [`crate::loadgen`]).
+//! All `*_ms` values are milliseconds; percentiles come from the
+//! log2-bucket histogram, so they over-report the true percentile by at
+//! most ≈3.1 % and never under-report it:
+//!
+//! | key | type | meaning |
+//! |-----|------|---------|
+//! | `p50_ms` | number | median response latency |
+//! | `p95_ms` | number | 95th percentile |
+//! | `p99_ms` | number | 99th percentile — the gated SLO metric |
+//! | `p999_ms` | number | 99.9th percentile |
+//! | `max_ms` | number | worst observed latency (exact, not bucketed) |
+//! | `requests` | integer | requests sent at the primary rate (warmup included) |
+//! | `errors` | integer | `Response::Error` replies |
+//! | `timeouts` | integer | requests never answered |
+//! | `offered_rate` | number | scheduled requests/second |
+//! | `achieved_rate` | number | answered requests/second actually sustained |
+//! | `max_sustained_rate` | number, optional | highest swept rate meeting the SLO (absent when no sweep ran or every step missed) |
+//! | `slo_p99_ms` | number | the p99 budget the run was gated against |
+//!
+//! `spq-bench compare` gates throughput (`events_per_sec`) with
+//! `--threshold` and, when both records carry `latency`, additionally
+//! gates `p99_ms` (lower is better) with the tighter
+//! `--latency-threshold` and `max_sustained_rate` (higher is better)
+//! with `--threshold`.
 
 use crate::opts::Opts;
 use json::{escape, fmt_f64};
@@ -30,6 +74,67 @@ use std::time::Instant;
 // ---------------------------------------------------------------------------
 // Telemetry record
 // ---------------------------------------------------------------------------
+
+/// Every top-level key a [`Telemetry`] record can emit, in emission
+/// order. The module docs document each; a unit test asserts the two
+/// never drift apart.
+pub const SCHEMA_KEYS: &[&str] = &[
+    "name",
+    "git_sha",
+    "wall_secs",
+    "events",
+    "events_per_sec",
+    "peak_rss_bytes",
+    "latency",
+    "config",
+];
+
+/// Every key the nested `latency` object can emit, in emission order.
+pub const LATENCY_SCHEMA_KEYS: &[&str] = &[
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "p999_ms",
+    "max_ms",
+    "requests",
+    "errors",
+    "timeouts",
+    "offered_rate",
+    "achieved_rate",
+    "max_sustained_rate",
+    "slo_p99_ms",
+];
+
+/// Latency-SLO telemetry from an open-loop load run (the `latency`
+/// object of the schema in the [module docs](self)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyTelemetry {
+    /// Median response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds — the gated SLO metric.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst observed latency, milliseconds (exact, not bucketed).
+    pub max_ms: f64,
+    /// Requests sent at the primary rate (warmup included).
+    pub requests: u64,
+    /// Error responses received.
+    pub errors: u64,
+    /// Requests never answered.
+    pub timeouts: u64,
+    /// Scheduled requests/second.
+    pub offered_rate: f64,
+    /// Answered requests/second the server actually sustained.
+    pub achieved_rate: f64,
+    /// Highest swept rate whose p99 met the SLO; `None` when no sweep
+    /// ran or every step missed it.
+    pub max_sustained_rate: Option<f64>,
+    /// The p99 budget the run was gated against, milliseconds.
+    pub slo_p99_ms: f64,
+}
 
 /// One measured run of a reproduction binary or bench.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +151,8 @@ pub struct Telemetry {
     pub events_per_sec: Option<f64>,
     /// Peak resident set size of the process, in bytes (0 if unknown).
     pub peak_rss_bytes: u64,
+    /// Latency-SLO telemetry; only load-generating runs carry it.
+    pub latency: Option<LatencyTelemetry>,
     /// Run configuration, as ordered key → value strings.
     pub config: Vec<(String, String)>,
 }
@@ -96,6 +203,33 @@ impl Telemetry {
             out.push_str(&format!("  \"events_per_sec\": {},\n", fmt_f64(eps)));
         }
         out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        if let Some(lat) = &self.latency {
+            out.push_str("  \"latency\": {\n");
+            out.push_str(&format!("    \"p50_ms\": {},\n", fmt_f64(lat.p50_ms)));
+            out.push_str(&format!("    \"p95_ms\": {},\n", fmt_f64(lat.p95_ms)));
+            out.push_str(&format!("    \"p99_ms\": {},\n", fmt_f64(lat.p99_ms)));
+            out.push_str(&format!("    \"p999_ms\": {},\n", fmt_f64(lat.p999_ms)));
+            out.push_str(&format!("    \"max_ms\": {},\n", fmt_f64(lat.max_ms)));
+            out.push_str(&format!("    \"requests\": {},\n", lat.requests));
+            out.push_str(&format!("    \"errors\": {},\n", lat.errors));
+            out.push_str(&format!("    \"timeouts\": {},\n", lat.timeouts));
+            out.push_str(&format!(
+                "    \"offered_rate\": {},\n",
+                fmt_f64(lat.offered_rate)
+            ));
+            out.push_str(&format!(
+                "    \"achieved_rate\": {},\n",
+                fmt_f64(lat.achieved_rate)
+            ));
+            if let Some(rate) = lat.max_sustained_rate {
+                out.push_str(&format!("    \"max_sustained_rate\": {},\n", fmt_f64(rate)));
+            }
+            out.push_str(&format!(
+                "    \"slo_p99_ms\": {}\n",
+                fmt_f64(lat.slo_p99_ms)
+            ));
+            out.push_str("  },\n");
+        }
         out.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
             if i > 0 {
@@ -128,6 +262,32 @@ impl Telemetry {
                 .and_then(json::Value::as_f64)
                 .ok_or_else(|| format!("missing numeric field `{key}`"))
         };
+        let latency = match field("latency") {
+            Some(v) => {
+                let obj = v.as_object().ok_or("`latency` must be an object")?;
+                let lat = |key: &str| -> Result<f64, String> {
+                    obj.iter()
+                        .find(|(k, _)| k == key)
+                        .and_then(|(_, v)| v.as_f64())
+                        .ok_or_else(|| format!("missing numeric latency field `{key}`"))
+                };
+                Some(LatencyTelemetry {
+                    p50_ms: lat("p50_ms")?,
+                    p95_ms: lat("p95_ms")?,
+                    p99_ms: lat("p99_ms")?,
+                    p999_ms: lat("p999_ms")?,
+                    max_ms: lat("max_ms")?,
+                    requests: lat("requests")? as u64,
+                    errors: lat("errors")? as u64,
+                    timeouts: lat("timeouts")? as u64,
+                    offered_rate: lat("offered_rate")?,
+                    achieved_rate: lat("achieved_rate")?,
+                    max_sustained_rate: lat("max_sustained_rate").ok(),
+                    slo_p99_ms: lat("slo_p99_ms")?,
+                })
+            }
+            None => None,
+        };
         let config = match field("config") {
             Some(v) => v
                 .as_object()
@@ -154,6 +314,7 @@ impl Telemetry {
                 .map(|v| v as u64),
             events_per_sec: field("events_per_sec").and_then(json::Value::as_f64),
             peak_rss_bytes: num_field("peak_rss_bytes")? as u64,
+            latency,
             config,
         })
     }
@@ -181,6 +342,7 @@ pub fn measure<T>(
         events,
         events_per_sec: events.map(|e| e as f64 / wall_secs.max(1e-9)),
         peak_rss_bytes: peak_rss_bytes(),
+        latency: None,
         config: vec![
             ("seeds".into(), opts.seeds.to_string()),
             ("scale".into(), opts.scale.to_string()),
@@ -218,6 +380,7 @@ impl Drop for BenchGuard {
             events: None,
             events_per_sec: None,
             peak_rss_bytes: peak_rss_bytes(),
+            latency: None,
             config: Vec::new(),
         }
         .write_or_warn();
@@ -277,12 +440,33 @@ pub struct CompareOutcome {
     pub report: String,
 }
 
-/// Compares `current` against `baseline` with a relative `threshold`
-/// (0.25 = fail when 25 % worse). Throughput (`events_per_sec`, higher is
-/// better) is compared when both records carry it; otherwise wall time
-/// (lower is better). Configuration mismatches are reported as warnings —
-/// they usually mean the comparison itself is invalid.
+/// Tail latency is gated tighter than throughput by default: a p99 that
+/// drifts 15 % is already an SLO story, while throughput legitimately
+/// jitters more between CI runners.
+pub const DEFAULT_LATENCY_THRESHOLD: f64 = 0.15;
+
+/// [`compare_with`] using [`DEFAULT_LATENCY_THRESHOLD`] for the latency
+/// metrics.
 pub fn compare(baseline: &Telemetry, current: &Telemetry, threshold: f64) -> CompareOutcome {
+    compare_with(baseline, current, threshold, DEFAULT_LATENCY_THRESHOLD)
+}
+
+/// Compares `current` against `baseline`. `threshold` is relative (0.25
+/// = fail when 25 % worse) and gates the throughput metrics: throughput
+/// (`events_per_sec`, higher is better) when both records carry it,
+/// otherwise wall time (lower is better); plus `max_sustained_rate`
+/// (higher is better) when both records carry latency telemetry. The
+/// separate — conventionally tighter — `latency_threshold` gates
+/// `p99_ms` (lower is better). Any gated metric past its threshold
+/// regresses the whole comparison. Configuration mismatches are
+/// reported as warnings — they usually mean the comparison itself is
+/// invalid.
+pub fn compare_with(
+    baseline: &Telemetry,
+    current: &Telemetry,
+    threshold: f64,
+    latency_threshold: f64,
+) -> CompareOutcome {
     let mut report = String::new();
     let mut warn = |msg: String| report.push_str(&format!("warning: {msg}\n"));
     if baseline.name != current.name {
@@ -300,25 +484,74 @@ pub fn compare(baseline: &Telemetry, current: &Telemetry, threshold: f64) -> Com
             None => warn(format!("config `{key}` missing from current record")),
         }
     }
+    if baseline.latency.is_some() != current.latency.is_some() {
+        warn(format!(
+            "latency telemetry present in {} only — tail latency not gated",
+            if baseline.latency.is_some() {
+                "baseline"
+            } else {
+                "current"
+            }
+        ));
+    }
 
-    let (metric, base_v, cur_v, higher_is_better) =
-        match (baseline.events_per_sec, current.events_per_sec) {
-            (Some(b), Some(c)) => ("events_per_sec", b, c, true),
-            _ => ("wall_secs", baseline.wall_secs, current.wall_secs, false),
+    // Each gated metric: (name, baseline, current, higher_is_better,
+    // threshold). Any one past its threshold regresses the comparison.
+    let mut gates: Vec<(&str, f64, f64, bool, f64)> = Vec::new();
+    match (baseline.events_per_sec, current.events_per_sec) {
+        (Some(b), Some(c)) => gates.push(("events_per_sec", b, c, true, threshold)),
+        _ => gates.push((
+            "wall_secs",
+            baseline.wall_secs,
+            current.wall_secs,
+            false,
+            threshold,
+        )),
+    }
+    if let (Some(base_lat), Some(cur_lat)) = (&baseline.latency, &current.latency) {
+        gates.push((
+            "p99_ms",
+            base_lat.p99_ms,
+            cur_lat.p99_ms,
+            false,
+            latency_threshold,
+        ));
+        match (base_lat.max_sustained_rate, cur_lat.max_sustained_rate) {
+            (Some(b), Some(c)) => gates.push(("max_sustained_rate", b, c, true, threshold)),
+            (Some(_), None) => {
+                // The baseline sustained some rate under the SLO and the
+                // current run sustains none: an unconditional regression.
+                gates.push(("max_sustained_rate", 1.0, 0.0, true, threshold));
+            }
+            _ => {}
+        }
+    }
+
+    let mut regressed = false;
+    for (metric, base_v, cur_v, higher_is_better, gate_threshold) in &gates {
+        // Worsening as a ratio (1.0 = unchanged, 2.0 = twice as bad):
+        // unbounded in the regression direction for both metric
+        // orientations, so large thresholds stay meaningful (a
+        // difference-based "-X%" bottoms out at -100% and could never
+        // trip a threshold of 1.0 or more).
+        let worse_ratio = if *higher_is_better {
+            base_v.max(1e-12) / cur_v.max(1e-12)
+        } else {
+            cur_v.max(1e-12) / base_v.max(1e-12)
         };
-    // Positive change = improvement, for both metric orientations.
-    let change = if higher_is_better {
-        cur_v / base_v.max(1e-12) - 1.0
-    } else {
-        base_v / cur_v.max(1e-12) - 1.0
-    };
-    let regressed = change < -threshold;
-
-    report.push_str(&format!(
-        "{name}: {metric} baseline {base_v:.1} -> current {cur_v:.1} ({change:+.1}%)\n",
-        name = current.name,
-        change = change * 100.0,
-    ));
+        let metric_regressed = worse_ratio > 1.0 + gate_threshold;
+        regressed |= metric_regressed;
+        let (ratio, direction) = if worse_ratio >= 1.0 {
+            (worse_ratio, "worse")
+        } else {
+            (1.0 / worse_ratio, "better")
+        };
+        report.push_str(&format!(
+            "{name}: {metric} baseline {base_v:.3} -> current {cur_v:.3} ({ratio:.2}x {direction}{flag})\n",
+            name = current.name,
+            flag = if metric_regressed { ", REGRESSED" } else { "" },
+        ));
+    }
     report.push_str(&format!(
         "  baseline sha {} | current sha {}\n",
         baseline.git_sha, current.git_sha
@@ -331,9 +564,10 @@ pub fn compare(baseline: &Telemetry, current: &Telemetry, threshold: f64) -> Com
         current.peak_rss_bytes as f64 / (1024.0 * 1024.0),
     ));
     report.push_str(&format!(
-        "  verdict: {} (threshold {:.0}%)\n",
+        "  verdict: {} (threshold {:.0}%, latency threshold {:.0}%)\n",
         if regressed { "REGRESSED" } else { "ok" },
-        threshold * 100.0
+        threshold * 100.0,
+        latency_threshold * 100.0
     ));
     CompareOutcome { regressed, report }
 }
@@ -350,6 +584,7 @@ mod tests {
             events: Some(500_000),
             events_per_sec: Some(400_000.0),
             peak_rss_bytes: 64 * 1024 * 1024,
+            latency: None,
             config: vec![
                 ("seeds".into(), "3".into()),
                 ("scale".into(), "1".into()),
@@ -384,6 +619,144 @@ mod tests {
         };
         let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
         assert_eq!(parsed.name, t.name);
+    }
+
+    fn sample_latency() -> LatencyTelemetry {
+        LatencyTelemetry {
+            p50_ms: 0.4,
+            p95_ms: 1.2,
+            p99_ms: 3.5,
+            p999_ms: 9.0,
+            max_ms: 14.25,
+            requests: 2_500,
+            errors: 0,
+            timeouts: 0,
+            offered_rate: 1_000.0,
+            achieved_rate: 998.5,
+            max_sustained_rate: Some(1_500.0),
+            slo_p99_ms: 50.0,
+        }
+    }
+
+    #[test]
+    fn latency_roundtrips_through_json() {
+        let t = Telemetry {
+            latency: Some(sample_latency()),
+            ..sample()
+        };
+        let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed, t);
+        // And without a sustained rate (sweep disabled or all-missed).
+        let t = Telemetry {
+            latency: Some(LatencyTelemetry {
+                max_sustained_rate: None,
+                ..sample_latency()
+            }),
+            ..sample()
+        };
+        let parsed = Telemetry::from_json(&t.to_json()).expect("roundtrip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn emitted_keys_match_the_documented_schema() {
+        // A record with every optional part present must emit exactly
+        // the documented keys, in the documented order.
+        let t = Telemetry {
+            latency: Some(sample_latency()),
+            ..sample()
+        };
+        let value = json::parse(&t.to_json()).expect("parses");
+        let top: Vec<&str> = value
+            .as_object()
+            .expect("object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(top, SCHEMA_KEYS, "top-level keys drifted from the docs");
+        let latency: Vec<&str> = value
+            .get("latency")
+            .and_then(json::Value::as_object)
+            .expect("latency object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            latency, LATENCY_SCHEMA_KEYS,
+            "latency keys drifted from the docs"
+        );
+        // A record with the optional parts absent emits a subset.
+        let value = json::parse(&sample().to_json()).expect("parses");
+        for (k, _) in value.as_object().expect("object") {
+            assert!(SCHEMA_KEYS.contains(&k.as_str()), "undocumented key `{k}`");
+        }
+    }
+
+    #[test]
+    fn compare_gates_p99_with_the_tighter_threshold() {
+        let base = Telemetry {
+            latency: Some(sample_latency()),
+            ..sample()
+        };
+        // 20 % slower p99: inside the 25 % throughput threshold but past
+        // the 15 % latency threshold.
+        let cur = Telemetry {
+            latency: Some(LatencyTelemetry {
+                p99_ms: 4.2,
+                ..sample_latency()
+            }),
+            ..sample()
+        };
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.regressed, "{}", out.report);
+        assert!(out.report.contains("p99_ms"), "{}", out.report);
+        // The same drift passes a run compared with a looser gate.
+        let out = compare_with(&base, &cur, 0.25, 0.30);
+        assert!(!out.regressed, "{}", out.report);
+    }
+
+    #[test]
+    fn compare_gates_the_sustained_rate() {
+        let base = Telemetry {
+            latency: Some(sample_latency()),
+            ..sample()
+        };
+        let cur = Telemetry {
+            latency: Some(LatencyTelemetry {
+                max_sustained_rate: Some(750.0), // was 1500: halved
+                ..sample_latency()
+            }),
+            ..sample()
+        };
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.regressed, "{}", out.report);
+        assert!(out.report.contains("max_sustained_rate"), "{}", out.report);
+        // Losing the sustained rate entirely is an unconditional fail.
+        let cur = Telemetry {
+            latency: Some(LatencyTelemetry {
+                max_sustained_rate: None,
+                ..sample_latency()
+            }),
+            ..sample()
+        };
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.regressed, "{}", out.report);
+    }
+
+    #[test]
+    fn compare_warns_when_only_one_side_has_latency() {
+        let base = sample();
+        let cur = Telemetry {
+            latency: Some(sample_latency()),
+            ..sample()
+        };
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.regressed, "{}", out.report);
+        assert!(
+            out.report.contains("latency telemetry present in current"),
+            "{}",
+            out.report
+        );
     }
 
     #[test]

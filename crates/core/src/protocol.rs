@@ -488,17 +488,32 @@ fn prediction_from_value(v: &Value) -> Result<Prediction, String> {
 }
 
 impl Request {
+    /// The request's wire tag (`"deposit"`, `"report_progress"`, …) —
+    /// the same string the JSON encoding carries in its `"req"` field.
+    /// Stable, so per-kind accounting (workload mixes, server-side
+    /// request timing) can key on it without decoding anything.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Deposit { .. } => "deposit",
+            Request::RegisterQos { .. } => "register_qos",
+            Request::OrderQos { .. } => "order_qos",
+            Request::Predict { .. } => "predict",
+            Request::ReportProgress { .. } => "report_progress",
+            Request::Complete { .. } => "complete",
+            Request::Batch(_) => "batch",
+        }
+    }
+
     /// The request as a JSON value (an object tagged with `"req"`).
     pub fn to_value(&self) -> Value {
         let mut m: Vec<(String, Value)> = Vec::with_capacity(4);
+        m.push(("req".into(), Value::Str(self.kind().into())));
         match self {
             Request::Deposit { user, credits } => {
-                m.push(("req".into(), Value::Str("deposit".into())));
                 m.push(("user".into(), num(user.0 as f64)));
                 m.push(("credits".into(), num(*credits)));
             }
             Request::RegisterQos { user, env, size } => {
-                m.push(("req".into(), Value::Str("register_qos".into())));
                 m.push(("user".into(), num(user.0 as f64)));
                 m.push(("env".into(), Value::Str(env.clone())));
                 m.push(("size".into(), num((*size).into())));
@@ -508,7 +523,6 @@ impl Request {
                 credits,
                 strategy,
             } => {
-                m.push(("req".into(), Value::Str("order_qos".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
                 m.push(("credits".into(), num(*credits)));
                 if let Some(s) = strategy {
@@ -516,20 +530,16 @@ impl Request {
                 }
             }
             Request::Predict { bot } => {
-                m.push(("req".into(), Value::Str("predict".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
             }
             Request::ReportProgress { bot, progress } => {
-                m.push(("req".into(), Value::Str("report_progress".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
                 m.push(("progress".into(), progress_to_value(progress)));
             }
             Request::Complete { bot } => {
-                m.push(("req".into(), Value::Str("complete".into())));
                 m.push(("bot".into(), num(bot.0 as f64)));
             }
             Request::Batch(items) => {
-                m.push(("req".into(), Value::Str("batch".into())));
                 m.push((
                     "items".into(),
                     Value::Arr(items.iter().map(Request::to_value).collect()),

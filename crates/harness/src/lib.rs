@@ -44,6 +44,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod workload;
 
 pub use edgi::{run_edgi, EdgiReport};
 pub use experiment::{Experiment, Outcome, Transport};
@@ -55,3 +56,4 @@ pub use runner::{
 };
 pub use scenario::{deployment_of, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 pub use sweep::parallel_map;
+pub use workload::{Recorder, RequestKind, RequestMix};

@@ -53,5 +53,5 @@ pub mod wire;
 
 pub use client::RemoteService;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{RequestObserver, Server, ServerConfig, ServerHandle};
 pub use wire::{RequestEnvelope, ResponseEnvelope};

@@ -1,0 +1,89 @@
+//! Load-testing quickstart: open-loop load with an SLO verdict, in five
+//! steps.
+//!
+//! The deployed SpeQuloS is a network service the middleware calls every
+//! monitoring period (paper §3), so "how many monitoring ticks per
+//! second can one service absorb before its tail latency blows the
+//! budget?" is an operational question. This example answers it the way
+//! `repro_load` does, but small enough to read in one sitting:
+//!
+//! 1. record a real session's request mix,
+//! 2. derive a deterministic open-loop arrival plan from a seed,
+//! 3. serve a SpeQuloS on loopback TCP,
+//! 4. fire the plan and collect the latency histogram,
+//! 5. sweep the rate ladder for the max sustained rate under the SLO.
+//!
+//! Run with: `cargo run --release --example load_test`
+
+use spequlos::SpeQuloS;
+use spq_bench::loadgen::{self, max_sustained_rate, ArrivalPlan, ArrivalSpec, LoadReport};
+use spq_server::Server;
+
+const SLO_P99_MS: f64 = 50.0;
+
+fn show(rate: f64, report: &LoadReport) {
+    println!(
+        "  {rate:>6.0} req/s offered | p50 {:>7.3} ms | p99 {:>7.3} ms | p999 {:>7.3} ms | {} errors, {} timeouts",
+        report.p50_ms(),
+        report.p99_ms(),
+        report.p999_ms(),
+        report.errors,
+        report.timeouts,
+    );
+}
+
+fn main() -> std::io::Result<()> {
+    println!("spq-load in five steps");
+    println!("======================");
+
+    // --- 1. The workload shape: a recorded session's request mix. ------
+    // A real QoS-enabled execution is mostly monitoring: one deposit /
+    // register / order / complete, and a ReportProgress every tick.
+    let mix = loadgen::recorded_mix();
+    println!("recorded mix: {}", mix.describe());
+
+    // --- 2. A deterministic open-loop schedule. ------------------------
+    // Same spec + mix = bit-identical plan; only the measured latencies
+    // differ between runs. Requests fire at their scheduled instants
+    // whether or not earlier replies returned — a server that falls
+    // behind shows up as a growing tail, not as a lower offered rate.
+    let spec = ArrivalSpec {
+        rate: 500.0,
+        connections: 2,
+        warmup_secs: 0.2,
+        measured_secs: 1.0,
+        seed: 7,
+    };
+    let plan = ArrivalPlan::generate(spec, &mix);
+    println!(
+        "plan: {} requests over {:.1}s ({:.0} req/s offered)",
+        plan.len(),
+        spec.warmup_secs + spec.measured_secs,
+        plan.offered_rate()
+    );
+
+    // --- 3 + 4. A live loopback server, and the run itself. ------------
+    let handle = Server::spawn_loopback(SpeQuloS::new())?;
+    let report = loadgen::run(handle.addr(), &plan)?;
+    println!("\nprimary run:");
+    show(spec.rate, &report);
+    drop(handle.into_service());
+
+    // --- 5. The sweep: find the SLO knee. ------------------------------
+    // Fresh server per step so queue buildup never leaks across rates.
+    println!("\nrate sweep (SLO: p99 <= {SLO_P99_MS} ms):");
+    let mut steps = Vec::new();
+    for rate in loadgen::sweep_ladder(spec.rate, 5) {
+        let handle = Server::spawn_loopback(SpeQuloS::new())?;
+        let plan = ArrivalPlan::generate(ArrivalSpec { rate, ..spec }, &mix);
+        let report = loadgen::run(handle.addr(), &plan)?;
+        drop(handle.into_service());
+        show(rate, &report);
+        steps.push((rate, report));
+    }
+    match max_sustained_rate(&steps, SLO_P99_MS) {
+        Some(rate) => println!("\nmax sustained rate under the SLO: {rate:.0} req/s"),
+        None => println!("\nno swept rate met the SLO"),
+    }
+    Ok(())
+}

@@ -8,6 +8,8 @@
 //! * [`spequlos`] — the paper's contribution: the QoS service itself;
 //! * [`spq_server`] — the wire deployment: framed TCP transport serving
 //!   the protocol, plus the `RemoteService` client;
+//! * [`spq_bench`] — reproduction binaries, perf telemetry and the
+//!   `spq-load` open-loop load generator (`spq_bench::loadgen`);
 //! * [`dgrid`] — BOINC / XtremWeb-HEP middleware simulators;
 //! * [`betrace`] — BE-DCI availability trace generators (Table 2);
 //! * [`botwork`] — Bag-of-Tasks workloads (Table 3);
@@ -23,6 +25,7 @@ pub use botwork;
 pub use dgrid;
 pub use simcore;
 pub use spequlos;
+pub use spq_bench;
 pub use spq_harness;
 pub use spq_server;
 pub use unicloud;
