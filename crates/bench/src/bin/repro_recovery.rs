@@ -1,0 +1,216 @@
+//! Durability-path telemetry: WAL append throughput, crash-recovery
+//! replay speed, and snapshot-accelerated recovery, measured on the real
+//! multi-tenant protocol transcript (`spq-recovery`).
+//!
+//! The run records every protocol request a multi-tenant experiment
+//! makes (the same workload shape `repro_multitenant` gates), then
+//! drives the whole durability path from `spequlos::wal`:
+//!
+//! 1. **append** — write the full transcript through `WalStore::append`
+//!    (`FsyncPolicy::Never`, so the gated number measures the framing +
+//!    checksum + buffer path, not the disk);
+//! 2. **replay** — reopen the log cold and recover by full replay;
+//! 3. **snapshot** — take a full-state snapshot, reopen, and recover
+//!    through the snapshot-restore fast path.
+//!
+//! Every recovery is verified byte-identical (deterministic snapshot
+//! encoding) against the directly-run service — a mismatch exits
+//! nonzero, so the perf gate is also a correctness gate. A small
+//! `FsyncPolicy::Always` sample is timed separately and reported in the
+//! config (fsync cost is hardware-bound and would make the gated
+//! events/sec meaningless on shared runners).
+//!
+//! Emits `BENCH_repro_recovery.json` (events = WAL records appended +
+//! records replayed) for `spq-bench compare`.
+//!
+//! Binary-specific flags (on top of the shared `--seeds/--scale/...`):
+//!
+//! ```text
+//! --tenants N        concurrent tenants for the recorded workload (default 8)
+//! --repeat N         append+replay cycles in the gated section (default 50)
+//! --fsync-sample N   records in the fsync=Always timing sample (default 64)
+//! ```
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimDuration;
+use spequlos::snapshot::encode_state_json;
+use spequlos::wal::{FsyncPolicy, WalStore};
+use spequlos::{SpeQuloS, StrategyCombo};
+use spq_bench::experiments::multitenant::POOL_CAPACITY;
+use spq_bench::{opts, telemetry, Opts};
+use spq_harness::{Experiment, MwKind, Scenario, SessionSink, TenantArrivals};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spq-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let mut tenants = 8u32;
+    let mut repeat = 50usize;
+    let mut fsync_sample = 64usize;
+    let options = Opts::from_args_with(|flag, rest| {
+        let mut num = |name: &str| -> usize {
+            rest.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| opts::usage(&format!("{name} needs a number")))
+        };
+        match flag {
+            "--tenants" => tenants = num("--tenants") as u32,
+            "--repeat" => repeat = num("--repeat"),
+            "--fsync-sample" => fsync_sample = num("--fsync-sample"),
+            _ => return false,
+        }
+        true
+    });
+    if tenants == 0 || repeat == 0 {
+        opts::usage("--tenants and --repeat must be nonzero");
+    }
+
+    // The recorded workload: the perf-gate multi-tenant shape, with the
+    // transcript captured through the harness recording seam.
+    let seed = options.seed_list().first().copied().unwrap_or(1);
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = options.scale;
+    let tick = sc.tick;
+    let sink = SessionSink::default();
+    let report = Experiment::new(sc)
+        .tenants(tenants)
+        .pool(POOL_CAPACITY)
+        .arrivals(TenantArrivals::TailHeavy {
+            window: SimDuration::from_hours(2),
+        })
+        .record_into(sink.clone())
+        .run_multi_tenant();
+    let golden = encode_state_json(&report.service).expect("encode directly-run state");
+    let transcript = std::mem::take(&mut *sink.lock().expect("transcript sink"));
+    let records = transcript.len();
+    let template = || SpeQuloS::builder().pool(POOL_CAPACITY).tick(tick).build();
+
+    let (value, tele) = telemetry::measure("repro_recovery", &options, |_| {
+        let mut text = format!(
+            "Durability path over the recorded multi-tenant transcript\n\
+             {tenants} tenants over a {POOL_CAPACITY}-worker pool, seed {seed}, \
+             scale {scale}: {records} protocol requests\n\n",
+            scale = options.scale,
+        );
+
+        // 1+2. `repeat` full append → cold-recovery cycles (no fsync: the
+        // gated number measures framing + checksum + replay dispatch, not
+        // the runner's disk). Every cycle's recovered state is verified
+        // byte-identical against the directly-run golden.
+        let dir = temp_dir("gate");
+        let mut append_secs = 0.0f64;
+        let mut replay_secs = 0.0f64;
+        let mut replayed = 0u64;
+        let mut replay_ok = true;
+        let mut bytes = 0u64;
+        for _ in 0..repeat {
+            let _ = std::fs::remove_dir_all(&dir);
+            let started = Instant::now();
+            {
+                let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Never).expect("open wal");
+                for (t, request) in &transcript {
+                    wal.append(*t, request).expect("append");
+                }
+            }
+            append_secs += started.elapsed().as_secs_f64();
+            bytes = std::fs::metadata(dir.join(spequlos::wal::WAL_FILE))
+                .map(|m| m.len())
+                .unwrap_or(0);
+
+            let started = Instant::now();
+            let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never).expect("reopen wal");
+            let (recovered, rec_report) = recovery.recover(template()).expect("recover");
+            replay_secs += started.elapsed().as_secs_f64();
+            replayed += rec_report.replayed;
+            replay_ok &= encode_state_json(&recovered).expect("encode replayed state") == golden;
+        }
+        text.push_str(&format!(
+            "append  | {repeat} x {records} records ({:.2} MiB) in {:.4} s | \
+             {:.0} records/s, {:.1} MiB/s\n",
+            bytes as f64 / (1024.0 * 1024.0),
+            append_secs,
+            (repeat * records) as f64 / append_secs.max(1e-9),
+            (repeat as f64 * bytes as f64) / (1024.0 * 1024.0) / append_secs.max(1e-9),
+        ));
+        text.push_str(&format!(
+            "replay  | {repeat} cold recoveries ({replayed} records) in {:.4} s | \
+             {:.0} records/s | state {}\n",
+            replay_secs,
+            replayed as f64 / replay_secs.max(1e-9),
+            if replay_ok {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+        ));
+
+        // 3. Snapshot, then recovery through the snapshot fast path.
+        let (mut wal, recovery) = WalStore::open(&dir, FsyncPolicy::Never).expect("reopen wal");
+        let (recovered, _) = recovery.recover(template()).expect("recover for snapshot");
+        wal.snapshot(&recovered).expect("snapshot");
+        drop(wal);
+        let started = Instant::now();
+        let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never).expect("reopen for snapshot");
+        let (restored, snap_report) = recovery.recover(template()).expect("recover via snapshot");
+        let snap_secs = started.elapsed().as_secs_f64();
+        let snap_ok = encode_state_json(&restored).expect("encode restored state") == golden;
+        let per_replay = replay_secs / repeat as f64;
+        text.push_str(&format!(
+            "snapshot| restore at record {} + {} replayed in {:.4} s \
+             ({:.1}x one full replay) | state {}\n",
+            snap_report.snapshot_applied,
+            snap_report.replayed,
+            snap_secs,
+            per_replay / snap_secs.max(1e-9),
+            if snap_ok { "bit-identical" } else { "DIVERGED" },
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Appends + replayed records drive the gated events/sec; the
+        // fsync sample below is measured outside.
+        let events = (repeat * records) as u64 + replayed + records as u64 + snap_report.replayed;
+        ((text, replay_ok && snap_ok), Some(events))
+    });
+    let (mut text, verified) = value;
+
+    // The fsync=Always sample: real durability cost, reported but not
+    // gated (it measures the runner's disk, not this tree's code).
+    let sample = fsync_sample.min(records);
+    if sample > 0 {
+        let dir = temp_dir("fsync");
+        let started = Instant::now();
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).expect("open fsync wal");
+            for (t, request) in &transcript[..sample] {
+                wal.append(*t, request).expect("append with fsync");
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        let rate = sample as f64 / secs.max(1e-9);
+        text.push_str(&format!(
+            "fsync   | {sample} records with fsync-per-append in {secs:.4} s | \
+             {rate:.0} records/s (not gated)\n",
+        ));
+    }
+
+    print!("{text}");
+    spq_harness::write_file(options.out_dir.join("recovery.txt"), &text).expect("write report");
+    tele.with_config("tenants", tenants)
+        .with_config("repeat", repeat)
+        .with_config("records", records)
+        .with_config("fsync_sample", sample)
+        .write_or_warn();
+
+    if !verified {
+        eprintln!("RECOVERY DIVERGED: recovered state is not byte-identical to the golden run");
+        std::process::exit(1);
+    }
+}

@@ -60,18 +60,18 @@ impl std::fmt::Display for CreditError {
 impl std::error::Error for CreditError {}
 
 #[derive(Clone, Debug)]
-struct Order {
-    user: UserId,
-    provisioned: f64,
-    spent: f64,
-    closed: bool,
+pub(crate) struct Order {
+    pub(crate) user: UserId,
+    pub(crate) provisioned: f64,
+    pub(crate) spent: f64,
+    pub(crate) closed: bool,
 }
 
 /// The Credit System: accounts, orders, billing.
 #[derive(Clone, Debug, Default)]
 pub struct CreditSystem {
-    accounts: HashMap<u64, f64>,
-    orders: HashMap<u64, Order>,
+    pub(crate) accounts: HashMap<u64, f64>,
+    pub(crate) orders: HashMap<u64, Order>,
 }
 
 impl CreditSystem {
@@ -258,8 +258,8 @@ impl DepositPolicy {
 /// cooperation among multiple BE-DCIs and cloud providers.
 #[derive(Clone, Debug, Default)]
 pub struct FavorLedger {
-    donated: HashMap<u64, f64>,
-    consumed: HashMap<u64, f64>,
+    pub(crate) donated: HashMap<u64, f64>,
+    pub(crate) consumed: HashMap<u64, f64>,
 }
 
 impl FavorLedger {

@@ -75,8 +75,8 @@ impl ArchivedExecution {
 /// The Information module: live records plus the execution archive.
 #[derive(Clone, Debug, Default)]
 pub struct Information {
-    live: HashMap<u64, BotRecord>,
-    archive: HashMap<String, Vec<ArchivedExecution>>,
+    pub(crate) live: HashMap<u64, BotRecord>,
+    pub(crate) archive: HashMap<String, Vec<ArchivedExecution>>,
 }
 
 impl Information {

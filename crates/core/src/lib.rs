@@ -56,7 +56,9 @@ pub mod progress;
 pub mod protocol;
 pub mod scheduler;
 pub mod service;
+pub mod snapshot;
 pub mod tenancy;
+pub mod wal;
 
 pub use credit::{
     CreditError, CreditSystem, DepositPolicy, FavorLedger, UserId, CREDITS_PER_CPU_HOUR,
@@ -75,4 +77,6 @@ pub use progress::BotProgress;
 pub use protocol::{Request, RequestError, Response, SpqService};
 pub use scheduler::{CloudAction, GreedyUntilTc, Scheduler};
 pub use service::{LogEvent, SpeQuloS, SpeQuloSBuilder};
+pub use snapshot::{encode_state, encode_state_json, restore_state, SnapshotError};
 pub use tenancy::{CloudPool, TenantMetrics};
+pub use wal::{FsyncPolicy, Recovery, RecoveryReport, WalError, WalStore};

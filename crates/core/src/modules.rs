@@ -33,6 +33,7 @@ use crate::oracle::{Prediction, Provisioning, StrategyCombo, Trigger};
 use crate::progress::BotProgress;
 use crate::scheduler::CloudAction;
 use botwork::BotId;
+use simcore::json::Value;
 use simcore::SimTime;
 use std::fmt::Debug;
 
@@ -67,6 +68,21 @@ pub trait InfoBackend: Debug + Send {
     /// Boxed clone (keeps `Box<dyn InfoBackend>` — and therefore the
     /// service — cloneable).
     fn clone_box(&self) -> Box<dyn InfoBackend>;
+
+    /// Serializes the module's state for a durability snapshot
+    /// ([`crate::snapshot`]). `None` (the default) opts the module out:
+    /// a service containing it cannot be snapshotted, and durable
+    /// recovery falls back to replaying the whole write-ahead log.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`InfoBackend::snapshot_state`]. The default rejects restoration
+    /// (matching the `None` snapshot default).
+    fn restore_state(&mut self, _state: &Value) -> Result<(), String> {
+        Err("this InfoBackend does not support snapshot restore".into())
+    }
 }
 
 impl Clone for Box<dyn InfoBackend> {
@@ -116,6 +132,18 @@ pub trait OracleStrategy: Debug + Send {
 
     /// Boxed clone.
     fn clone_box(&self) -> Box<dyn OracleStrategy>;
+
+    /// Serializes the module's state for a durability snapshot
+    /// ([`crate::snapshot`]); `None` (the default) opts out and forces
+    /// full-log replay on recovery.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state produced by [`OracleStrategy::snapshot_state`].
+    fn restore_state(&mut self, _state: &Value) -> Result<(), String> {
+        Err("this OracleStrategy does not support snapshot restore".into())
+    }
 }
 
 impl Clone for Box<dyn OracleStrategy> {
@@ -162,6 +190,18 @@ pub trait SchedulingPolicy: Debug + Send {
 
     /// Boxed clone.
     fn clone_box(&self) -> Box<dyn SchedulingPolicy>;
+
+    /// Serializes the module's state for a durability snapshot
+    /// ([`crate::snapshot`]); `None` (the default) opts out and forces
+    /// full-log replay on recovery.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state produced by [`SchedulingPolicy::snapshot_state`].
+    fn restore_state(&mut self, _state: &Value) -> Result<(), String> {
+        Err("this SchedulingPolicy does not support snapshot restore".into())
+    }
 }
 
 impl Clone for Box<dyn SchedulingPolicy> {
@@ -201,6 +241,15 @@ impl InfoBackend for Information {
 
     fn clone_box(&self) -> Box<dyn InfoBackend> {
         Box::new(self.clone())
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(crate::snapshot::info_to_value(self))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), String> {
+        *self = crate::snapshot::info_from_value(state)?;
+        Ok(())
     }
 }
 

@@ -23,15 +23,15 @@ pub use strategy::{DeployMode, Provisioning, StrategyCombo, Trigger};
 /// Per-BoT trigger state (the Execution-Variance strategy needs the
 /// maximum variance observed during the first half of the execution).
 #[derive(Clone, Copy, Debug, Default)]
-struct VarianceState {
-    max_first_half: f64,
+pub(crate) struct VarianceState {
+    pub(crate) max_first_half: f64,
 }
 
 /// The Oracle: stateless strategies plus the small amount of per-BoT
 /// state the Execution-Variance trigger requires.
 #[derive(Clone, Debug, Default)]
 pub struct Oracle {
-    variance: HashMap<u64, VarianceState>,
+    pub(crate) variance: HashMap<u64, VarianceState>,
 }
 
 impl Oracle {
@@ -214,6 +214,15 @@ impl crate::modules::OracleStrategy for Oracle {
 
     fn clone_box(&self) -> Box<dyn crate::modules::OracleStrategy> {
         Box::new(self.clone())
+    }
+
+    fn snapshot_state(&self) -> Option<simcore::json::Value> {
+        Some(crate::snapshot::oracle_to_value(self))
+    }
+
+    fn restore_state(&mut self, state: &simcore::json::Value) -> Result<(), String> {
+        *self = crate::snapshot::oracle_from_value(state)?;
+        Ok(())
     }
 }
 

@@ -325,15 +325,15 @@ pub fn replay<S: SpqService + ?Sized>(
 // JSON encoding
 // ---------------------------------------------------------------------------
 
-fn num(v: f64) -> Value {
+pub(crate) fn num(v: f64) -> Value {
     Value::Num(v)
 }
 
-fn millis(t: SimTime) -> Value {
+pub(crate) fn millis(t: SimTime) -> Value {
     Value::Num(t.as_millis() as f64)
 }
 
-fn strategy_to_value(s: &StrategyCombo) -> Value {
+pub(crate) fn strategy_to_value(s: &StrategyCombo) -> Value {
     let mut members = Vec::with_capacity(4);
     let (kind, threshold) = match s.trigger {
         Trigger::CompletionThreshold(t) => ("completion", Some(t)),
@@ -359,7 +359,7 @@ fn strategy_to_value(s: &StrategyCombo) -> Value {
     Value::Obj(members)
 }
 
-fn strategy_from_value(v: &Value) -> Result<StrategyCombo, String> {
+pub(crate) fn strategy_from_value(v: &Value) -> Result<StrategyCombo, String> {
     let kind = v
         .get("trigger")
         .and_then(Value::as_str)
@@ -403,26 +403,26 @@ fn progress_to_value(p: &BotProgress) -> Value {
     ])
 }
 
-fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+pub(crate) fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .and_then(|n| u32::try_from(n).ok())
         .ok_or_else(|| format!("missing or invalid `{key}`"))
 }
 
-fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+pub(crate) fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("missing or invalid `{key}`"))
 }
 
-fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+pub(crate) fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Value::as_f64)
         .ok_or_else(|| format!("missing or invalid `{key}`"))
 }
 
-fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+pub(crate) fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
     v.get(key)
         .and_then(Value::as_str)
         .ok_or_else(|| format!("missing or invalid `{key}`"))
@@ -785,7 +785,7 @@ impl Response {
     }
 }
 
-fn tagged_entry(t: SimTime, inner: Value) -> Value {
+pub(crate) fn tagged_entry(t: SimTime, inner: Value) -> Value {
     let mut members = vec![("t".into(), millis(t))];
     if let Value::Obj(m) = inner {
         members.extend(m);
@@ -793,7 +793,7 @@ fn tagged_entry(t: SimTime, inner: Value) -> Value {
     Value::Obj(members)
 }
 
-fn entry_time(v: &Value) -> Result<SimTime, String> {
+pub(crate) fn entry_time(v: &Value) -> Result<SimTime, String> {
     Ok(SimTime::from_millis(u64_field(v, "t")?))
 }
 
@@ -812,6 +812,21 @@ fn encode_entries(entries: impl Iterator<Item = Value>) -> String {
 /// through [`decode_session`].
 pub fn encode_session(session: &[(SimTime, Request)]) -> String {
     encode_entries(session.iter().map(|(t, r)| tagged_entry(*t, r.to_value())))
+}
+
+/// Encodes one `(service time, request)` pair as a single JSON object —
+/// exactly the per-line entry of [`encode_session`]. This is the payload
+/// format of the write-ahead log ([`crate::wal`]): a durable session is
+/// one such entry per record, and concatenating the decoded entries
+/// reproduces the [`encode_session`] transcript bit-identically.
+pub fn encode_session_entry(t: SimTime, request: &Request) -> String {
+    tagged_entry(t, request.to_value()).to_json()
+}
+
+/// Decodes a single session entry produced by [`encode_session_entry`].
+pub fn decode_session_entry(text: &str) -> Result<(SimTime, Request), String> {
+    let value = json::parse(text)?;
+    Ok((entry_time(&value)?, Request::from_value(&value)?))
 }
 
 /// Decodes a session produced by [`encode_session`].
@@ -836,7 +851,7 @@ pub fn decode_responses(text: &str) -> Result<Vec<Response>, String> {
     items.iter().map(Response::from_value).collect()
 }
 
-fn log_event_to_value(e: &LogEvent) -> Value {
+pub(crate) fn log_event_to_value(e: &LogEvent) -> Value {
     let mut m: Vec<(String, Value)> = Vec::with_capacity(4);
     let mut tag = |name: &str| m.push(("event".into(), Value::Str(name.into())));
     match e {
@@ -894,7 +909,7 @@ fn log_event_to_value(e: &LogEvent) -> Value {
     Value::Obj(m)
 }
 
-fn log_event_from_value(v: &Value) -> Result<LogEvent, String> {
+pub(crate) fn log_event_from_value(v: &Value) -> Result<LogEvent, String> {
     let bot = || Ok::<BotId, String>(BotId(u64_field(v, "bot")?));
     match str_field(v, "event")? {
         "register_qos" => Ok(LogEvent::RegisterQos {

@@ -26,16 +26,16 @@ pub enum CloudAction {
 }
 
 #[derive(Clone, Copy, Debug, Default)]
-struct BotSchedState {
+pub(crate) struct BotSchedState {
     /// The trigger fired and the fleet was sized; the paper's strategies
     /// size the cloud fleet once.
-    cloud_started: bool,
+    pub(crate) cloud_started: bool,
 }
 
 /// The Scheduler module.
 #[derive(Clone, Debug, Default)]
 pub struct Scheduler {
-    state: HashMap<u64, BotSchedState>,
+    pub(crate) state: HashMap<u64, BotSchedState>,
     /// Allow re-provisioning on later ticks if workers stopped while
     /// credits remain (off by default: the paper sizes the fleet once;
     /// used by ablation experiments).
@@ -171,6 +171,15 @@ impl SchedulingPolicy for Scheduler {
     fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
         Box::new(self.clone())
     }
+
+    fn snapshot_state(&self) -> Option<simcore::json::Value> {
+        Some(crate::snapshot::scheduler_to_value(self))
+    }
+
+    fn restore_state(&mut self, state: &simcore::json::Value) -> Result<(), String> {
+        *self = crate::snapshot::scheduler_from_value(state)?;
+        Ok(())
+    }
 }
 
 /// A deadline-aware [`SchedulingPolicy`] the paper never evaluated —
@@ -202,7 +211,7 @@ pub struct GreedyUntilTc {
     /// Target completion time, measured from each BoT's submission.
     pub target: SimDuration,
     /// BoTs for which at least one `Start` was issued.
-    started: HashSet<u64>,
+    pub(crate) started: HashSet<u64>,
 }
 
 impl GreedyUntilTc {
@@ -291,6 +300,15 @@ impl SchedulingPolicy for GreedyUntilTc {
 
     fn clone_box(&self) -> Box<dyn SchedulingPolicy> {
         Box::new(self.clone())
+    }
+
+    fn snapshot_state(&self) -> Option<simcore::json::Value> {
+        Some(crate::snapshot::greedy_to_value(self))
+    }
+
+    fn restore_state(&mut self, state: &simcore::json::Value) -> Result<(), String> {
+        *self = crate::snapshot::greedy_from_value(state)?;
+        Ok(())
     }
 }
 

@@ -141,33 +141,33 @@ pub enum LogEvent {
 pub struct SpeQuloS {
     /// Information module (monitoring + archive), behind the
     /// [`InfoBackend`] seam. Default: the in-memory [`Information`] store.
-    info: Box<dyn InfoBackend>,
+    pub(crate) info: Box<dyn InfoBackend>,
     /// Credit System module (accounts + orders).
     pub credits: CreditSystem,
     /// Oracle module (prediction + strategies), behind the
     /// [`OracleStrategy`] seam. Default: the paper's [`Oracle`].
-    oracle: Box<dyn OracleStrategy>,
+    pub(crate) oracle: Box<dyn OracleStrategy>,
     /// Scheduler module, behind the [`SchedulingPolicy`] seam. Default:
     /// the paper's [`Scheduler`] (Algorithms 1 & 2).
-    scheduler: Box<dyn SchedulingPolicy>,
+    pub(crate) scheduler: Box<dyn SchedulingPolicy>,
     /// Network-of-favors ledger (§3.3): the arbiter's tie-breaker. The
     /// service records cloud consumption here at `pay` time; donations are
     /// recorded by the operator (or harness) for peers that contribute
     /// computation to others.
     pub favors: FavorLedger,
     /// Strategy used when a protocol `OrderQos` request names none.
-    default_strategy: StrategyCombo,
+    pub(crate) default_strategy: StrategyCombo,
     /// Clock granularity: the monitoring/billing period assumed by the
     /// wire protocol's `ReportProgress` requests.
-    tick: SimDuration,
-    strategies: HashMap<u64, StrategyCombo>,
-    users: HashMap<u64, UserId>,
-    next_bot: u64,
-    log: Vec<(SimTime, LogEvent)>,
+    pub(crate) tick: SimDuration,
+    pub(crate) strategies: HashMap<u64, StrategyCombo>,
+    pub(crate) users: HashMap<u64, UserId>,
+    pub(crate) next_bot: u64,
+    pub(crate) log: Vec<(SimTime, LogEvent)>,
     /// Shared cloud-worker pool; `None` (the default) disables arbitration
     /// entirely and preserves single-tenant behaviour bit-for-bit.
-    pool: Option<CloudPool>,
-    tenants: HashMap<u64, TenantMetrics>,
+    pub(crate) pool: Option<CloudPool>,
+    pub(crate) tenants: HashMap<u64, TenantMetrics>,
 }
 
 impl Default for SpeQuloS {

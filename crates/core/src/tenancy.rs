@@ -37,9 +37,9 @@ use std::collections::HashMap;
 /// within the configured bound at all times.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CloudPool {
-    capacity: u32,
-    leases: HashMap<u64, u32>,
-    peak_in_use: u32,
+    pub(crate) capacity: u32,
+    pub(crate) leases: HashMap<u64, u32>,
+    pub(crate) peak_in_use: u32,
 }
 
 impl CloudPool {

@@ -1,0 +1,761 @@
+//! Write-ahead log and snapshot store: durable, replayable service state.
+//!
+//! The protocol layer ([`crate::protocol`]) already makes the service a
+//! deterministic function of its request transcript — `replay` of the
+//! same `(time, request)` sequence reproduces the same state, bit for
+//! bit. Durability therefore reduces to persisting that transcript: the
+//! [`WalStore`] appends every request to a checksummed log *before* it
+//! is dispatched, and periodically writes a full-state snapshot
+//! ([`crate::snapshot`]) so recovery replays only the log tail.
+//!
+//! # On-disk layout
+//!
+//! A WAL directory holds one log plus at most two snapshots:
+//!
+//! ```text
+//! wal-dir/
+//!   wal.log          append-only record stream
+//!   snap-1500.json   state after applying the first 1500 records
+//!   snap-3000.json   newer snapshot (older ones are pruned)
+//! ```
+//!
+//! Each log record is length-prefixed and checksummed:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where the payload is the single-line JSON session entry of
+//! [`crate::protocol::encode_session_entry`] — the same bytes the
+//! transcript tooling already reads and writes. A snapshot file is
+//! `{"format":1,"applied":N,"state":{...}}` with `state` produced by
+//! [`crate::snapshot::encode_state`]; it is written to a temp file,
+//! fsynced, renamed into place, and the directory fsynced, so a crash
+//! mid-snapshot never damages an existing one.
+//!
+//! # Crash semantics
+//!
+//! [`WalStore::open`] scans the log sequentially, validating framing and
+//! checksums. A damaged record whose extent reaches end-of-file is a
+//! *torn write* — the tail a crash cut short — and is truncated away;
+//! this is safe because with [`FsyncPolicy::Always`] a request is only
+//! acknowledged after its record is durable, so a torn record was never
+//! acknowledged. A damaged record *followed by more data* cannot be a
+//! torn write and surfaces as a typed [`WalError::Corrupt`]; recovery
+//! never guesses, never panics, and never silently diverges — the
+//! records it yields are always an exact prefix of the records that
+//! were appended.
+//!
+//! Snapshots are advisory: an unreadable, malformed, or
+//! ahead-of-the-log snapshot is skipped (falling back to the previous
+//! snapshot, then to full replay from genesis), because the log alone
+//! is sufficient for exact recovery. The one hard error is a
+//! configuration mismatch between the snapshot and the restore
+//! template — replaying a log against a differently-configured service
+//! *would* diverge, so that is refused.
+
+use crate::protocol::{decode_session_entry, encode_session_entry, Request, SpqService};
+use crate::service::SpeQuloS;
+use crate::snapshot::{encode_state, restore_state, SnapshotError, SNAPSHOT_FORMAT};
+use simcore::json::{self, Value};
+use simcore::SimTime;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, ErrorKind, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the append-only record stream inside a WAL directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Upper bound on a single record's payload; a length prefix beyond this
+/// is corruption, not a real record.
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".json";
+
+/// When appends are flushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — an acknowledged request is durable.
+    /// This is the default and the only policy with crash guarantees.
+    Always,
+    /// No `fsync`; the OS flushes when it pleases. Only for measuring
+    /// append overhead and for tests — a crash may lose acknowledged
+    /// requests (recovery still yields an exact *prefix*, never garbage).
+    Never,
+}
+
+/// Why a WAL operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The log holds bytes that cannot be a torn write: a damaged record
+    /// with more data after it, an oversized length prefix, or a
+    /// checksum-valid payload that does not decode.
+    Corrupt {
+        /// Byte offset of the damaged record's header.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Snapshot encode/restore failed in a way recovery must not paper
+    /// over (currently: configuration mismatch with the template).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::Corrupt { offset, reason } => {
+                write!(f, "wal corrupt at byte {offset}: {reason}")
+            }
+            WalError::Snapshot(e) => write!(f, "wal snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WalError {
+    fn from(e: SnapshotError) -> Self {
+        WalError::Snapshot(e)
+    }
+}
+
+/// What [`WalStore::open`] found on disk: the decoded record stream plus
+/// the newest usable snapshot. Feed it to [`Recovery::recover`] to
+/// rebuild the service.
+#[derive(Debug)]
+pub struct Recovery {
+    records: Vec<(SimTime, Request)>,
+    snapshot: Option<(u64, Value)>,
+    truncated_bytes: u64,
+    snapshots_discarded: u32,
+}
+
+impl Recovery {
+    /// The validated records in append order — always an exact prefix of
+    /// what was appended.
+    pub fn records(&self) -> &[(SimTime, Request)] {
+        &self.records
+    }
+
+    /// `applied` count of the snapshot recovery will restore from, if any.
+    pub fn snapshot_applied(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(|(applied, _)| *applied)
+    }
+
+    /// Bytes of torn tail dropped when the log was opened.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Rebuilds the service: restore the snapshot into `template` (a
+    /// service assembled with the same builder configuration as the one
+    /// that wrote the WAL), then replay the log tail through
+    /// [`SpqService::handle`]. With no usable snapshot — including one
+    /// whose module state fails to restore — the full log is replayed
+    /// from genesis, which is equally exact. A snapshot/template
+    /// configuration mismatch is a hard [`WalError::Snapshot`] error:
+    /// replaying against the wrong configuration would silently diverge.
+    pub fn recover(&self, template: SpeQuloS) -> Result<(SpeQuloS, RecoveryReport), WalError> {
+        let mut snapshots_discarded = self.snapshots_discarded;
+        if let Some((applied, state)) = &self.snapshot {
+            match restore_state(template.clone(), state) {
+                Ok(mut service) => {
+                    let tail = &self.records[*applied as usize..];
+                    for (t, request) in tail {
+                        service.handle(request.clone(), *t);
+                    }
+                    return Ok((
+                        service,
+                        RecoveryReport {
+                            snapshot_applied: *applied,
+                            replayed: tail.len() as u64,
+                            truncated_bytes: self.truncated_bytes,
+                            snapshots_discarded,
+                        },
+                    ));
+                }
+                Err(e @ SnapshotError::ConfigMismatch(_)) => {
+                    return Err(WalError::Snapshot(e));
+                }
+                // Undecodable snapshot state or a module that cannot
+                // restore: the log is authoritative, replay it all.
+                Err(_) => snapshots_discarded += 1,
+            }
+        }
+        let mut service = template;
+        for (t, request) in &self.records {
+            service.handle(request.clone(), *t);
+        }
+        Ok((
+            service,
+            RecoveryReport {
+                snapshot_applied: 0,
+                replayed: self.records.len() as u64,
+                truncated_bytes: self.truncated_bytes,
+                snapshots_discarded,
+            },
+        ))
+    }
+}
+
+/// How a recovery went: where state came from and what was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records restored via snapshot (0 when the full log was replayed).
+    pub snapshot_applied: u64,
+    /// Records replayed through the service after the snapshot point.
+    pub replayed: u64,
+    /// Torn-tail bytes truncated from the log at open.
+    pub truncated_bytes: u64,
+    /// Snapshot files that were present but unusable.
+    pub snapshots_discarded: u32,
+}
+
+/// An open write-ahead log: appends records, takes snapshots, prunes old
+/// ones. Obtained from [`WalStore::open`] together with the [`Recovery`]
+/// describing what was already on disk.
+#[derive(Debug)]
+pub struct WalStore {
+    dir: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    records: u64,
+    snapshot_applied: u64,
+}
+
+impl WalStore {
+    /// Opens (creating if necessary) the WAL in `dir`, scans and
+    /// validates the existing log, truncates any torn tail, and selects
+    /// the newest usable snapshot. Returns the store positioned for
+    /// appending plus the [`Recovery`] needed to rebuild the service.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<(WalStore, Recovery), WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let scan = scan_log(&file)?;
+        let mut file = file;
+        if scan.truncated_bytes > 0 {
+            file.set_len(scan.valid_bytes)?;
+            if policy == FsyncPolicy::Always {
+                file.sync_data()?;
+            }
+        }
+        file.seek(SeekFrom::Start(scan.valid_bytes))?;
+
+        let (snapshot, snapshots_discarded) = select_snapshot(&dir, scan.records.len() as u64)?;
+        let snapshot_applied = snapshot.as_ref().map(|(a, _)| *a).unwrap_or(0);
+        let records = scan.records.len() as u64;
+        Ok((
+            WalStore {
+                dir,
+                file,
+                policy,
+                records,
+                snapshot_applied,
+            },
+            Recovery {
+                records: scan.records,
+                snapshot,
+                truncated_bytes: scan.truncated_bytes,
+                snapshots_discarded,
+            },
+        ))
+    }
+
+    /// Appends one request. With [`FsyncPolicy::Always`] the record is
+    /// on stable storage when this returns — only then may the request
+    /// be dispatched and acknowledged. Returns the new record count.
+    pub fn append(&mut self, at: SimTime, request: &Request) -> Result<u64, WalError> {
+        let payload = encode_session_entry(at, request);
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .ok()
+            .filter(|&l| l <= MAX_RECORD_BYTES)
+            .ok_or_else(|| WalError::Corrupt {
+                offset: 0,
+                reason: format!("record payload of {} bytes exceeds maximum", bytes.len()),
+            })?;
+        let mut frame = Vec::with_capacity(8 + bytes.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+        frame.extend_from_slice(bytes);
+        self.file.write_all(&frame)?;
+        if self.policy == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        self.records += 1;
+        Ok(self.records)
+    }
+
+    /// Writes a snapshot of `service` — which must reflect exactly the
+    /// requests appended so far — and prunes all but the two newest
+    /// snapshots. The write is atomic (temp file + fsync + rename + dir
+    /// fsync): a crash at any point leaves the previous snapshots intact.
+    pub fn snapshot(&mut self, service: &SpeQuloS) -> Result<(), WalError> {
+        let state = encode_state(service)?;
+        let doc = Value::Obj(vec![
+            ("format".into(), Value::Num(SNAPSHOT_FORMAT as f64)),
+            ("applied".into(), Value::Num(self.records as f64)),
+            ("state".into(), state),
+        ]);
+        let final_path = self
+            .dir
+            .join(format!("{SNAP_PREFIX}{}{SNAP_SUFFIX}", self.records));
+        let tmp_path = self
+            .dir
+            .join(format!("{SNAP_PREFIX}{}{SNAP_SUFFIX}.tmp", self.records));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(doc.to_json().as_bytes())?;
+            tmp.write_all(b"\n")?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        self.snapshot_applied = self.records;
+        self.prune_snapshots()?;
+        Ok(())
+    }
+
+    /// Records currently in the log.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// `applied` count of the newest snapshot on disk (0 if none).
+    pub fn snapshot_applied(&self) -> u64 {
+        self.snapshot_applied
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn prune_snapshots(&self) -> Result<(), WalError> {
+        let mut counts = snapshot_counts(&self.dir)?;
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        for &applied in counts.iter().skip(2) {
+            let _ = fs::remove_file(
+                self.dir
+                    .join(format!("{SNAP_PREFIX}{applied}{SNAP_SUFFIX}")),
+            );
+        }
+        Ok(())
+    }
+}
+
+struct LogScan {
+    records: Vec<(SimTime, Request)>,
+    valid_bytes: u64,
+    truncated_bytes: u64,
+}
+
+/// Sequentially validates the log. Returns the decoded record prefix,
+/// how many bytes of it are well-formed, and how many torn-tail bytes
+/// follow. Mid-file damage is [`WalError::Corrupt`].
+fn scan_log(file: &File) -> Result<LogScan, WalError> {
+    let file_len = file.metadata()?.len();
+    let mut reader = BufReader::new(file.try_clone()?);
+    reader.seek(SeekFrom::Start(0))?;
+    let mut records = Vec::new();
+    let mut offset: u64 = 0;
+    loop {
+        let mut header = [0u8; 8];
+        match read_exact_or_eof(&mut reader, &mut header)? {
+            Fill::Empty => break, // clean end of log
+            Fill::Partial => return Ok(torn(records, offset, file_len)),
+            Fill::Full => {}
+        }
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        let extent = 8 + len as u64;
+        if len > MAX_RECORD_BYTES {
+            // A crash leaves a *prefix* of true bytes, which can only
+            // shorten a record — an oversized length was never written.
+            return Err(WalError::Corrupt {
+                offset,
+                reason: format!("record length {len} exceeds maximum {MAX_RECORD_BYTES}"),
+            });
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut reader, &mut payload)? {
+            Fill::Full => {}
+            Fill::Empty | Fill::Partial => return Ok(torn(records, offset, file_len)),
+        }
+        if crc32(&payload) != crc {
+            if offset + extent >= file_len {
+                // Damaged *last* record: a torn write, drop it.
+                return Ok(torn(records, offset, file_len));
+            }
+            return Err(WalError::Corrupt {
+                offset,
+                reason: "checksum mismatch with records following".into(),
+            });
+        }
+        let text = std::str::from_utf8(&payload).map_err(|_| WalError::Corrupt {
+            offset,
+            reason: "checksum-valid payload is not UTF-8".into(),
+        })?;
+        let (t, request) = decode_session_entry(text).map_err(|e| WalError::Corrupt {
+            offset,
+            reason: format!("checksum-valid payload does not decode: {e}"),
+        })?;
+        records.push((t, request));
+        offset += extent;
+    }
+    Ok(LogScan {
+        records,
+        valid_bytes: offset,
+        truncated_bytes: 0,
+    })
+}
+
+fn torn(records: Vec<(SimTime, Request)>, valid_bytes: u64, file_len: u64) -> LogScan {
+    LogScan {
+        records,
+        valid_bytes,
+        truncated_bytes: file_len.saturating_sub(valid_bytes),
+    }
+}
+
+enum Fill {
+    Full,
+    Partial,
+    Empty,
+}
+
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, WalError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::Empty
+                } else {
+                    Fill::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// All `snap-<N>.json` applied-counts present in `dir`.
+fn snapshot_counts(dir: &Path) -> Result<Vec<u64>, WalError> {
+    let mut counts = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix(SNAP_PREFIX)
+            .and_then(|rest| rest.strip_suffix(SNAP_SUFFIX))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            counts.push(n);
+        }
+    }
+    Ok(counts)
+}
+
+/// Picks the newest snapshot that parses, matches the format version,
+/// agrees with its filename, and does not claim more records than the
+/// log holds. Unusable candidates are counted, not fatal — the log can
+/// always be replayed from genesis.
+fn select_snapshot(dir: &Path, records: u64) -> Result<(Option<(u64, Value)>, u32), WalError> {
+    let mut counts = snapshot_counts(dir)?;
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let mut discarded = 0u32;
+    for applied in counts {
+        let path = dir.join(format!("{SNAP_PREFIX}{applied}{SNAP_SUFFIX}"));
+        match load_snapshot(&path, applied, records) {
+            Some(state) => return Ok((Some((applied, state)), discarded)),
+            None => discarded += 1,
+        }
+    }
+    Ok((None, discarded))
+}
+
+fn load_snapshot(path: &Path, applied: u64, records: u64) -> Option<Value> {
+    if applied > records {
+        return None; // claims requests the log does not hold
+    }
+    let text = fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    if doc.get("format")?.as_u64()? != SNAPSHOT_FORMAT {
+        return None;
+    }
+    if doc.get("applied")?.as_u64()? != applied {
+        return None;
+    }
+    // `Value::get` borrows; clone just the state subtree.
+    Some(doc.get("state")?.clone())
+}
+
+fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    // Durable rename: fsync the directory so the new entry is on disk.
+    // Not all filesystems support opening a directory; best-effort there.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the same checksum gzip
+/// and PNG use, implemented table-driven to avoid a dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UserId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("spq-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_requests(n: u64) -> Vec<(SimTime, Request)> {
+        (0..n)
+            .map(|i| {
+                (
+                    SimTime::from_secs(i),
+                    Request::Deposit {
+                        user: UserId(i % 5),
+                        credits: 10.0 + i as f64,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let requests = sample_requests(10);
+        {
+            let (mut wal, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            assert!(recovery.records().is_empty());
+            for (t, r) in &requests {
+                wal.append(*t, r).unwrap();
+            }
+            assert_eq!(wal.record_count(), 10);
+        }
+        let (wal, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(wal.record_count(), 10);
+        assert_eq!(recovery.records(), &requests[..]);
+        assert_eq!(recovery.truncated_bytes(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_a_prefix() {
+        let dir = temp_dir("torn");
+        let requests = sample_requests(5);
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            for (t, r) in &requests {
+                wal.append(*t, r).unwrap();
+            }
+        }
+        let path = dir.join(WAL_FILE);
+        let full = fs::read(&path).unwrap();
+        // Cut the log at every possible byte: recovery must always yield
+        // an exact prefix of the appended records, never an error.
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+            let n = recovery.records().len();
+            assert!(n <= 5, "cut at {cut} yielded {n} records");
+            assert_eq!(recovery.records(), &requests[..n], "cut at {cut}");
+            // After open, the torn tail is gone from disk.
+            let (_, reread) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+            assert_eq!(reread.records().len(), n);
+            assert_eq!(reread.truncated_bytes(), 0);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_typed_error() {
+        let dir = temp_dir("corrupt");
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            for (t, r) in &sample_requests(5) {
+                wal.append(*t, r).unwrap();
+            }
+        }
+        let path = dir.join(WAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload bit in the FIRST record: damage with records
+        // following cannot be a torn write.
+        bytes[10] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match WalStore::open(&dir, FsyncPolicy::Never) {
+            Err(WalError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_recovers_exactly() {
+        let dir = temp_dir("snap");
+        let mut golden = SpeQuloS::new();
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            for (i, (t, r)) in sample_requests(20).iter().enumerate() {
+                wal.append(*t, r).unwrap();
+                golden.handle(r.clone(), *t);
+                if i == 11 {
+                    wal.snapshot(&golden).unwrap();
+                }
+            }
+        }
+        let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovery.snapshot_applied(), Some(12));
+        let (recovered, report) = recovery.recover(SpeQuloS::new()).unwrap();
+        assert_eq!(report.snapshot_applied, 12);
+        assert_eq!(report.replayed, 8);
+        assert_eq!(
+            encode_state(&recovered).unwrap().to_json(),
+            encode_state(&golden).unwrap().to_json(),
+            "snapshot + tail replay must equal the uninterrupted run"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ahead_of_log_falls_back_to_full_replay() {
+        let dir = temp_dir("ahead");
+        let mut golden = SpeQuloS::new();
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            for (t, r) in &sample_requests(6) {
+                wal.append(*t, r).unwrap();
+                golden.handle(r.clone(), *t);
+            }
+            wal.snapshot(&golden).unwrap();
+        }
+        // Truncate the log to 3 records: the snap-6 snapshot now claims
+        // requests the log does not hold and must be skipped.
+        let path = dir.join(WAL_FILE);
+        let full = fs::read(&path).unwrap();
+        let third = full.len() / 2; // an arbitrary earlier cut
+        fs::write(&path, &full[..third]).unwrap();
+        let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovery.snapshot_applied(), None);
+        let n = recovery.records().len();
+        let (recovered, report) = recovery.recover(SpeQuloS::new()).unwrap();
+        assert_eq!(report.snapshot_applied, 0);
+        assert_eq!(report.replayed, n as u64);
+        let mut partial = SpeQuloS::new();
+        for (t, r) in recovery.records() {
+            partial.handle(r.clone(), *t);
+        }
+        assert_eq!(
+            encode_state(&recovered).unwrap().to_json(),
+            encode_state(&partial).unwrap().to_json(),
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn old_snapshots_are_pruned_to_two() {
+        let dir = temp_dir("prune");
+        let mut service = SpeQuloS::new();
+        let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        for (t, r) in &sample_requests(9) {
+            wal.append(*t, r).unwrap();
+            service.handle(r.clone(), *t);
+            wal.snapshot(&service).unwrap();
+        }
+        let mut counts = snapshot_counts(&dir).unwrap();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![8, 9]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_on_recover_is_a_hard_error() {
+        let dir = temp_dir("mismatch");
+        let mut golden = SpeQuloS::builder().pool(4).build();
+        {
+            let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+            for (t, r) in &sample_requests(3) {
+                wal.append(*t, r).unwrap();
+                golden.handle(r.clone(), *t);
+            }
+            wal.snapshot(&golden).unwrap();
+        }
+        let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        // Template without a pool: replay against it would diverge.
+        match recovery.recover(SpeQuloS::new()) {
+            Err(WalError::Snapshot(SnapshotError::ConfigMismatch(_))) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -47,8 +47,8 @@
 //!   loopback.
 
 use crate::runner::{
-    metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SharedService, SharedSpqHook,
-    SpqHook, TenantOutcome,
+    metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SessionRecorder, SessionSink,
+    SharedService, SharedSpqHook, SpqHook, TenantOutcome,
 };
 use crate::scenario::{MultiTenantScenario, Scenario, TenantArrivals};
 use botwork::{generate, Bot, BotId};
@@ -88,6 +88,7 @@ pub struct Experiment {
     arrivals: TenantArrivals,
     service: Option<SpeQuloS>,
     transport: Transport,
+    record: Option<SessionSink>,
 }
 
 /// What an [`Experiment::run`] produced, tagged by run mode.
@@ -184,6 +185,7 @@ impl Experiment {
             arrivals: TenantArrivals::Simultaneous,
             service: None,
             transport: Transport::InProcess,
+            record: None,
         }
     }
 
@@ -269,6 +271,18 @@ impl Experiment {
         self
     }
 
+    /// Records every protocol request the run sends — with its simulated
+    /// timestamp, in service arrival order — into `sink`, by wrapping
+    /// each endpoint in a [`SessionRecorder`]. The recorded transcript
+    /// replayed through a fresh service of the same configuration
+    /// rebuilds the final state bit-for-bit (the WAL-replay determinism
+    /// leg pins this), which is what makes the write-ahead log in
+    /// `spequlos::wal` a complete durability story.
+    pub fn record_into(mut self, sink: SessionSink) -> Self {
+        self.record = Some(sink);
+        self
+    }
+
     /// Executes the experiment in its configured mode.
     pub fn run(self) -> Outcome {
         if self.tenants.is_some() {
@@ -334,13 +348,31 @@ impl Experiment {
             None => Self::service_for(&self.scenario, self.pool),
         };
         match self.transport {
-            Transport::InProcess => Self::drive_qos(&self.scenario, service),
+            Transport::InProcess => match self.record {
+                Some(sink) => {
+                    let (metrics, recorder) =
+                        Self::drive_qos(&self.scenario, SessionRecorder::new(service, sink));
+                    (metrics, recorder.into_inner())
+                }
+                None => Self::drive_qos(&self.scenario, service),
+            },
             Transport::Loopback => {
                 let handle = Server::spawn_loopback(service).expect("bind loopback server");
                 let remote =
                     RemoteService::connect(handle.addr()).expect("connect to loopback server");
-                let (metrics, remote) = Self::drive_qos(&self.scenario, remote);
-                drop(remote);
+                let metrics = match self.record {
+                    Some(sink) => {
+                        let (metrics, recorder) =
+                            Self::drive_qos(&self.scenario, SessionRecorder::new(remote, sink));
+                        drop(recorder);
+                        metrics
+                    }
+                    None => {
+                        let (metrics, remote) = Self::drive_qos(&self.scenario, remote);
+                        drop(remote);
+                        metrics
+                    }
+                };
                 (metrics, handle.into_service())
             }
         }
@@ -442,10 +474,23 @@ impl Experiment {
         match self.transport {
             Transport::InProcess => {
                 let shared = SharedService::new(service);
-                let mut admin = shared.clone();
-                let (runs, meta) =
-                    Self::drive_multi_tenant(&mt, strategy, &mut admin, |_| shared.clone());
-                drop(admin);
+                let (runs, meta) = match self.record {
+                    Some(sink) => {
+                        let mut admin = SessionRecorder::new(shared.clone(), sink.clone());
+                        let out = Self::drive_multi_tenant(&mt, strategy, &mut admin, |_| {
+                            SessionRecorder::new(shared.clone(), sink.clone())
+                        });
+                        drop(admin);
+                        out
+                    }
+                    None => {
+                        let mut admin = shared.clone();
+                        let out =
+                            Self::drive_multi_tenant(&mt, strategy, &mut admin, |_| shared.clone());
+                        drop(admin);
+                        out
+                    }
+                };
                 let service = shared
                     .into_inner()
                     .unwrap_or_else(|_| panic!("all tenant endpoints dropped with their sims"));
@@ -453,13 +498,34 @@ impl Experiment {
             }
             Transport::Loopback => {
                 let handle = Server::spawn_loopback(service).expect("bind loopback server");
-                let mut admin =
-                    RemoteService::connect(handle.addr()).expect("connect to loopback server");
-                let (runs, meta) = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
-                    RemoteService::connect(handle.addr())
-                        .unwrap_or_else(|e| panic!("connect tenant {i}: {e}"))
-                });
-                drop(admin);
+                let (runs, meta) = match self.record {
+                    Some(sink) => {
+                        let mut admin = SessionRecorder::new(
+                            RemoteService::connect(handle.addr())
+                                .expect("connect to loopback server"),
+                            sink.clone(),
+                        );
+                        let out = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
+                            SessionRecorder::new(
+                                RemoteService::connect(handle.addr())
+                                    .unwrap_or_else(|e| panic!("connect tenant {i}: {e}")),
+                                sink.clone(),
+                            )
+                        });
+                        drop(admin);
+                        out
+                    }
+                    None => {
+                        let mut admin = RemoteService::connect(handle.addr())
+                            .expect("connect to loopback server");
+                        let out = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
+                            RemoteService::connect(handle.addr())
+                                .unwrap_or_else(|e| panic!("connect tenant {i}: {e}"))
+                        });
+                        drop(admin);
+                        out
+                    }
+                };
                 Self::assemble_report(&mt, runs, meta, handle.into_service())
             }
         }

@@ -51,8 +51,8 @@ pub use experiment::{Experiment, Outcome, Transport};
 pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
 pub use report::{pct, secs, write_file, Table};
 pub use runner::{
-    bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SharedService, SharedSpqHook, SpqHook,
-    TenantOutcome,
+    bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SessionRecorder, SessionSink,
+    SharedService, SharedSpqHook, SpqHook, TenantOutcome,
 };
 pub use scenario::{deployment_of, MultiTenantScenario, MwKind, Scenario, TenantArrivals};
 pub use sweep::parallel_map;

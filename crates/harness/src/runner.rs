@@ -171,6 +171,50 @@ impl SpqService for SharedService {
     }
 }
 
+/// Shared transcript sink for [`SessionRecorder`]: the `(service time,
+/// request)` pairs in exact service-arrival order. `Arc<Mutex<…>>`
+/// rather than `Rc` so experiments carrying a sink stay `Send` for the
+/// sweep runner.
+pub type SessionSink = std::sync::Arc<std::sync::Mutex<Vec<(SimTime, Request)>>>;
+
+/// An endpoint wrapper that records every request it forwards — the seam
+/// the durability tests use to capture a full experiment transcript and
+/// feed it through the write-ahead log
+/// ([`spequlos::wal`]).
+///
+/// All endpoints of one run share a single [`SessionSink`]; because the
+/// simulator drives tenants on one thread (and remote endpoints answer
+/// one request per call), the recording order *is* the order the service
+/// observed — replaying the sink into an identically configured fresh
+/// service reproduces the final state bit-for-bit.
+#[derive(Debug)]
+pub struct SessionRecorder<S> {
+    inner: S,
+    sink: SessionSink,
+}
+
+impl<S> SessionRecorder<S> {
+    /// Wraps `inner`, recording into `sink` (shared across endpoints).
+    pub fn new(inner: S, sink: SessionSink) -> Self {
+        SessionRecorder { inner, sink }
+    }
+
+    /// Unwraps the endpoint, leaving the transcript in the sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SpqService> SpqService for SessionRecorder<S> {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        self.sink
+            .lock()
+            .expect("session sink poisoned")
+            .push((now, request.clone()));
+        self.inner.handle(request, now)
+    }
+}
+
 /// Everything measured about one executed scenario.
 #[derive(Clone, Debug)]
 pub struct ExecutionMetrics {

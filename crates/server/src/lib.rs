@@ -24,6 +24,14 @@
 //!   session threads, FIFO per connection, backpressure by blocking), and
 //!   the [`RemoteService`] client.
 //!
+//! A fourth concern, durability, composes with the dispatch loop rather
+//! than adding a layer: [`Server::spawn_durable`] appends every request
+//! to a write-ahead log ([`spequlos::wal`]) and fsyncs *before*
+//! dispatching it, snapshots the full service state periodically, and on
+//! startup recovers snapshot + log tail through the ordinary
+//! `SpqService::handle` path — an acknowledged request survives a
+//! `SIGKILL` of the whole process (see `tests/crash_recovery.rs`).
+//!
 //! ```no_run
 //! use simcore::SimTime;
 //! use spequlos::protocol::{Request, Response, SpqService};
@@ -53,5 +61,7 @@ pub mod wire;
 
 pub use client::RemoteService;
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use server::{RequestObserver, Server, ServerConfig, ServerHandle};
+pub use server::{
+    DurabilityConfig, DurableError, RequestObserver, Server, ServerConfig, ServerHandle,
+};
 pub use wire::{RequestEnvelope, ResponseEnvelope};

@@ -27,9 +27,11 @@
 use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 use crate::wire::{peek_id, RequestEnvelope, ResponseEnvelope};
 use spequlos::protocol::{RequestError, Response, SpqService};
+use spequlos::wal::{FsyncPolicy, RecoveryReport, WalError, WalStore};
 use spequlos::SpeQuloS;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -53,6 +55,72 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
         }
     }
+}
+
+/// Durability knobs for [`Server::spawn_durable`].
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the write-ahead log and snapshots (created if
+    /// missing; reuse the same directory across restarts to recover).
+    pub dir: PathBuf,
+    /// When appends reach stable storage. [`FsyncPolicy::Always`] is the
+    /// only setting under which an acknowledged request survives a crash.
+    pub fsync: FsyncPolicy,
+    /// Take a full-state snapshot every this many appended requests
+    /// (0 disables snapshots; recovery then replays the whole log).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durable defaults for `dir`: fsync on every append, snapshot every
+    /// 4096 requests.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 4096,
+        }
+    }
+}
+
+/// Why a durable server failed to start.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The write-ahead log could not be opened or recovery failed
+    /// (corruption mid-log, snapshot/template configuration mismatch).
+    Wal(WalError),
+    /// Binding the listener failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "durable server: {e}"),
+            DurableError::Io(e) => write!(f, "durable server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// Runtime durability state owned by the dispatch loop.
+struct DurableState {
+    wal: WalStore,
+    snapshot_every: u64,
+    since_snapshot: u64,
 }
 
 /// One queued request: where it came from is irrelevant to the dispatch
@@ -91,7 +159,42 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
-        Self::spawn_inner(service, addr, config, None)
+        Self::spawn_inner(service, addr, config, None, None)
+    }
+
+    /// Binds `addr` and serves a *durable* service: every request is
+    /// appended to the write-ahead log in `durability.dir` — and, under
+    /// [`FsyncPolicy::Always`], fsynced — *before* it is dispatched, so
+    /// an acknowledged request survives a crash of the whole process.
+    ///
+    /// If the directory already holds state from a previous run, it is
+    /// recovered first — newest usable snapshot plus log-tail replay
+    /// through the ordinary request path — and `template` must be a
+    /// service assembled with the same builder configuration as the one
+    /// that wrote it. The returned [`RecoveryReport`] says where the
+    /// state came from.
+    ///
+    /// A failed append is answered with a typed
+    /// [`RequestError::Transport`] error and the request is *not*
+    /// dispatched: the client knows durability was not achieved, and the
+    /// on-disk log never lags the in-memory state. Snapshot failures are
+    /// non-fatal (the log alone recovers exactly); they only cost
+    /// recovery time.
+    pub fn spawn_durable(
+        template: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(ServerHandle, RecoveryReport), DurableError> {
+        let (wal, recovery) = WalStore::open(&durability.dir, durability.fsync)?;
+        let (service, report) = recovery.recover(template)?;
+        let durable = DurableState {
+            wal,
+            snapshot_every: durability.snapshot_every,
+            since_snapshot: 0,
+        };
+        let handle = Self::spawn_inner(service, addr, config, None, Some(durable))?;
+        Ok((handle, report))
     }
 
     /// [`Server::spawn`] with a per-request timing hook: `observer` sees
@@ -108,7 +211,7 @@ impl Server {
         config: ServerConfig,
         observer: RequestObserver,
     ) -> io::Result<ServerHandle> {
-        Self::spawn_inner(service, addr, config, Some(observer))
+        Self::spawn_inner(service, addr, config, Some(observer), None)
     }
 
     fn spawn_inner(
@@ -116,6 +219,7 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
         observer: Option<RequestObserver>,
+        durable: Option<DurableState>,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -130,8 +234,21 @@ impl Server {
         let dispatch = thread::spawn(move || {
             let mut service = service;
             let mut observer = observer;
+            let mut durable = durable;
             while let Ok(job) = jobs.recv() {
                 let RequestEnvelope { id, at, request } = job.envelope;
+                // Write-ahead: the record must be durable before the
+                // state changes. A batch is one record — atomic in the
+                // log exactly as it is atomic in dispatch.
+                if let Some(d) = durable.as_mut() {
+                    if let Err(e) = d.wal.append(at, &request) {
+                        let response = Response::Error(RequestError::Transport(format!(
+                            "write-ahead log append failed: {e}"
+                        )));
+                        let _ = job.reply.send(ResponseEnvelope { id, response });
+                        continue; // not durable ⇒ not dispatched
+                    }
+                }
                 let response = match observer.as_mut() {
                     None => service.handle(request, at),
                     Some(observe) => {
@@ -142,6 +259,18 @@ impl Server {
                         response
                     }
                 };
+                if let Some(d) = durable.as_mut() {
+                    d.since_snapshot += 1;
+                    if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
+                        // The service now reflects exactly the appended
+                        // records, so the snapshot's `applied` count is
+                        // truthful. Failure is non-fatal: the log alone
+                        // recovers exactly; retry after the next period
+                        // rather than on every request.
+                        let _ = d.wal.snapshot(&service);
+                        d.since_snapshot = 0;
+                    }
+                }
                 // A send error means the session died mid-request (client
                 // hung up); the state change stands, the reply is moot.
                 let _ = job.reply.send(ResponseEnvelope { id, response });

@@ -1,0 +1,119 @@
+//! Regression tests for [`ServerHandle::into_service`]'s quiescence
+//! assumption: the docs promise "in-flight requests finish first", but
+//! nothing used to *prove* state recovery mid-stream loses no
+//! acknowledged request. These tests call `into_service` while clients
+//! are actively sending — including multi-request `Batch` frames, which
+//! must land atomically or not at all — and check the recovered state
+//! against the acknowledgement counts the clients saw.
+
+use simcore::SimTime;
+use spequlos::protocol::{Request, Response, SpqService};
+use spequlos::{RequestError, SpeQuloS, UserId};
+use spq_server::{RemoteService, Server};
+use std::thread;
+use std::time::Duration;
+
+/// Every deposit a client saw acknowledged must be in the recovered
+/// state; the state may additionally hold at most the one request per
+/// client whose ack was cut off by the shutdown.
+#[test]
+fn into_service_mid_stream_keeps_every_acknowledged_request() {
+    const CLIENTS: u64 = 4;
+    const ATTEMPTS: u64 = 10_000;
+
+    let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|user| {
+            thread::spawn(move || {
+                let mut remote = RemoteService::connect(addr).expect("connect");
+                let mut acked = 0u64;
+                for k in 0..ATTEMPTS {
+                    let response = remote.handle(
+                        Request::Deposit {
+                            user: UserId(user),
+                            credits: 1.0,
+                        },
+                        SimTime::from_secs(k),
+                    );
+                    match response {
+                        Response::Deposited { .. } => acked += 1,
+                        Response::Error(RequestError::Transport(_)) => break,
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Recover the service while all four clients are mid-stream.
+    thread::sleep(Duration::from_millis(25));
+    let service = handle.into_service();
+
+    for (user, worker) in workers.into_iter().enumerate() {
+        let acked = worker.join().expect("client thread");
+        let balance = service.credits.balance(UserId(user as u64));
+        assert!(
+            balance >= acked as f64,
+            "user {user}: {acked} deposits acknowledged but balance is {balance}"
+        );
+        assert!(
+            balance <= (acked + 1) as f64,
+            "user {user}: balance {balance} exceeds acked {acked} + one in-flight"
+        );
+    }
+}
+
+/// A `Batch` frame is atomic in dispatch: recovering the service in the
+/// middle of a stream of batches must never expose a half-applied batch.
+#[test]
+fn into_service_mid_batch_never_splits_a_batch() {
+    const BATCH: u64 = 10;
+
+    let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+    let addr = handle.addr();
+    let worker = thread::spawn(move || {
+        let mut remote = RemoteService::connect(addr).expect("connect");
+        let mut acked_batches = 0u64;
+        for round in 0..5_000u64 {
+            let requests: Vec<Request> = (0..BATCH)
+                .map(|_| Request::Deposit {
+                    user: UserId(0),
+                    credits: 1.0,
+                })
+                .collect();
+            let responses = remote.handle_batch(requests, SimTime::from_secs(round));
+            if responses
+                .iter()
+                .any(|r| matches!(r, Response::Error(RequestError::Transport(_))))
+            {
+                break;
+            }
+            assert!(responses
+                .iter()
+                .all(|r| matches!(r, Response::Deposited { .. })));
+            acked_batches += 1;
+        }
+        acked_batches
+    });
+
+    thread::sleep(Duration::from_millis(20));
+    let service = handle.into_service();
+    let acked_batches = worker.join().expect("client thread");
+
+    let balance = service.credits.balance(UserId(0));
+    assert_eq!(
+        balance % BATCH as f64,
+        0.0,
+        "balance {balance} is not a whole number of {BATCH}-deposit batches: a batch was split"
+    );
+    assert!(
+        balance >= (acked_batches * BATCH) as f64,
+        "{acked_batches} batches acknowledged but balance is only {balance}"
+    );
+    assert!(
+        balance <= ((acked_batches + 1) * BATCH) as f64,
+        "balance {balance} exceeds acked batches {acked_batches} + one in flight"
+    );
+}

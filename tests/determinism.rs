@@ -4,8 +4,11 @@
 
 use betrace::Preset;
 use botwork::BotClass;
-use spequlos::StrategyCombo;
-use spq_harness::{Experiment, MwKind, Scenario};
+use simcore::SimDuration;
+use spequlos::snapshot::encode_state_json;
+use spequlos::wal::{FsyncPolicy, WalStore};
+use spequlos::{SpeQuloS, StrategyCombo};
+use spq_harness::{Experiment, MwKind, Scenario, SessionSink, TenantArrivals};
 
 fn scenario(seed: u64) -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed);
@@ -109,6 +112,66 @@ fn single_tenant_runs_match_pre_multitenant_golden_output() {
         assert_eq!(s.credits_spent, g.speq.2, "{ctx} credits");
         assert_eq!(s.cloud.workers_started, g.speq.3, "{ctx} fleet size");
     }
+}
+
+#[test]
+fn wal_replay_of_the_multitenant_golden_is_bit_identical() {
+    // The write-ahead log's whole durability argument is "the service is
+    // deterministic, so replaying the request transcript rebuilds the
+    // state". This leg proves it at full scale on the CI perf-gate golden
+    // (BENCH_repro_multitenant.json: seed 1, scale 1.0, 32 tenants over a
+    // 16-worker pool, tail-heavy arrivals): record every protocol request
+    // the run makes, feed the transcript through an on-disk WAL
+    // (append → reopen → recover), and require the recovered service to
+    // encode byte-identically to the directly-run one.
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, 1)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = 1.0;
+    let tick = sc.tick;
+    let sink = SessionSink::default();
+    let report = Experiment::new(sc)
+        .tenants(32)
+        .pool(16)
+        .arrivals(TenantArrivals::TailHeavy {
+            window: SimDuration::from_hours(2),
+        })
+        .record_into(sink.clone())
+        .run_multi_tenant();
+    // Same golden the bench telemetry gate pins: any drift in the
+    // simulation itself shows up here before it shows up as a perf diff.
+    assert_eq!(report.events, 869_375, "multi-tenant golden event count");
+    let direct = encode_state_json(&report.service).expect("direct state encodes");
+
+    let transcript = std::mem::take(
+        &mut *sink
+            .lock()
+            .expect("no other thread holds the transcript sink"),
+    );
+    assert_eq!(
+        transcript.len(),
+        2_010,
+        "recorded protocol transcript length (update alongside the event golden)"
+    );
+
+    let dir = std::env::temp_dir().join(format!("spq-determinism-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let (mut wal, recovery) = WalStore::open(&dir, FsyncPolicy::Never).expect("open fresh wal");
+        assert!(recovery.records().is_empty());
+        for (t, request) in &transcript {
+            wal.append(*t, request).expect("append");
+        }
+    }
+    let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never).expect("reopen wal");
+    let template = SpeQuloS::builder().pool(16).tick(tick).build();
+    let (recovered, recovery_report) = recovery.recover(template).expect("recover");
+    assert_eq!(recovery_report.replayed, transcript.len() as u64);
+    assert_eq!(
+        encode_state_json(&recovered).expect("recovered state encodes"),
+        direct,
+        "WAL append-then-replay diverged from the directly-run service"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

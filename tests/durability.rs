@@ -1,0 +1,459 @@
+//! Durability integration: the snapshot codec covers every field of the
+//! service state, and the write-ahead log recovers *exactly or not at
+//! all* under adversarial damage.
+//!
+//! Two proof obligations from the crash-safety design:
+//!
+//! 1. **Snapshot totality** — `encode_state → restore_state →
+//!    encode_state` is bit-identical for a service whose every state
+//!    field is populated (accounts, open *and* closed orders, favors,
+//!    strategies, users, event log, pool leases, tenant counters, live
+//!    and archived Information records, Oracle variance, Scheduler
+//!    flags), including adversarial account balances at the `f64`
+//!    integral boundary and beyond.
+//! 2. **Log prefix property** — whatever is done to the log bytes
+//!    (truncation at any byte, a flipped bit anywhere, duplicated
+//!    appends, reopen-append cycles), recovery yields an exact *prefix*
+//!    of the appended records or a typed error. It never panics and
+//!    never fabricates or reorders a record.
+
+use botwork::BotId;
+use simcore::{SimDuration, SimTime};
+use spequlos::protocol::{Request, SpqService};
+use spequlos::snapshot::{encode_state, restore_state, SnapshotError};
+use spequlos::wal::{FsyncPolicy, WalStore, WAL_FILE};
+use spequlos::{BotProgress, DeployMode, Provisioning, SpeQuloS, StrategyCombo, Trigger, UserId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("spq-durability-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn template() -> SpeQuloS {
+    // Capacity 3 admits all three orders (admission control refuses an
+    // order when as many are open as the pool has workers) while still
+    // leaving the tenants contending: desired fleets exceed each
+    // tenant's proportional share, so denials and throttling occur.
+    SpeQuloS::builder()
+        .pool(3)
+        .tick(SimDuration::from_mins(1))
+        .build()
+}
+
+/// A service with **every** state field populated: three tenants on a
+/// two-worker pool (so arbitration denies and throttles), one bot on the
+/// `ExecutionVariance` trigger (so the Oracle holds per-bot state), one
+/// completed bot (so the archive, closed orders, refunds and `Paid` log
+/// events exist) and explicit favor-ledger entries on both sides.
+fn rich_service() -> SpeQuloS {
+    let mut spq = template();
+    let variance_strategy = StrategyCombo {
+        trigger: Trigger::ExecutionVariance,
+        provisioning: Provisioning::Conservative,
+        deployment: DeployMode::Reschedule,
+    };
+    for user in 0..3u64 {
+        spq.handle(
+            Request::Deposit {
+                user: UserId(user),
+                credits: 600.0 + user as f64,
+            },
+            SimTime::ZERO,
+        );
+        spq.handle(
+            Request::RegisterQos {
+                user: UserId(user),
+                env: format!("env-{}", user % 2),
+                size: 12,
+            },
+            SimTime::ZERO,
+        );
+    }
+    for bot in 0..3u64 {
+        spq.handle(
+            Request::OrderQos {
+                bot: BotId(bot),
+                credits: 150.0,
+                strategy: Some(if bot == 2 {
+                    variance_strategy
+                } else {
+                    StrategyCombo::paper_default()
+                }),
+            },
+            SimTime::ZERO,
+        );
+    }
+    for tick in 1..=40u64 {
+        let now = SimTime::from_mins(tick);
+        for bot in 0..3u64 {
+            let done = ((tick * 12) / 40).min(12) as u32;
+            spq.handle(
+                Request::ReportProgress {
+                    bot: BotId(bot),
+                    progress: BotProgress {
+                        now,
+                        size: 12,
+                        completed: done.min(11),
+                        dispatched: 12,
+                        queued: 12 - done,
+                        running: 1,
+                        cloud_running: u32::from(tick > 36),
+                    },
+                },
+                now,
+            );
+        }
+    }
+    let end = SimTime::from_mins(41);
+    spq.handle(Request::Predict { bot: BotId(1) }, end);
+    spq.handle(Request::Complete { bot: BotId(0) }, end);
+    spq.favors.record_donation(UserId(1), 3.5);
+    spq.favors.record_consumption(UserId(2), 1.25);
+    spq
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot totality
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_round_trip_is_bit_identical_with_every_field_populated() {
+    let service = rich_service();
+    let encoded = encode_state(&service).expect("encode");
+
+    // Structural totality: each state-bearing section is present AND
+    // non-trivial, so a codec that silently dropped a field would fail
+    // here rather than round-tripping emptiness.
+    let non_empty = |key: &str| {
+        encoded
+            .get(key)
+            .and_then(|v| v.as_array())
+            .map(|a| !a.is_empty())
+            .unwrap_or(false)
+    };
+    for key in ["strategies", "users", "log", "tenants"] {
+        assert!(non_empty(key), "section `{key}` is empty in the snapshot");
+    }
+    let credits = encoded.get("credits").expect("credits section");
+    assert!(!credits
+        .get("accounts")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    let orders = credits.get("orders").unwrap().as_array().unwrap();
+    assert!(!orders.is_empty());
+    assert!(
+        orders
+            .iter()
+            .any(|o| matches!(o.get("closed"), Some(simcore::json::Value::Bool(true)))),
+        "a completed bot must appear as a closed order"
+    );
+    let favors = encoded.get("favors").expect("favors section");
+    assert!(!favors
+        .get("donated")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    assert!(!favors
+        .get("consumed")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    let pool = encoded.get("pool").expect("pool section");
+    assert!(pool.get("capacity").is_some(), "pool capacity recorded");
+    let info = encoded.get("info").expect("info section");
+    assert!(!info.get("live").unwrap().as_array().unwrap().is_empty());
+    assert!(
+        !info.get("archive").unwrap().as_array().unwrap().is_empty(),
+        "the completed bot must be archived"
+    );
+    let oracle = encoded.get("oracle").expect("oracle section");
+    assert!(
+        !oracle
+            .get("variance")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "the ExecutionVariance bot must leave Oracle state"
+    );
+    let scheduler = encoded.get("scheduler").expect("scheduler section");
+    assert!(!scheduler
+        .get("state")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    // Bit-identical round trip.
+    let restored = restore_state(template(), &encoded).expect("restore");
+    let reencoded = encode_state(&restored).expect("re-encode");
+    assert_eq!(encoded.to_json(), reencoded.to_json());
+}
+
+#[test]
+fn restored_service_continues_bit_identically() {
+    let mut original = rich_service();
+    let encoded = encode_state(&original).expect("encode");
+    let mut restored = restore_state(template(), &encoded).expect("restore");
+
+    // Drive both services through further state-changing requests; every
+    // response and the final states must agree exactly.
+    let now = SimTime::from_mins(42);
+    for request in [
+        Request::Complete { bot: BotId(1) },
+        Request::Predict { bot: BotId(2) },
+        Request::Deposit {
+            user: UserId(7),
+            credits: 12.5,
+        },
+        Request::RegisterQos {
+            user: UserId(7),
+            env: "env-0".into(),
+            size: 4,
+        },
+    ] {
+        let a = original.handle(request.clone(), now);
+        let b = restored.handle(request, now);
+        assert_eq!(a, b, "response divergence after restore");
+    }
+    assert_eq!(
+        encode_state(&original).unwrap().to_json(),
+        encode_state(&restored).unwrap().to_json(),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WAL append/reopen cycles
+// ---------------------------------------------------------------------------
+
+fn deposit(user: u64, credits: f64) -> Request {
+    Request::Deposit {
+        user: UserId(user),
+        credits,
+    }
+}
+
+#[test]
+fn duplicate_appends_are_preserved_verbatim() {
+    // The log must not dedup: `Deposit` is not idempotent, and two
+    // identical records mean the client really sent it twice.
+    let dir = temp_dir("dup");
+    let record = (SimTime::from_secs(5), deposit(1, 10.0));
+    {
+        let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        wal.append(record.0, &record.1).unwrap();
+        wal.append(record.0, &record.1).unwrap();
+    }
+    let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovery.records(), &[record.clone(), record]);
+    let (service, _) = recovery.recover(SpeQuloS::new()).unwrap();
+    assert_eq!(service.credits.balance(UserId(1)), 20.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_reopen_append_preserves_order_across_generations() {
+    let dir = temp_dir("generations");
+    let all: Vec<(SimTime, Request)> = (0..9u64)
+        .map(|i| (SimTime::from_secs(i), deposit(i % 3, 1.0 + i as f64)))
+        .collect();
+    // Three generations of three appends each, reopening in between —
+    // the shape of a service restarted twice.
+    for generation in 0..3 {
+        let (mut wal, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovery.records(), &all[..generation * 3]);
+        for (t, r) in &all[generation * 3..(generation + 1) * 3] {
+            wal.append(*t, r).unwrap();
+        }
+    }
+    let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovery.records(), &all[..]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn appending_after_a_torn_tail_continues_the_truncated_log() {
+    let dir = temp_dir("torn-continue");
+    let first: Vec<(SimTime, Request)> = (0..4u64)
+        .map(|i| (SimTime::from_secs(i), deposit(i, 2.0)))
+        .collect();
+    {
+        let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        for (t, r) in &first {
+            wal.append(*t, r).unwrap();
+        }
+    }
+    // Tear the last record in half, as a crash mid-write would.
+    let path = dir.join(WAL_FILE);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let cont = (SimTime::from_secs(10), deposit(9, 5.0));
+    {
+        let (mut wal, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovery.records(), &first[..3], "torn record dropped");
+        assert!(recovery.truncated_bytes() > 0);
+        wal.append(cont.0, &cont.1).unwrap();
+    }
+    let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    let mut expected = first[..3].to_vec();
+    expected.push(cont);
+    assert_eq!(recovery.records(), &expected[..]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest fuzz: adversarial balances, torn tails, bit flips
+// ---------------------------------------------------------------------------
+
+mod fuzz {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+    use spequlos::wal::WalError;
+
+    /// Balances at and beyond every precision boundary the JSON number
+    /// line has: zero, negative zero, the largest fractional step,
+    /// the 2^53 integer limit, huge magnitudes, `f64::MAX`.
+    fn wild_balance() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(4_503_599_627_370_495.5), // largest x where x and x+0.5 are distinct
+            Just(9_007_199_254_740_992.0), // 2^53
+            Just(1.0e308),
+            Just(f64::MAX),
+            Just(f64::MIN_POSITIVE),
+            0.0..1.0e9,
+        ]
+    }
+
+    proptest! {
+        /// Deposits of adversarial amounts either snapshot bit-identically
+        /// or fail with the typed non-finite error — exactly when a
+        /// balance really overflowed to infinity. No other outcome.
+        #[test]
+        fn prop_adversarial_balances_roundtrip(
+            deposits in vec((0u64..4, wild_balance()), 1..12)
+        ) {
+            let mut service = SpeQuloS::new();
+            for (user, credits) in &deposits {
+                service.handle(
+                    Request::Deposit { user: UserId(*user), credits: *credits },
+                    SimTime::ZERO,
+                );
+            }
+            let any_overflow = (0..4).any(|u| {
+                !service.credits.balance(UserId(u)).is_finite()
+            });
+            match encode_state(&service) {
+                Ok(encoded) => {
+                    prop_assert!(!any_overflow);
+                    let restored = restore_state(SpeQuloS::new(), &encoded)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    let reencoded = encode_state(&restored)
+                        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                    prop_assert_eq!(encoded.to_json(), reencoded.to_json());
+                    for u in 0..4 {
+                        prop_assert_eq!(
+                            service.credits.balance(UserId(u)).to_bits(),
+                            restored.credits.balance(UserId(u)).to_bits(),
+                            "balance of user {} not bit-identical", u
+                        );
+                    }
+                }
+                Err(SnapshotError::NonFinite(_)) => prop_assert!(any_overflow),
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+
+        /// Truncating the log at ANY byte — a torn write of any length —
+        /// recovers an exact prefix of the appended records, never an
+        /// error, never a panic; and the truncation is repaired on disk.
+        #[test]
+        fn prop_truncated_logs_recover_an_exact_prefix(
+            amounts in vec(0.5f64..100.0, 1..8),
+            cut_seed in any::<u64>(),
+        ) {
+            let dir = temp_dir("prop-torn");
+            let records: Vec<(SimTime, Request)> = amounts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (SimTime::from_secs(i as u64), deposit(i as u64 % 3, *a)))
+                .collect();
+            {
+                let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+                for (t, r) in &records {
+                    wal.append(*t, r).unwrap();
+                }
+            }
+            let path = dir.join(WAL_FILE);
+            let bytes = std::fs::read(&path).unwrap();
+            let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+
+            let (_, recovery) = WalStore::open(&dir, FsyncPolicy::Never)
+                .map_err(|e| TestCaseError::fail(format!("truncation must not error: {e}")))?;
+            let n = recovery.records().len();
+            prop_assert!(n <= records.len());
+            prop_assert_eq!(recovery.records(), &records[..n]);
+            // Reopening after the repair is clean.
+            let (_, again) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+            prop_assert_eq!(again.truncated_bytes(), 0);
+            prop_assert_eq!(again.records(), &records[..n]);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// Flipping ANY single bit anywhere in the log yields either an
+        /// exact prefix of the true records (damage in the tail, torn
+        /// away) or a typed `Corrupt` error (damage mid-file). Never a
+        /// panic, never a record that was not appended.
+        #[test]
+        fn prop_bit_flips_never_silently_diverge(
+            amounts in vec(0.5f64..100.0, 1..8),
+            flip_seed in any::<u64>(),
+        ) {
+            let dir = temp_dir("prop-flip");
+            let records: Vec<(SimTime, Request)> = amounts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (SimTime::from_secs(i as u64), deposit(i as u64 % 3, *a)))
+                .collect();
+            {
+                let (mut wal, _) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+                for (t, r) in &records {
+                    wal.append(*t, r).unwrap();
+                }
+            }
+            let path = dir.join(WAL_FILE);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let byte = (flip_seed / 8 % bytes.len() as u64) as usize;
+            let bit = (flip_seed % 8) as u8;
+            bytes[byte] ^= 1 << bit;
+            std::fs::write(&path, &bytes).unwrap();
+
+            match WalStore::open(&dir, FsyncPolicy::Never) {
+                Ok((_, recovery)) => {
+                    let n = recovery.records().len();
+                    prop_assert!(n <= records.len());
+                    prop_assert_eq!(
+                        recovery.records(), &records[..n],
+                        "recovered records are not a prefix of the truth"
+                    );
+                }
+                Err(WalError::Corrupt { .. }) => {} // typed, never silent
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
