@@ -1,23 +1,47 @@
-//! Protocol throughput: requests/sec through `SpqService::handle`,
-//! batched vs. unbatched.
+//! Protocol throughput: requests/sec through `SpqService::handle` —
+//! in-process (batched vs. unbatched) and over real loopback sockets
+//! across a connection ladder.
 //!
 //! The wire deployment (`spq-server`) funnels every middleware
 //! interaction through the typed protocol, so `handle` throughput bounds
 //! how many monitoring ticks a deployed service can absorb per second.
-//! This binary drives a synthetic multi-BoT monitoring workload through
-//! an in-process service two ways — one request per call, and whole
-//! ticks pipelined as `Request::Batch` frames — and emits
-//! `BENCH_repro_protocol.json` (total requests/sec over both phases) for
-//! the `spq-bench compare` CI gate.
+//! This binary measures two things:
 //!
-//! `--scale` multiplies the number of concurrent BoTs (default 200 at
-//! scale 1.0); `--seeds` repeats the whole workload to lengthen the
-//! measurement.
+//! 1. **In-process**: a synthetic multi-BoT monitoring workload through
+//!    `SpqService::handle` two ways — one request per call, and whole
+//!    ticks pipelined as `Request::Batch` frames. This is the historical
+//!    measurement the CI gate has always tracked.
+//! 2. **Wire ladder**: pipelined request/response exchanges over real
+//!    loopback TCP at {1, 64, 1024, 4096} concurrent connections, under
+//!    three server/codec combinations — the poll reactor with the
+//!    negotiated binary codec (PROTOCOL.md §4–§5), the reactor with the
+//!    JSON codec (§3), and the legacy two-threads-per-connection server
+//!    (JSON, §2.3) as the baseline the reactor replaced. The ladder is
+//!    the scaling curve behind the reactor's headline claim: at ≥1k
+//!    connections the reactor sustains ≥10× the baseline's req/s.
+//!
+//! Emits `BENCH_repro_protocol.json` for the `spq-bench compare` CI
+//! gate; the per-rung req/s and reactor-vs-threaded speedups land in the
+//! telemetry `config` map (keys `c<conns>_<mode>_rps`, `c<conns>_speedup`).
+//!
+//! `--scale` multiplies the number of concurrent BoTs in the in-process
+//! phase (default 200 at scale 1.0); `--seeds` repeats that workload to
+//! lengthen the measurement. The ladder runs once regardless of
+//! `--seeds` (socket wall time dominates; repetition belongs to the
+//! in-process phase). `--threads` overrides the ladder's client thread
+//! count (0 = min(8, connections)).
 
 use simcore::SimTime;
 use spequlos::protocol::{Request, Response, SpqService};
 use spequlos::{BotProgress, SpeQuloS, StrategyCombo, UserId};
 use spq_bench::{telemetry, Opts};
+use spq_server::frame::{
+    read_binary_frame, read_frame, read_hello_ack, write_binary_frame, write_frame, write_hello,
+    Codec,
+};
+use spq_server::{binary, RequestEnvelope, ResponseEnvelope, Server, ServerConfig, ServerHandle};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 /// Monitoring minutes simulated per BoT.
@@ -100,9 +124,208 @@ fn batched(bots: u64) -> (u64, f64) {
     (served, start.elapsed().as_secs_f64())
 }
 
+// ---------------------------------------------------------------------------
+// Wire ladder: loopback sockets at 1 → 4096 connections
+// ---------------------------------------------------------------------------
+
+/// Connection counts the ladder climbs.
+const LADDER: [usize; 4] = [1, 64, 1024, 4096];
+
+/// Frames pipelined per connection per round: write the whole window,
+/// flush once, then read the window of replies. Well under the server's
+/// 256 KiB write high-water mark (PROTOCOL.md §9).
+const WINDOW: usize = 16;
+
+/// Approximate requests per (rung × mode); rounds are derived from it so
+/// every connection sends at least one window.
+const RUNG_TARGET: usize = 32_000;
+
+/// The threaded baseline spawns two OS threads per connection; past this
+/// many connections measuring it stops being informative (and starts
+/// brushing task limits), so the ladder stops comparing there. The
+/// reactor rungs keep climbing.
+const THREADED_MAX_CONNS: usize = 1024;
+
+#[derive(Clone, Copy, PartialEq)]
+enum WireMode {
+    /// Poll reactor, negotiated binary codec (§4–§5).
+    ReactorBin,
+    /// Poll reactor, negotiated JSON codec (§3).
+    ReactorJson,
+    /// Legacy two-threads-per-connection server, JSON without a hello
+    /// (§2.3) — the baseline the reactor replaced.
+    ThreadedJson,
+}
+
+impl WireMode {
+    fn key(self) -> &'static str {
+        match self {
+            WireMode::ReactorBin => "reactor_bin",
+            WireMode::ReactorJson => "reactor_json",
+            WireMode::ThreadedJson => "threaded_json",
+        }
+    }
+
+    fn spawn(self) -> io::Result<ServerHandle> {
+        match self {
+            WireMode::ThreadedJson => {
+                Server::spawn_threaded(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default())
+            }
+            _ => Server::spawn(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default()),
+        }
+    }
+
+    fn codec(self) -> Codec {
+        match self {
+            WireMode::ReactorBin => Codec::Binary,
+            _ => Codec::Json,
+        }
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+/// Connects one ladder client, performing the hello exchange on the
+/// reactor modes (the threaded baseline predates negotiation).
+fn connect(addr: SocketAddr, mode: WireMode) -> io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::with_capacity(4096, stream.try_clone()?);
+    let mut writer = BufWriter::with_capacity(4096, stream);
+    if mode != WireMode::ThreadedJson {
+        write_hello(&mut writer, mode.codec())?;
+        writer.flush()?;
+        read_hello_ack(&mut reader)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
+    Ok(Conn {
+        reader,
+        writer,
+        next_id: 0,
+    })
+}
+
+/// Writes one pipelined window (`WINDOW` deposits, one flush) without
+/// waiting for replies, so a client thread can put its whole hand of
+/// connections in flight before it starts reading.
+fn write_window(conn: &mut Conn, codec: Codec, user: u64) -> io::Result<()> {
+    for _ in 0..WINDOW {
+        let envelope = RequestEnvelope {
+            id: conn.next_id,
+            at: SimTime::ZERO,
+            request: Request::Deposit {
+                user: UserId(user),
+                credits: 1.0,
+            },
+        };
+        conn.next_id += 1;
+        match codec {
+            Codec::Json => write_frame(&mut conn.writer, &envelope.to_json())?,
+            Codec::Binary => {
+                write_binary_frame(&mut conn.writer, &binary::encode_request(&envelope))?
+            }
+        }
+    }
+    conn.writer.flush()
+}
+
+/// Reads the window of correlated replies written by [`write_window`].
+/// Returns requests served.
+fn read_window(conn: &mut Conn, codec: Codec) -> io::Result<usize> {
+    let first_id = conn.next_id - WINDOW as u64;
+    for i in 0..WINDOW {
+        let reply = match codec {
+            Codec::Json => {
+                let payload = read_frame(&mut conn.reader, spq_server::MAX_FRAME_BYTES)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server EOF"))?;
+                ResponseEnvelope::from_json(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            }
+            Codec::Binary => {
+                let payload = read_binary_frame(&mut conn.reader, spq_server::MAX_FRAME_BYTES)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server EOF"))?;
+                binary::decode_response(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            }
+        };
+        assert_eq!(reply.id, first_id + i as u64, "FIFO correlation");
+        assert!(
+            matches!(reply.response, Response::Deposited { .. }),
+            "{:?}",
+            reply.response
+        );
+    }
+    Ok(WINDOW)
+}
+
+/// One ladder rung: `conns` connections driven by `client_threads`
+/// threads, every connection exchanging `rounds` pipelined windows.
+/// Returns (requests served, exchange wall seconds) — connection setup
+/// and teardown are excluded from the measurement.
+fn rung(mode: WireMode, conns: usize, client_threads: usize) -> io::Result<(u64, f64)> {
+    let handle = mode.spawn()?;
+    let addr = handle.addr();
+    // At least a few rounds per connection, so per-connection setup costs
+    // (hello, slab slot, buffer growth) amortize out of the steady-state
+    // rate even on the widest rungs.
+    let rounds = (RUNG_TARGET / (conns * WINDOW)).max(4);
+    let mut endpoints = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        endpoints.push(connect(addr, mode)?);
+    }
+    // Deal connections round-robin into per-thread hands.
+    let mut hands: Vec<Vec<Conn>> = (0..client_threads).map(|_| Vec::new()).collect();
+    for (i, conn) in endpoints.into_iter().enumerate() {
+        hands[i % client_threads].push(conn);
+    }
+    let codec = mode.codec();
+    let start = Instant::now();
+    let served: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = hands
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut hand)| {
+                scope.spawn(move || -> io::Result<u64> {
+                    let mut served = 0u64;
+                    for _ in 0..rounds {
+                        // Put the whole hand in flight before reading
+                        // anything back: the reactor then sees hundreds
+                        // of ready connections per poll() wait, which is
+                        // what the ladder is there to exercise.
+                        for conn in &mut hand {
+                            write_window(conn, codec, t as u64)?;
+                        }
+                        for conn in &mut hand {
+                            served += read_window(conn, codec)? as u64;
+                        }
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("ladder client panicked"))
+            .sum::<io::Result<u64>>()
+    })?;
+    let wall = start.elapsed().as_secs_f64();
+    drop(handle);
+    Ok((served, wall))
+}
+
 fn main() {
     let opts = Opts::from_args();
     let bots = ((200.0 * opts.scale).round() as u64).max(1);
+
+    // (conns, mode key, req/s) for every rung that ran; hoisted out of
+    // the measured closure so the telemetry config can carry the curve.
+    let mut curve: Vec<(usize, &'static str, f64)> = Vec::new();
 
     let (report, tele) = telemetry::measure("repro_protocol", &opts, |o| {
         let mut text = String::new();
@@ -131,9 +354,80 @@ fn main() {
             "batched   : {:>12.0} req/s  ({ba_req} requests in {ba_wall:.3}s)\n",
             ba_req as f64 / ba_wall.max(1e-9),
         ));
+
+        text.push_str(&format!(
+            "\nWire ladder — pipelined loopback exchanges, window {WINDOW}\n\
+             (reactor = poll loop, threaded = 2-threads-per-connection baseline)\n\n"
+        ));
+        text.push_str(
+            "conns    reactor+bin req/s   reactor+json req/s   threaded+json req/s   bin speedup\n",
+        );
+        for &conns in &LADDER {
+            let client_threads = if o.threads > 0 {
+                o.threads
+            } else {
+                conns.min(8)
+            };
+            let mut row: Vec<String> = vec![format!("{conns:<8}")];
+            let mut threaded_rps = None;
+            let mut bin_rps = None;
+            for mode in [
+                WireMode::ReactorBin,
+                WireMode::ReactorJson,
+                WireMode::ThreadedJson,
+            ] {
+                if mode == WireMode::ThreadedJson && conns > THREADED_MAX_CONNS {
+                    row.push(format!("{:>21}", "(not measured)"));
+                    continue;
+                }
+                match rung(mode, conns, client_threads) {
+                    Ok((served, wall)) => {
+                        let rps = served as f64 / wall.max(1e-9);
+                        total += served;
+                        curve.push((conns, mode.key(), rps));
+                        match mode {
+                            WireMode::ReactorBin => bin_rps = Some(rps),
+                            WireMode::ThreadedJson => threaded_rps = Some(rps),
+                            WireMode::ReactorJson => {}
+                        }
+                        row.push(format!("{rps:>21.0}"));
+                    }
+                    Err(e) => {
+                        eprintln!("ladder: {} at {conns} conns failed: {e}", mode.key());
+                        row.push(format!("{:>21}", "(failed)"));
+                    }
+                }
+            }
+            match (bin_rps, threaded_rps) {
+                (Some(b), Some(t)) if t > 0.0 => row.push(format!("{:>12.1}x", b / t)),
+                _ => row.push(format!("{:>13}", "—")),
+            }
+            text.push_str(&row.join(""));
+            text.push('\n');
+        }
         (text, Some(total))
     });
     print!("{report}");
     spq_harness::write_file(opts.out_dir.join("protocol.txt"), &report).expect("write report");
-    tele.with_config("bots", bots).write_or_warn();
+
+    let mut tele = tele.with_config("bots", bots);
+    let mut by_rung: std::collections::BTreeMap<usize, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for &(conns, key, rps) in &curve {
+        tele = tele.with_config(&format!("c{conns}_{key}_rps"), format!("{rps:.0}"));
+        let entry = by_rung.entry(conns).or_default();
+        match key {
+            "reactor_bin" => entry.0 = Some(rps),
+            "threaded_json" => entry.1 = Some(rps),
+            _ => {}
+        }
+    }
+    for (conns, (bin, threaded)) in by_rung {
+        if let (Some(b), Some(t)) = (bin, threaded) {
+            if t > 0.0 {
+                tele = tele.with_config(&format!("c{conns}_speedup"), format!("{:.1}", b / t));
+            }
+        }
+    }
+    tele.write_or_warn();
 }

@@ -56,7 +56,7 @@ use dgrid::{run_many, GridSim, NoQos};
 use simcore::{SimDuration, SimTime};
 use spequlos::protocol::{Request, Response, SpqService};
 use spequlos::{tail_removal_efficiency, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
-use spq_server::{RemoteService, Server};
+use spq_server::{Codec, RemoteService, Server};
 
 /// Where the SpeQuloS service lives during a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -88,6 +88,7 @@ pub struct Experiment {
     arrivals: TenantArrivals,
     service: Option<SpeQuloS>,
     transport: Transport,
+    codec: Codec,
     record: Option<SessionSink>,
 }
 
@@ -185,6 +186,7 @@ impl Experiment {
             arrivals: TenantArrivals::Simultaneous,
             service: None,
             transport: Transport::InProcess,
+            codec: Codec::Json,
             record: None,
         }
     }
@@ -251,6 +253,16 @@ impl Experiment {
     /// ```
     pub fn loopback(self) -> Self {
         self.transport(Transport::Loopback)
+    }
+
+    /// Selects the frame codec loopback connections negotiate
+    /// (PROTOCOL.md §2; default [`Codec::Json`]). No effect on the
+    /// in-process transport — and none on results either: both codecs
+    /// carry the same values, so runs stay bit-identical (pinned by
+    /// `tests/remote.rs`).
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Seeds a single QoS run with an existing service — credits, archive
@@ -358,8 +370,8 @@ impl Experiment {
             },
             Transport::Loopback => {
                 let handle = Server::spawn_loopback(service).expect("bind loopback server");
-                let remote =
-                    RemoteService::connect(handle.addr()).expect("connect to loopback server");
+                let remote = RemoteService::connect_with(handle.addr(), self.codec)
+                    .expect("connect to loopback server");
                 let metrics = match self.record {
                     Some(sink) => {
                         let (metrics, recorder) =
@@ -501,13 +513,13 @@ impl Experiment {
                 let (runs, meta) = match self.record {
                     Some(sink) => {
                         let mut admin = SessionRecorder::new(
-                            RemoteService::connect(handle.addr())
+                            RemoteService::connect_with(handle.addr(), self.codec)
                                 .expect("connect to loopback server"),
                             sink.clone(),
                         );
                         let out = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
                             SessionRecorder::new(
-                                RemoteService::connect(handle.addr())
+                                RemoteService::connect_with(handle.addr(), self.codec)
                                     .unwrap_or_else(|e| panic!("connect tenant {i}: {e}")),
                                 sink.clone(),
                             )
@@ -516,10 +528,10 @@ impl Experiment {
                         out
                     }
                     None => {
-                        let mut admin = RemoteService::connect(handle.addr())
+                        let mut admin = RemoteService::connect_with(handle.addr(), self.codec)
                             .expect("connect to loopback server");
                         let out = Self::drive_multi_tenant(&mt, strategy, &mut admin, |i| {
-                            RemoteService::connect(handle.addr())
+                            RemoteService::connect_with(handle.addr(), self.codec)
                                 .unwrap_or_else(|e| panic!("connect tenant {i}: {e}"))
                         });
                         drop(admin);

@@ -10,7 +10,11 @@
 //! the same transport error instead of writing to a stream in an unknown
 //! state — reconnect to recover.
 
-use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use crate::binary;
+use crate::frame::{
+    read_binary_frame, read_frame, read_hello_ack, write_frame, write_hello, Codec, FrameError,
+    MAX_FRAME_BYTES,
+};
 use crate::wire::{RequestEnvelope, ResponseEnvelope};
 use simcore::SimTime;
 use spequlos::protocol::{Request, RequestError, Response, SpqService};
@@ -18,11 +22,13 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// A connection to a `spq-server`, speaking framed request/response
-/// envelopes. Implements [`SpqService`], so any `&mut dyn SpqService`
-/// seam accepts it in place of the in-process service.
+/// envelopes over a negotiated codec (PROTOCOL.md §2). Implements
+/// [`SpqService`], so any `&mut dyn SpqService` seam accepts it in place
+/// of the in-process service.
 pub struct RemoteService {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    codec: Codec,
     next_id: u64,
     max_frame_bytes: usize,
     /// First transport failure; sticky (see module docs).
@@ -30,18 +36,62 @@ pub struct RemoteService {
 }
 
 impl RemoteService {
-    /// Connects to a protocol server.
+    /// Connects to a protocol server, negotiating the default JSON codec
+    /// with a hello exchange. Shorthand for
+    /// [`RemoteService::connect_with`]`(addr, Codec::Json)`.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RemoteService> {
+        Self::connect_with(addr, Codec::Json)
+    }
+
+    /// Connects and negotiates `codec`: sends the hello line
+    /// (PROTOCOL.md §2.1) and waits for the server's acknowledgement
+    /// (§2.2). A refusal or an unparseable acknowledgement is an
+    /// `InvalidData` error — the server does not speak this protocol
+    /// revision or codec.
+    pub fn connect_with(addr: impl ToSocketAddrs, codec: Codec) -> io::Result<RemoteService> {
+        let mut remote = Self::connect_raw(addr, codec)?;
+        write_hello(&mut remote.writer, codec)?;
+        remote.writer.flush()?;
+        let granted = read_hello_ack(&mut remote.reader).map_err(|e| match e {
+            FrameError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        if granted != codec {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("asked for codec {codec}, server granted {granted}"),
+            ));
+        }
+        Ok(remote)
+    }
+
+    /// Connects without a hello exchange — the legacy JSON path
+    /// (PROTOCOL.md §2.3) that pre-negotiation servers such as the
+    /// [`crate::Server::spawn_threaded`] benchmark baseline expect. The
+    /// first bytes on the wire are a frame header, and no
+    /// acknowledgement line is read.
+    pub fn connect_legacy(addr: impl ToSocketAddrs) -> io::Result<RemoteService> {
+        Self::connect_raw(addr, Codec::Json)
+    }
+
+    fn connect_raw(addr: impl ToSocketAddrs, codec: Codec) -> io::Result<RemoteService> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(RemoteService {
             reader,
             writer: BufWriter::new(stream),
+            codec,
             next_id: 0,
             max_frame_bytes: MAX_FRAME_BYTES,
             poisoned: None,
         })
+    }
+
+    /// The frame codec this connection negotiated (or assumed, for
+    /// [`RemoteService::connect_legacy`]).
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// The server address this client is connected to.
@@ -91,15 +141,35 @@ impl RemoteService {
             at: now,
             request,
         };
-        write_frame(&mut self.writer, &envelope.to_json()).map_err(|e| format!("send: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send: {e}"))?;
-        let payload = match read_frame(&mut self.reader, self.max_frame_bytes) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return Err("server closed the connection".to_string()),
-            Err(FrameError::Io(e)) => return Err(format!("receive: {e}")),
-            Err(e) => return Err(format!("receive: {e}")),
+        let reply = match self.codec {
+            Codec::Json => {
+                write_frame(&mut self.writer, &envelope.to_json())
+                    .map_err(|e| format!("send: {e}"))?;
+                self.writer.flush().map_err(|e| format!("send: {e}"))?;
+                let payload = match read_frame(&mut self.reader, self.max_frame_bytes) {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => return Err("server closed the connection".to_string()),
+                    Err(FrameError::Io(e)) => return Err(format!("receive: {e}")),
+                    Err(e) => return Err(format!("receive: {e}")),
+                };
+                ResponseEnvelope::from_json(&payload).map_err(|e| format!("decode: {e}"))?
+            }
+            Codec::Binary => {
+                crate::frame::write_binary_frame(
+                    &mut self.writer,
+                    &binary::encode_request(&envelope),
+                )
+                .map_err(|e| format!("send: {e}"))?;
+                self.writer.flush().map_err(|e| format!("send: {e}"))?;
+                let payload = match read_binary_frame(&mut self.reader, self.max_frame_bytes) {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => return Err("server closed the connection".to_string()),
+                    Err(FrameError::Io(e)) => return Err(format!("receive: {e}")),
+                    Err(e) => return Err(format!("receive: {e}")),
+                };
+                binary::decode_response(&payload).map_err(|e| format!("decode: {e}"))?
+            }
         };
-        let reply = ResponseEnvelope::from_json(&payload).map_err(|e| format!("decode: {e}"))?;
         if reply.id != id {
             return Err(format!(
                 "correlation mismatch: sent id {id}, got id {}",

@@ -1,6 +1,7 @@
-//! Length-prefixed newline-JSON framing.
+//! Framing and codec negotiation (PROTOCOL.md §§2–4).
 //!
-//! A frame on the wire is
+//! A connection speaks one of two frame formats, chosen by a first-line
+//! hello (§2). The **JSON** frame (§3) is
 //!
 //! ```text
 //! <decimal payload length>\n
@@ -15,9 +16,21 @@
 //! the peer and we disagree about the length, and the connection must be
 //! dropped rather than resynchronized.
 //!
+//! The **binary** frame (§4) is a 4-byte little-endian payload length
+//! followed by exactly that many payload bytes (a binary envelope,
+//! [`crate::binary`]) — no terminator, no text anywhere.
+//!
+//! Two reader families serve the two halves of the transport: blocking
+//! `read_*` functions for the client ([`crate::RemoteService`] owns its
+//! socket and can wait), and non-consuming `decode_*` functions for the
+//! server's reactor, which accumulates bytes from non-blocking sockets
+//! and asks "is a complete frame buffered yet?" (`Ok(None)` = not yet;
+//! `Ok(Some((frame, consumed)))` = yes, drop `consumed` bytes).
+//!
 //! Every malformed input is a typed [`FrameError`] — short reads,
-//! oversized lengths, non-numeric headers — never a panic: this parser
-//! sits on the listening side of the wire where arbitrary bytes arrive.
+//! oversized lengths, non-numeric headers, unparseable hellos — never a
+//! panic: these parsers sit on the listening side of the wire where
+//! arbitrary bytes arrive.
 
 use std::fmt;
 use std::io::{self, BufRead, Read, Write};
@@ -31,6 +44,52 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// every length up to ~9.9 GB — far beyond any accepted frame — so the
 /// header scan is bounded even against a stream of garbage digits.
 const MAX_HEADER_DIGITS: usize = 10;
+
+/// Longest accepted hello line, in bytes, `\n` included. The longest
+/// legal hello (`SPQ/1 json\n`) is 11 bytes; the bound stops a hostile
+/// stream that starts with `S` and never sends a newline.
+pub const MAX_HELLO_BYTES: usize = 32;
+
+/// The protocol-version token every hello line leads with (PROTOCOL.md
+/// §2.1): bump the digit for a breaking wire revision.
+pub const HELLO_PREFIX: &str = "SPQ/1";
+
+/// The frame format of one connection, negotiated by the hello exchange
+/// (PROTOCOL.md §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// Newline-JSON frames (§3): human-readable, `nc`-friendly, and the
+    /// format legacy no-hello connections get.
+    Json,
+    /// Length-prefixed binary frames (§4) carrying the compact envelope
+    /// encoding of [`crate::binary`].
+    Binary,
+}
+
+impl Codec {
+    /// The codec's token in hello lines (§2.1): `json` or `bin`.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "bin",
+        }
+    }
+
+    /// Parses a hello-line codec token.
+    pub fn from_wire_name(name: &str) -> Option<Codec> {
+        match name {
+            "json" => Some(Codec::Json),
+            "bin" => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Codec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
 
 /// Why a frame could not be read.
 #[derive(Debug)]
@@ -56,6 +115,9 @@ pub enum FrameError {
     MissingTerminator,
     /// The payload is not valid UTF-8.
     NotUtf8(std::string::FromUtf8Error),
+    /// The hello exchange failed: the line is malformed, names an
+    /// unknown protocol version or codec, or the server refused it.
+    BadHello(String),
 }
 
 impl fmt::Display for FrameError {
@@ -73,6 +135,7 @@ impl fmt::Display for FrameError {
                 write!(f, "payload not followed by the `\\n` terminator")
             }
             FrameError::NotUtf8(e) => write!(f, "payload is not UTF-8: {e}"),
+            FrameError::BadHello(msg) => write!(f, "hello failed: {msg}"),
         }
     }
 }
@@ -166,6 +229,234 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, F
 
 fn printable(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing (PROTOCOL.md §4)
+// ---------------------------------------------------------------------------
+
+/// Writes one binary frame: 4-byte little-endian payload length, then the
+/// payload. The caller flushes.
+pub fn write_binary_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "binary frame payload exceeds u32::MAX",
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one binary frame, enforcing `max` on the declared length.
+/// `Ok(None)` on clean EOF at a frame boundary; EOF inside a frame is
+/// [`FrameError::Truncated`].
+pub fn read_binary_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated { context: "header" }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_le_bytes(header) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated { context: "payload" }
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Hello negotiation (PROTOCOL.md §2)
+// ---------------------------------------------------------------------------
+
+/// The client's hello line for `codec`: `SPQ/1 <codec>\n`.
+pub fn hello_line(codec: Codec) -> String {
+    format!("{HELLO_PREFIX} {}\n", codec.wire_name())
+}
+
+/// The server's acknowledgement line for `codec`: `SPQ/1 ok <codec>\n`.
+pub fn hello_ack_line(codec: Codec) -> String {
+    format!("{HELLO_PREFIX} ok {}\n", codec.wire_name())
+}
+
+/// The server's refusal line: `SPQ/1 err <reason>\n`, written just
+/// before the connection is closed.
+pub fn hello_err_line(reason: &str) -> String {
+    format!("{HELLO_PREFIX} err {reason}\n")
+}
+
+/// Writes the client hello. The caller flushes.
+pub fn write_hello<W: Write>(w: &mut W, codec: Codec) -> io::Result<()> {
+    w.write_all(hello_line(codec).as_bytes())
+}
+
+/// Reads and validates the server's hello acknowledgement, returning the
+/// codec the server committed to. A refusal (`SPQ/1 err …`) or anything
+/// unparseable is [`FrameError::BadHello`].
+pub fn read_hello_ack<R: BufRead>(r: &mut R) -> Result<Codec, FrameError> {
+    let mut line = Vec::with_capacity(MAX_HELLO_BYTES);
+    let took = r
+        .by_ref()
+        .take(MAX_HELLO_BYTES as u64)
+        .read_until(b'\n', &mut line)?;
+    if took == 0 {
+        return Err(FrameError::Truncated {
+            context: "hello ack",
+        });
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(if took >= MAX_HELLO_BYTES {
+            FrameError::BadHello(format!("oversized ack {:?}", printable(&line)))
+        } else {
+            FrameError::Truncated {
+                context: "hello ack",
+            }
+        });
+    }
+    line.pop();
+    let text = String::from_utf8(line).map_err(FrameError::NotUtf8)?;
+    let mut words = text.split(' ');
+    match (words.next(), words.next(), words.next(), words.next()) {
+        (Some(HELLO_PREFIX), Some("ok"), Some(name), None) => Codec::from_wire_name(name)
+            .ok_or_else(|| FrameError::BadHello(format!("ack names unknown codec {name:?}"))),
+        (Some(HELLO_PREFIX), Some("err"), reason, _) => Err(FrameError::BadHello(format!(
+            "server refused: {}",
+            reason.unwrap_or("(no reason)")
+        ))),
+        _ => Err(FrameError::BadHello(format!("unparseable ack {text:?}"))),
+    }
+}
+
+/// What the first bytes of a connection turned out to be (PROTOCOL.md
+/// §2.2–2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HelloOutcome {
+    /// An explicit `SPQ/1 <codec>` hello; the server must acknowledge
+    /// with [`hello_ack_line`] before any response frame.
+    Hello(Codec),
+    /// No hello: the first byte is a decimal digit, i.e. a legacy JSON
+    /// frame header. The connection speaks [`Codec::Json`] and gets no
+    /// acknowledgement line. Zero bytes are consumed.
+    Legacy,
+}
+
+/// Incremental hello detection over a connection's first buffered bytes.
+///
+/// Returns `Ok(None)` while the buffer cannot be classified yet (empty,
+/// or a hello line still missing its `\n`), `Ok(Some((outcome, consumed)))`
+/// once it can, and [`FrameError::BadHello`] for byte streams that are
+/// neither a hello nor a JSON frame header.
+pub fn decode_hello(buf: &[u8]) -> Result<Option<(HelloOutcome, usize)>, FrameError> {
+    let Some(&first) = buf.first() else {
+        return Ok(None);
+    };
+    if first.is_ascii_digit() {
+        return Ok(Some((HelloOutcome::Legacy, 0)));
+    }
+    if first != b'S' {
+        return Err(FrameError::BadHello(format!(
+            "connection opened with byte 0x{first:02x}, neither a hello nor a frame header"
+        )));
+    }
+    let Some(newline) = buf.iter().take(MAX_HELLO_BYTES).position(|&b| b == b'\n') else {
+        return if buf.len() >= MAX_HELLO_BYTES {
+            Err(FrameError::BadHello("unterminated hello line".to_string()))
+        } else {
+            Ok(None)
+        };
+    };
+    let line = std::str::from_utf8(&buf[..newline])
+        .map_err(|_| FrameError::BadHello("hello line is not UTF-8".to_string()))?;
+    let mut words = line.split(' ');
+    match (words.next(), words.next(), words.next()) {
+        (Some(HELLO_PREFIX), Some(name), None) => match Codec::from_wire_name(name) {
+            Some(codec) => Ok(Some((HelloOutcome::Hello(codec), newline + 1))),
+            None => Err(FrameError::BadHello(format!("unknown codec {name:?}"))),
+        },
+        (Some(version), _, _) if version != HELLO_PREFIX => Err(FrameError::BadHello(format!(
+            "unknown protocol version {version:?}"
+        ))),
+        _ => Err(FrameError::BadHello(format!("unparseable hello {line:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame decoding (the reactor's read path)
+// ---------------------------------------------------------------------------
+
+/// Tries to decode one JSON frame (§3) from the front of `buf` without
+/// consuming it. `Ok(None)` = the frame is incomplete, keep reading;
+/// `Ok(Some((payload, consumed)))` = one frame, drop `consumed` bytes.
+pub fn decode_json_frame(buf: &[u8], max: usize) -> Result<Option<(String, usize)>, FrameError> {
+    let Some(newline) = buf
+        .iter()
+        .take(MAX_HEADER_DIGITS + 1)
+        .position(|&b| b == b'\n')
+    else {
+        return if buf.len() > MAX_HEADER_DIGITS {
+            Err(FrameError::BadHeader(printable(
+                &buf[..=MAX_HEADER_DIGITS.min(buf.len() - 1)],
+            )))
+        } else {
+            Ok(None)
+        };
+    };
+    let header = &buf[..newline];
+    if header.is_empty() || !header.iter().all(u8::is_ascii_digit) {
+        return Err(FrameError::BadHeader(printable(header)));
+    }
+    let declared = std::str::from_utf8(header)
+        .expect("digits are UTF-8")
+        .parse::<u64>()
+        .map_err(|_| FrameError::BadHeader(printable(header)))?;
+    let declared = usize::try_from(declared).map_err(|_| FrameError::TooLarge {
+        declared: usize::MAX,
+        max,
+    })?;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    // header + '\n' + payload + '\n'
+    let total = newline + 1 + declared + 1;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    if buf[total - 1] != b'\n' {
+        return Err(FrameError::MissingTerminator);
+    }
+    let payload =
+        String::from_utf8(buf[newline + 1..total - 1].to_vec()).map_err(FrameError::NotUtf8)?;
+    Ok(Some((payload, total)))
+}
+
+/// Tries to decode one binary frame (§4) from the front of `buf` without
+/// consuming it; same contract as [`decode_json_frame`].
+pub fn decode_binary_frame(buf: &[u8], max: usize) -> Result<Option<(Vec<u8>, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let total = 4 + declared;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((buf[4..total].to_vec(), total)))
 }
 
 #[cfg(test)]
@@ -267,6 +558,195 @@ mod tests {
         assert!(matches!(
             read_frame(&mut r, 64),
             Err(FrameError::NotUtf8(_))
+        ));
+    }
+
+    // --- binary framing (PROTOCOL.md §4) ---
+
+    #[test]
+    fn binary_frames_roundtrip_and_stream() {
+        let mut buf = Vec::new();
+        write_binary_frame(&mut buf, b"").unwrap();
+        write_binary_frame(&mut buf, &[0xff, 0x00, 0x7f]).unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 0], "little-endian length prefix");
+        assert_eq!(&buf[4..8], &[3, 0, 0, 0]);
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_binary_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_binary_frame(&mut r, 64).unwrap().unwrap(),
+            vec![0xff, 0x00, 0x7f]
+        );
+        assert!(
+            read_binary_frame(&mut r, 64).unwrap().is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn binary_truncation_and_oversize_error() {
+        let mut full = Vec::new();
+        write_binary_frame(&mut full, b"payload").unwrap();
+        for cut in 1..full.len() {
+            let mut r = Cursor::new(full[..cut].to_vec());
+            assert!(
+                read_binary_frame(&mut r, 64).is_err(),
+                "prefix of {cut} bytes must error"
+            );
+        }
+        let mut r = Cursor::new(100u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_binary_frame(&mut r, 64),
+            Err(FrameError::TooLarge {
+                declared: 100,
+                max: 64
+            })
+        ));
+    }
+
+    // --- hello negotiation (PROTOCOL.md §2) ---
+
+    #[test]
+    fn hello_lines_are_the_documented_bytes() {
+        assert_eq!(hello_line(Codec::Json), "SPQ/1 json\n");
+        assert_eq!(hello_line(Codec::Binary), "SPQ/1 bin\n");
+        assert_eq!(hello_ack_line(Codec::Binary), "SPQ/1 ok bin\n");
+        assert_eq!(
+            hello_err_line("unsupported-codec"),
+            "SPQ/1 err unsupported-codec\n"
+        );
+    }
+
+    #[test]
+    fn decode_hello_classifies_hello_legacy_and_garbage() {
+        // Explicit hellos, both codecs.
+        assert_eq!(
+            decode_hello(b"SPQ/1 bin\n0000").unwrap(),
+            Some((HelloOutcome::Hello(Codec::Binary), 10))
+        );
+        assert_eq!(
+            decode_hello(b"SPQ/1 json\n").unwrap(),
+            Some((HelloOutcome::Hello(Codec::Json), 11))
+        );
+        // A legacy connection's first byte is a JSON frame header digit:
+        // classified without consuming anything (§2.3).
+        assert_eq!(
+            decode_hello(b"9\n{\"x\":1.0}\n").unwrap(),
+            Some((HelloOutcome::Legacy, 0))
+        );
+        // Not classifiable yet: empty, or a hello missing its newline.
+        assert_eq!(decode_hello(b"").unwrap(), None);
+        assert_eq!(decode_hello(b"SPQ/1 bi").unwrap(), None);
+        // Garbage first bytes, unknown codecs and versions are errors.
+        assert!(matches!(
+            decode_hello(b"not a frame at all\n"),
+            Err(FrameError::BadHello(_))
+        ));
+        assert!(matches!(
+            decode_hello(b"SPQ/1 gzip\n"),
+            Err(FrameError::BadHello(_))
+        ));
+        assert!(matches!(
+            decode_hello(b"SPQ/9 json\n"),
+            Err(FrameError::BadHello(_))
+        ));
+        // An unterminated "hello" cannot grow forever.
+        let endless = vec![b'S'; MAX_HELLO_BYTES + 4];
+        assert!(matches!(
+            decode_hello(&endless),
+            Err(FrameError::BadHello(_))
+        ));
+    }
+
+    #[test]
+    fn hello_ack_reader_accepts_ok_and_rejects_err() {
+        let mut r = Cursor::new(hello_ack_line(Codec::Binary).into_bytes());
+        assert_eq!(read_hello_ack(&mut r).unwrap(), Codec::Binary);
+        let mut r = Cursor::new(hello_err_line("unsupported-codec").into_bytes());
+        assert!(matches!(
+            read_hello_ack(&mut r),
+            Err(FrameError::BadHello(_))
+        ));
+        let mut r = Cursor::new(b"HTTP/1.1 200 OK\n".to_vec());
+        assert!(matches!(
+            read_hello_ack(&mut r),
+            Err(FrameError::BadHello(_))
+        ));
+        let mut r = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_hello_ack(&mut r),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    // --- incremental decoders (the reactor's read path) ---
+
+    #[test]
+    fn incremental_json_decode_agrees_with_the_blocking_reader() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"x\":1.0}").unwrap();
+        write_frame(&mut wire, "two").unwrap();
+        // Every proper prefix is incomplete, never an error.
+        for cut in 0..12 {
+            assert_eq!(decode_json_frame(&wire[..cut], 64).unwrap(), None, "{cut}");
+        }
+        let (payload, consumed) = decode_json_frame(&wire, 64).unwrap().unwrap();
+        assert_eq!(payload, "{\"x\":1.0}");
+        let (payload2, consumed2) = decode_json_frame(&wire[consumed..], 64).unwrap().unwrap();
+        assert_eq!(payload2, "two");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn incremental_json_decode_rejects_what_the_blocking_reader_rejects() {
+        assert!(matches!(
+            decode_json_frame(b"999999999999999999999\nx", 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        assert!(matches!(
+            decode_json_frame(b"12a\nx", 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        assert!(matches!(
+            decode_json_frame(b"\nx", 64),
+            Err(FrameError::BadHeader(_))
+        ));
+        assert!(matches!(
+            decode_json_frame(b"100\n", 64),
+            Err(FrameError::TooLarge {
+                declared: 100,
+                max: 64
+            })
+        ));
+        assert!(matches!(
+            decode_json_frame(b"2\nabc\n", 64),
+            Err(FrameError::MissingTerminator)
+        ));
+        assert!(matches!(
+            decode_json_frame(b"2\n\xff\xfe\n", 64),
+            Err(FrameError::NotUtf8(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_binary_decode_streams_and_bounds() {
+        let mut wire = Vec::new();
+        write_binary_frame(&mut wire, &[1, 2, 3]).unwrap();
+        write_binary_frame(&mut wire, &[]).unwrap();
+        for cut in 0..7 {
+            assert_eq!(
+                decode_binary_frame(&wire[..cut], 64).unwrap(),
+                None,
+                "{cut}"
+            );
+        }
+        let (payload, consumed) = decode_binary_frame(&wire, 64).unwrap().unwrap();
+        assert_eq!(payload, vec![1, 2, 3]);
+        let (payload2, consumed2) = decode_binary_frame(&wire[consumed..], 64).unwrap().unwrap();
+        assert_eq!(payload2, Vec::<u8>::new());
+        assert_eq!(consumed + consumed2, wire.len());
+        assert!(matches!(
+            decode_binary_frame(&100u32.to_le_bytes(), 64),
+            Err(FrameError::TooLarge { .. })
         ));
     }
 }

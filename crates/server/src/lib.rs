@@ -4,27 +4,34 @@
 //! XtremWeb-HEP middleware call over the network (§3, Fig. 3). This crate
 //! is that deployment seam for the reproduction: it serves the existing
 //! typed protocol ([`spequlos::protocol`]) over loopback or LAN TCP using
-//! nothing but `std::net` and threads, and provides the client half —
-//! [`RemoteService`] — which implements [`spequlos::protocol::SpqService`]
+//! nothing but `std::net`, a `poll(2)` readiness loop (the vendored
+//! [`polling`] shim), and one I/O thread — and provides the client half,
+//! [`RemoteService`], which implements [`spequlos::protocol::SpqService`]
 //! so every caller written against the trait (the harness hooks, the
 //! `Experiment` builder, `protocol::replay`) can swap the in-process
 //! service for a remote one without code changes.
 //!
-//! Three layers, one module each:
+//! The wire protocol is specified normatively in `PROTOCOL.md` at the
+//! repository root; section references (§N) throughout this crate point
+//! there. Four layers, one module each:
 //!
 //! * [`frame`] — length-prefixed newline-JSON framing: `<len>\n<payload>\n`.
 //!   Truncated or oversized frames are typed [`frame::FrameError`]s, never
-//!   panics.
-//! * [`wire`] — correlation envelopes: each request frame carries an `id`
-//!   and the service time `t`; the response frame echoes the `id`. A
+//!   panics. A first-line hello (§2) negotiates the frame format per
+//!   connection: newline-JSON (§3) or length-prefixed binary (§4).
+//! * [`binary`] — the compact binary envelope encoding (§5), hand-rolled
+//!   and dependency-free, pinned value-identical to the JSON path.
+//! * [`wire`] — correlation envelopes (§6): each request frame carries an
+//!   `id` and the service time `t`; the response frame echoes the `id`. A
 //!   `Request::Batch` lets a client pipeline a whole monitoring tick in a
 //!   single frame.
-//! * [`server`] / [`client`] — a multi-client [`Server`] that owns one
-//!   `SpeQuloS` behind a bounded mailbox and dispatch loop (per-connection
-//!   session threads, FIFO per connection, backpressure by blocking), and
+//! * [`server`] / [`client`] — the poll-based reactor [`Server`]: one
+//!   I/O thread owns the listener, every connection's read/write buffers
+//!   and the service itself, dispatching requests inline (FIFO per
+//!   connection, per-connection byte-denominated backpressure, §9) — and
 //!   the [`RemoteService`] client.
 //!
-//! A fourth concern, durability, composes with the dispatch loop rather
+//! A fifth concern, durability, composes with the reactor rather
 //! than adding a layer: [`Server::spawn_durable`] appends every request
 //! to a write-ahead log ([`spequlos::wal`]) and fsyncs *before*
 //! dispatching it, snapshots the full service state periodically, and on
@@ -54,13 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod client;
 pub mod frame;
 pub mod server;
 pub mod wire;
 
 pub use client::RemoteService;
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use frame::{read_frame, write_frame, Codec, FrameError, MAX_FRAME_BYTES};
 pub use server::{
     DurabilityConfig, DurableError, RequestObserver, Server, ServerConfig, ServerHandle,
 };

@@ -1,51 +1,80 @@
-//! The multi-client protocol server.
+//! The multi-client protocol server: a poll-based reactor.
 //!
-//! One [`Server`] owns one [`SpeQuloS`] instance behind a *mailbox*: a
-//! bounded channel feeding a single dispatch thread, the only thread that
-//! ever touches the service. Each accepted connection gets a session
-//! thread that reads frames, decodes [`RequestEnvelope`]s, forwards them
-//! to the mailbox and writes the replies back — so the service itself
-//! needs no locking, requests from all connections serialize in arrival
-//! order (exactly like the in-process call sequence they replace), and a
-//! flood of clients backpressures naturally: when the mailbox is full,
-//! session threads block, their sockets stop being read, and TCP flow
-//! control pushes back to the senders.
+//! One I/O thread — the *reactor* — owns the listener, every connection,
+//! and the [`SpeQuloS`] service itself. It parks in `poll(2)` (via the
+//! vendored [`polling`] shim) until a socket is ready, moves bytes
+//! between per-connection read/write buffers and the kernel, and
+//! dispatches each complete request *inline*: decode → (durable append)
+//! → `service.handle` → encode, with no cross-thread handoff anywhere on
+//! the request path. That is how one thread services thousands of
+//! connections where the previous design spent two threads per
+//! connection plus a mailbox hop per request (that design survives as
+//! [`Server::spawn_threaded`], kept as the benchmark baseline —
+//! `repro_protocol` measures the two against each other).
 //!
-//! Ordering guarantees: FIFO per connection (a session answers each frame
-//! before reading the next, so pipelined frames queue in the kernel
-//! buffer and are served in order), global order = mailbox arrival order.
-//! A client that needs many requests served back-to-back atomically sends
-//! one `Request::Batch` frame — the dispatch loop serves the whole batch
-//! before the next mailbox job.
+//! Each connection negotiates its frame format with a first-line hello
+//! (PROTOCOL.md §2): newline-JSON frames (§3) or length-prefixed binary
+//! frames (§4) carrying the compact envelope encoding of
+//! [`crate::binary`]. A connection that opens with a bare digit — a JSON
+//! frame header — is a legacy client and speaks JSON with no hello
+//! exchange (§2.3), which keeps `nc` sessions and pre-negotiation
+//! clients working.
 //!
-//! Shutdown recovers the service: [`ServerHandle::into_service`] stops
-//! the listener, disconnects the remaining sessions, drains the mailbox
-//! and returns the `SpeQuloS` with all the state the request stream built
-//! — which is how the harness pins remote runs bit-identical to
-//! in-process ones.
+//! Ordering guarantees are unchanged from the threaded design: FIFO per
+//! connection (frames are decoded and served in arrival order from the
+//! connection's read buffer), global order = the order the reactor
+//! drains readiness events, and a `Request::Batch` is served atomically
+//! because `service.handle` sees it as one request. Backpressure is now
+//! per-connection and byte-denominated (PROTOCOL.md §9): when a
+//! connection's write buffer exceeds [`ServerConfig::write_highwater`],
+//! the reactor stops reading *that* socket — kernel buffers fill, TCP
+//! flow control pushes back on that client — while every other
+//! connection proceeds undisturbed.
+//!
+//! Durability composes exactly as before: [`Server::spawn_durable`]
+//! appends each request to the write-ahead log *before* dispatching it,
+//! inline on the reactor thread, so "acknowledged ⇒ durable" holds
+//! per-request with no reordering window (a reply cannot even be
+//! *encoded* until the append returned).
+//!
+//! Shutdown recovers the service: [`ServerHandle::into_service`] wakes
+//! the reactor, which drops the listener and every connection and
+//! returns the `SpeQuloS` with all the state the request stream built —
+//! how the harness pins remote runs bit-identical to in-process ones.
 
-use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use crate::binary;
+use crate::frame::{self, Codec, FrameError, HelloOutcome, MAX_FRAME_BYTES};
 use crate::wire::{peek_id, RequestEnvelope, ResponseEnvelope};
+use polling::{Event, Poller};
 use spequlos::protocol::{RequestError, Response, SpqService};
 use spequlos::wal::{FsyncPolicy, RecoveryReport, WalError, WalStore};
 use spequlos::SpeQuloS;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Server tuning knobs; [`ServerConfig::default`] suits tests and
 /// loopback experiment runs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Mailbox depth: how many decoded requests may wait for the dispatch
-    /// loop before session threads block (the backpressure bound).
+    /// Mailbox depth of the legacy thread-per-connection backend
+    /// ([`Server::spawn_threaded`]): how many decoded requests may wait
+    /// for its dispatch loop before session threads block. The reactor
+    /// does not use a mailbox; it backpressures by byte count
+    /// ([`ServerConfig::write_highwater`]) instead.
     pub mailbox_depth: usize,
     /// Maximum accepted frame payload, in bytes.
     pub max_frame_bytes: usize,
+    /// Per-connection write-buffer high-water mark, in bytes
+    /// (PROTOCOL.md §9). When a connection's buffered-but-unsent replies
+    /// exceed this, the reactor stops reading that socket until the
+    /// buffer drains, letting TCP flow control push back on that one
+    /// client.
+    pub write_highwater: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +82,7 @@ impl Default for ServerConfig {
         ServerConfig {
             mailbox_depth: 64,
             max_frame_bytes: MAX_FRAME_BYTES,
+            write_highwater: 256 * 1024,
         }
     }
 }
@@ -116,32 +146,21 @@ impl From<io::Error> for DurableError {
     }
 }
 
-/// Runtime durability state owned by the dispatch loop.
+/// Runtime durability state owned by the reactor (or, for the legacy
+/// backend, its dispatch loop).
 struct DurableState {
     wal: WalStore,
     snapshot_every: u64,
     since_snapshot: u64,
 }
 
-/// One queued request: where it came from is irrelevant to the dispatch
-/// loop; `reply` routes the response back to the owning session.
-struct Job {
-    envelope: RequestEnvelope,
-    reply: SyncSender<ResponseEnvelope>,
-}
-
-/// Live-session registry: each entry pairs the session thread's handle
-/// with a clone of its stream, so shutdown can force-disconnect and then
-/// join.
-type SessionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
-
-/// Per-request timing observer for [`Server::spawn_observed`]: called by
-/// the dispatch loop after each served request with the request's wire
-/// tag ([`spequlos::protocol::Request::kind`]; batches report as
-/// `"batch"`) and the wall-clock time `SpqService::handle` took —
-/// service time only, excluding framing, queueing and socket I/O.
+/// Per-request timing observer for [`Server::spawn_observed`]: called
+/// after each served request with the request's wire tag
+/// ([`spequlos::protocol::Request::kind`]; batches report as `"batch"`)
+/// and the wall-clock time `SpqService::handle` took — service time
+/// only, excluding framing, buffering and socket I/O.
 ///
-/// The observer runs on the dispatch thread, between requests: keep it
+/// The observer runs on the reactor thread, between requests: keep it
 /// cheap (a histogram record, a counter bump), because its cost is
 /// serialized into the request path exactly like the service itself.
 pub type RequestObserver = Box<dyn FnMut(&'static str, std::time::Duration) + Send>;
@@ -198,9 +217,9 @@ impl Server {
     }
 
     /// [`Server::spawn`] with a per-request timing hook: `observer` sees
-    /// every request the dispatch loop serves (kind tag + service time).
-    /// This is how the load generator's `repro_load` separates *service*
-    /// time from *sojourn* time — under open-loop overload the client-side
+    /// every request the reactor serves (kind tag + service time). This
+    /// is how the load generator's `repro_load` separates *service* time
+    /// from *sojourn* time — under open-loop overload the client-side
     /// latency explodes while the per-request service time stays flat,
     /// which is the signature of queueing collapse rather than a slow
     /// handler. Timing adds two `Instant::now` calls per request; servers
@@ -223,56 +242,594 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(reactor::LISTENER_KEY))?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let sessions: SessionRegistry = Arc::new(Mutex::new(Vec::new()));
 
-        let (mailbox, jobs) = mpsc::sync_channel::<Job>(config.mailbox_depth.max(1));
+        let thread = {
+            let poller = Arc::clone(&poller);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                reactor::Reactor::new(poller, listener, service, observer, durable, config)
+                    .run(&shutdown)
+            })
+        };
 
-        // The dispatch loop: sole owner of the service. Exits — returning
-        // the service — once every mailbox sender (accept loop + sessions)
-        // is gone.
-        let dispatch = thread::spawn(move || {
-            let mut service = service;
-            let mut observer = observer;
-            let mut durable = durable;
-            while let Ok(job) = jobs.recv() {
-                let RequestEnvelope { id, at, request } = job.envelope;
-                // Write-ahead: the record must be durable before the
-                // state changes. A batch is one record — atomic in the
-                // log exactly as it is atomic in dispatch.
-                if let Some(d) = durable.as_mut() {
-                    if let Err(e) = d.wal.append(at, &request) {
-                        let response = Response::Error(RequestError::Transport(format!(
-                            "write-ahead log append failed: {e}"
-                        )));
-                        let _ = job.reply.send(ResponseEnvelope { id, response });
-                        continue; // not durable ⇒ not dispatched
+        Ok(ServerHandle {
+            addr,
+            backend: Some(Backend::Reactor {
+                shutdown,
+                poller,
+                thread,
+            }),
+        })
+    }
+
+    /// The previous thread-per-connection deployment, retained as the
+    /// benchmark baseline `repro_protocol` compares the reactor against:
+    /// one accept thread, one session thread per connection, a bounded
+    /// mailbox ([`ServerConfig::mailbox_depth`]) into a single dispatch
+    /// thread that owns the service.
+    ///
+    /// Legacy JSON only — it predates the hello exchange, so connect
+    /// with [`crate::RemoteService::connect_legacy`]. Not durable, not
+    /// observed. New deployments should not use this.
+    pub fn spawn_threaded(
+        service: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let (addr, parts) = threaded::spawn(service, addr, config)?;
+        Ok(ServerHandle {
+            addr,
+            backend: Some(Backend::Threaded(parts)),
+        })
+    }
+
+    /// [`Server::spawn`] on `127.0.0.1:0` with the default configuration —
+    /// the loopback deployment the harness's `Transport::Loopback` mode
+    /// and the integration tests use.
+    pub fn spawn_loopback(service: SpeQuloS) -> io::Result<ServerHandle> {
+        Server::spawn(service, "127.0.0.1:0", ServerConfig::default())
+    }
+}
+
+enum Backend {
+    Reactor {
+        shutdown: Arc<AtomicBool>,
+        poller: Arc<Poller>,
+        thread: JoinHandle<SpeQuloS>,
+    },
+    Threaded(threaded::Parts),
+}
+
+/// A running server. Dropping the handle shuts the server down (and
+/// discards the service); call [`ServerHandle::into_service`] to shut
+/// down *and* recover the service state.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    backend: Option<Backend>,
+}
+
+impl ServerHandle {
+    /// The bound address — with `"127.0.0.1:0"` this carries the actual
+    /// port clients must connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and returns the service with every state change
+    /// the request stream produced. In-flight requests finish first;
+    /// connections still open are dropped.
+    pub fn into_service(mut self) -> SpeQuloS {
+        self.stop().expect("first stop returns the service")
+    }
+
+    /// Idempotent teardown; returns the service on the first call.
+    fn stop(&mut self) -> Option<SpeQuloS> {
+        match self.backend.take()? {
+            Backend::Reactor {
+                shutdown,
+                poller,
+                thread,
+            } => {
+                shutdown.store(true, Ordering::Release);
+                let _ = poller.notify();
+                Some(thread.join().expect("reactor never panics"))
+            }
+            Backend::Threaded(parts) => Some(parts.stop(self.addr)),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+mod reactor {
+    //! The event loop. Everything here runs on the one reactor thread;
+    //! the only cross-thread touchpoints are the shutdown flag and
+    //! `Poller::notify`.
+
+    use super::*;
+
+    /// Poller key of the listening socket; connections get `slot + 1`.
+    pub(super) const LISTENER_KEY: usize = 0;
+
+    /// How far a connection's first bytes have gotten (PROTOCOL.md §2).
+    enum Phase {
+        /// Nothing classified yet: the next bytes are a hello line or a
+        /// legacy JSON frame header.
+        AwaitHello,
+        /// Negotiation done; every further frame uses this codec.
+        Ready(Codec),
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        phase: Phase,
+        /// Bytes read but not yet decoded. `rpos` marks how much of the
+        /// front has been consumed; the buffer compacts once per event
+        /// so per-frame consumption is O(1), not O(buffer).
+        rbuf: Vec<u8>,
+        rpos: usize,
+        /// Encoded replies not yet accepted by the kernel, `wpos` sent.
+        wbuf: Vec<u8>,
+        wpos: usize,
+        /// Drain `wbuf`, then close (used for hello refusals, §2.2).
+        close_after_flush: bool,
+        /// The peer half-closed its write side (§1): serve what is
+        /// buffered, flush every reply, then close — a client may
+        /// pipeline its whole workload and shut down its write half to
+        /// ask for exactly this drain.
+        read_closed: bool,
+    }
+
+    impl Conn {
+        fn pending_write(&self) -> usize {
+            self.wbuf.len() - self.wpos
+        }
+    }
+
+    /// What a connection event handler decided about the connection.
+    enum Verdict {
+        Keep,
+        Close,
+    }
+
+    pub(super) struct Reactor {
+        poller: Arc<Poller>,
+        listener: TcpListener,
+        conns: Vec<Option<Conn>>,
+        free: Vec<usize>,
+        service: SpeQuloS,
+        observer: Option<RequestObserver>,
+        durable: Option<DurableState>,
+        max_frame: usize,
+        highwater: usize,
+    }
+
+    impl Reactor {
+        pub(super) fn new(
+            poller: Arc<Poller>,
+            listener: TcpListener,
+            service: SpeQuloS,
+            observer: Option<RequestObserver>,
+            durable: Option<DurableState>,
+            config: ServerConfig,
+        ) -> Reactor {
+            Reactor {
+                poller,
+                listener,
+                conns: Vec::new(),
+                free: Vec::new(),
+                service,
+                observer,
+                durable,
+                max_frame: config.max_frame_bytes,
+                highwater: config.write_highwater.max(1),
+            }
+        }
+
+        /// The event loop; returns the service on shutdown.
+        pub(super) fn run(mut self, shutdown: &AtomicBool) -> SpeQuloS {
+            let mut events: Vec<Event> = Vec::new();
+            while !shutdown.load(Ordering::Acquire) {
+                events.clear();
+                // The timeout is a belt-and-braces re-check of the
+                // shutdown flag; `notify` is the real wakeup.
+                if self
+                    .poller
+                    .wait(&mut events, Some(Duration::from_millis(500)))
+                    .is_err()
+                {
+                    break;
+                }
+                for event in events.drain(..) {
+                    if event.key == LISTENER_KEY {
+                        self.accept_burst();
+                    } else {
+                        self.drive(event.key - 1, event.readable, event.writable);
                     }
                 }
-                let response = match observer.as_mut() {
-                    None => service.handle(request, at),
-                    Some(observe) => {
-                        let kind = request.kind();
-                        let start = std::time::Instant::now();
-                        let response = service.handle(request, at);
-                        observe(kind, start.elapsed());
-                        response
+            }
+            self.service
+        }
+
+        /// Accepts until the listener runs dry, then re-arms it.
+        fn accept_burst(&mut self) {
+            loop {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                };
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Replies are single small frames; Nagle only adds latency.
+                let _ = stream.set_nodelay(true);
+                let slot = match self.free.pop() {
+                    Some(slot) => slot,
+                    None => {
+                        self.conns.push(None);
+                        self.conns.len() - 1
                     }
                 };
-                if let Some(d) = durable.as_mut() {
-                    d.since_snapshot += 1;
-                    if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
-                        // The service now reflects exactly the appended
-                        // records, so the snapshot's `applied` count is
-                        // truthful. Failure is non-fatal: the log alone
-                        // recovers exactly; retry after the next period
-                        // rather than on every request.
-                        let _ = d.wal.snapshot(&service);
-                        d.since_snapshot = 0;
+                if self.poller.add(&stream, Event::readable(slot + 1)).is_err() {
+                    // Out of poller budget: refuse by dropping the socket.
+                    self.free.push(slot);
+                    continue;
+                }
+                self.conns[slot] = Some(Conn {
+                    stream,
+                    phase: Phase::AwaitHello,
+                    rbuf: Vec::new(),
+                    rpos: 0,
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    close_after_flush: false,
+                    read_closed: false,
+                });
+            }
+            let _ = self
+                .poller
+                .modify(&self.listener, Event::readable(LISTENER_KEY));
+        }
+
+        /// One connection's turn: pull bytes, serve complete frames,
+        /// push replies, re-arm or close.
+        fn drive(&mut self, slot: usize, readable: bool, writable: bool) {
+            // Take the connection out of its slot so serving requests can
+            // borrow the service mutably alongside it.
+            let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+                return;
+            };
+            let verdict = self.step(&mut conn, readable, writable);
+            match verdict {
+                Verdict::Close => {
+                    let _ = self.poller.delete(&conn.stream);
+                    self.free.push(slot);
+                }
+                Verdict::Keep => {
+                    // Re-arm (oneshot poller): read unless backpressured
+                    // or closing, write only while replies are queued.
+                    let interest = Event {
+                        key: slot + 1,
+                        readable: !conn.close_after_flush
+                            && !conn.read_closed
+                            && conn.pending_write() < self.highwater,
+                        writable: conn.pending_write() > 0,
+                    };
+                    if self.poller.modify(&conn.stream, interest).is_err() {
+                        self.free.push(slot);
+                        return;
+                    }
+                    self.conns[slot] = Some(conn);
+                }
+            }
+        }
+
+        fn step(&mut self, conn: &mut Conn, readable: bool, writable: bool) -> Verdict {
+            if readable && !conn.close_after_flush && !conn.read_closed {
+                match self.fill(conn) {
+                    Ok(()) => {}
+                    Err(()) => return Verdict::Close,
+                }
+            }
+            if let Err(()) = self.serve_buffered(conn) {
+                return Verdict::Close;
+            }
+            if (writable || conn.pending_write() > 0) && self.flush(conn).is_err() {
+                return Verdict::Close;
+            }
+            // Flushing may have drained below the high-water mark:
+            // consume requests that were parked behind backpressure.
+            if let Err(()) = self.serve_buffered(conn) {
+                return Verdict::Close;
+            }
+            if conn.close_after_flush && conn.pending_write() == 0 {
+                return Verdict::Close;
+            }
+            // Half-close drain complete: every decodable request served
+            // (serve_buffered ran to exhaustion) and every reply flushed.
+            if conn.read_closed && conn.pending_write() == 0 {
+                return Verdict::Close;
+            }
+            Verdict::Keep
+        }
+
+        /// Reads the socket dry (or until the frame-size bound says the
+        /// peer is misbehaving). `Err(())` = peer gone.
+        fn fill(&mut self, conn: &mut Conn) -> Result<(), ()> {
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                // A well-formed frame fits in max_frame + header slack; a
+                // buffer beyond that holds garbage the decoder will
+                // reject — stop amplifying it.
+                if conn.rbuf.len() - conn.rpos > self.max_frame + 64 {
+                    return Ok(());
+                }
+                if conn.pending_write() >= self.highwater {
+                    return Ok(()); // backpressured: let the kernel queue it
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // EOF: the peer is done writing, but requests may
+                        // still be buffered and replies unflushed — drain
+                        // before closing (half-close, §1).
+                        conn.read_closed = true;
+                        return Ok(());
+                    }
+                    Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Err(()),
+                }
+            }
+        }
+
+        /// Decodes and serves every complete frame buffered, stopping at
+        /// the backpressure bound. `Err(())` = unrecoverable stream
+        /// (framing violation, hello garbage): drop the connection.
+        fn serve_buffered(&mut self, conn: &mut Conn) -> Result<(), ()> {
+            loop {
+                if conn.pending_write() >= self.highwater || conn.close_after_flush {
+                    break;
+                }
+                let buf = &conn.rbuf[conn.rpos..];
+                match conn.phase {
+                    Phase::AwaitHello => match frame::decode_hello(buf) {
+                        Ok(None) => break,
+                        Ok(Some((HelloOutcome::Legacy, consumed))) => {
+                            conn.rpos += consumed;
+                            conn.phase = Phase::Ready(Codec::Json);
+                        }
+                        Ok(Some((HelloOutcome::Hello(codec), consumed))) => {
+                            conn.rpos += consumed;
+                            conn.wbuf
+                                .extend_from_slice(frame::hello_ack_line(codec).as_bytes());
+                            conn.phase = Phase::Ready(codec);
+                        }
+                        Err(FrameError::BadHello(reason)) => {
+                            // A recognizable-but-wrong hello gets a
+                            // refusal line before the close (§2.2);
+                            // arbitrary garbage gets nothing.
+                            if buf.first() == Some(&b'S') {
+                                conn.wbuf
+                                    .extend_from_slice(frame::hello_err_line(&reason).as_bytes());
+                                conn.close_after_flush = true;
+                                break;
+                            }
+                            self.compact(conn);
+                            return Err(());
+                        }
+                        Err(_) => {
+                            self.compact(conn);
+                            return Err(());
+                        }
+                    },
+                    Phase::Ready(Codec::Json) => {
+                        match frame::decode_json_frame(buf, self.max_frame) {
+                            Ok(None) => break,
+                            Ok(Some((payload, consumed))) => {
+                                conn.rpos += consumed;
+                                let reply = self.serve_json(&payload);
+                                frame::write_frame(&mut conn.wbuf, &reply.to_json())
+                                    .expect("Vec<u8> writes are infallible");
+                            }
+                            Err(_) => {
+                                // Framing violation: reader and writer
+                                // have lost agreement — no resync.
+                                self.compact(conn);
+                                return Err(());
+                            }
+                        }
+                    }
+                    Phase::Ready(Codec::Binary) => {
+                        match frame::decode_binary_frame(buf, self.max_frame) {
+                            Ok(None) => break,
+                            Ok(Some((payload, consumed))) => {
+                                conn.rpos += consumed;
+                                let reply = self.serve_binary(&payload);
+                                frame::write_binary_frame(
+                                    &mut conn.wbuf,
+                                    &binary::encode_response(&reply),
+                                )
+                                .expect("Vec<u8> writes are infallible");
+                            }
+                            Err(_) => {
+                                self.compact(conn);
+                                return Err(());
+                            }
+                        }
                     }
                 }
-                // A send error means the session died mid-request (client
-                // hung up); the state change stands, the reply is moot.
+            }
+            self.compact(conn);
+            Ok(())
+        }
+
+        /// Drops the consumed front of the read buffer — once per event,
+        /// so serving N buffered frames costs one memmove, not N.
+        fn compact(&self, conn: &mut Conn) {
+            if conn.rpos > 0 {
+                conn.rbuf.drain(..conn.rpos);
+                conn.rpos = 0;
+            }
+        }
+
+        fn serve_json(&mut self, payload: &str) -> ResponseEnvelope {
+            match RequestEnvelope::from_json(payload) {
+                Ok(envelope) => self.serve(envelope),
+                // A decodable frame with a bad payload is answered, not
+                // dropped: the stream itself is still healthy (§7).
+                Err(e) => ResponseEnvelope {
+                    id: peek_id(payload).unwrap_or(0),
+                    response: Response::Error(RequestError::Invalid(format!("bad envelope: {e}"))),
+                },
+            }
+        }
+
+        fn serve_binary(&mut self, payload: &[u8]) -> ResponseEnvelope {
+            match binary::decode_request(payload) {
+                Ok(envelope) => self.serve(envelope),
+                Err(e) => ResponseEnvelope {
+                    id: binary::peek_id(payload).unwrap_or(0),
+                    response: Response::Error(RequestError::Invalid(format!("bad envelope: {e}"))),
+                },
+            }
+        }
+
+        /// The request path: append-before-dispatch, handle, snapshot
+        /// bookkeeping — inline, exactly what the threaded design's
+        /// dispatch loop did per mailbox job.
+        fn serve(&mut self, envelope: RequestEnvelope) -> ResponseEnvelope {
+            let RequestEnvelope { id, at, request } = envelope;
+            // Write-ahead: the record must be durable before the state
+            // changes. A batch is one record — atomic in the log exactly
+            // as it is atomic in dispatch.
+            if let Some(d) = self.durable.as_mut() {
+                if let Err(e) = d.wal.append(at, &request) {
+                    let response = Response::Error(RequestError::Transport(format!(
+                        "write-ahead log append failed: {e}"
+                    )));
+                    return ResponseEnvelope { id, response }; // not durable ⇒ not dispatched
+                }
+            }
+            let response = match self.observer.as_mut() {
+                None => self.service.handle(request, at),
+                Some(observe) => {
+                    let kind = request.kind();
+                    let start = std::time::Instant::now();
+                    let response = self.service.handle(request, at);
+                    observe(kind, start.elapsed());
+                    response
+                }
+            };
+            if let Some(d) = self.durable.as_mut() {
+                d.since_snapshot += 1;
+                if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
+                    // The service now reflects exactly the appended
+                    // records, so the snapshot's `applied` count is
+                    // truthful. Failure is non-fatal: the log alone
+                    // recovers exactly; retry after the next period
+                    // rather than on every request.
+                    let _ = d.wal.snapshot(&self.service);
+                    d.since_snapshot = 0;
+                }
+            }
+            ResponseEnvelope { id, response }
+        }
+
+        /// Writes until the kernel stops accepting or the buffer drains.
+        fn flush(&self, conn: &mut Conn) -> Result<(), ()> {
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => return Err(()),
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Err(()),
+                }
+            }
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            Ok(())
+        }
+    }
+}
+
+mod threaded {
+    //! The retired thread-per-connection deployment, kept verbatim as
+    //! the baseline [`Server::spawn_threaded`] benchmarks the reactor
+    //! against. Legacy JSON only (no hello); see the module docs of
+    //! [`super`] for the reactor that replaced it.
+
+    use super::*;
+    use crate::frame::{read_frame, write_frame};
+    use std::io::{BufReader, BufWriter};
+    use std::sync::mpsc::{self, SyncSender};
+    use std::sync::Mutex;
+
+    struct Job {
+        envelope: RequestEnvelope,
+        reply: SyncSender<ResponseEnvelope>,
+    }
+
+    type SessionRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+    pub(super) struct Parts {
+        shutdown: Arc<AtomicBool>,
+        sessions: SessionRegistry,
+        accept: Option<JoinHandle<()>>,
+        dispatch: Option<JoinHandle<SpeQuloS>>,
+        mailbox: Option<SyncSender<Job>>,
+    }
+
+    impl Parts {
+        pub(super) fn stop(mut self, addr: SocketAddr) -> SpeQuloS {
+            let dispatch = self.dispatch.take().expect("stop is called once");
+            self.shutdown.store(true, Ordering::Release);
+            // Wake the blocking `accept` so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            if let Some(accept) = self.accept.take() {
+                let _ = accept.join();
+            }
+            let drained: Vec<(JoinHandle<()>, TcpStream)> = {
+                let mut guard = self.sessions.lock().expect("registry");
+                guard.drain(..).collect()
+            };
+            for (handle, stream) in drained {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                let _ = handle.join();
+            }
+            // All mailbox senders are gone once this drops, so the
+            // dispatch loop drains what is queued and returns the service.
+            self.mailbox = None;
+            dispatch.join().expect("dispatch loop never panics")
+        }
+    }
+
+    pub(super) fn spawn(
+        service: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<(SocketAddr, Parts)> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sessions: SessionRegistry = Arc::new(Mutex::new(Vec::new()));
+        let (mailbox, jobs) = mpsc::sync_channel::<Job>(config.mailbox_depth.max(1));
+
+        let dispatch = thread::spawn(move || {
+            let mut service = service;
+            while let Ok(job) = jobs.recv() {
+                let RequestEnvelope { id, at, request } = job.envelope;
+                let response = service.handle(request, at);
                 let _ = job.reply.send(ResponseEnvelope { id, response });
             }
             service
@@ -295,139 +852,65 @@ impl Server {
                     let mailbox = mailbox.clone();
                     let handle = thread::spawn(move || session(stream, mailbox, max_frame));
                     let mut registry = sessions.lock().expect("registry");
-                    // Prune sessions whose clients already hung up, so a
-                    // long-lived server under connection churn does not
-                    // accumulate one duplicated fd per past connection
-                    // (dropping a finished handle just detaches it).
                     registry.retain(|(h, _)| !h.is_finished());
                     registry.push((handle, registered));
                 }
             })
         };
 
-        Ok(ServerHandle {
+        Ok((
             addr,
-            shutdown,
-            sessions,
-            accept: Some(accept),
-            dispatch: Some(dispatch),
-            mailbox: Some(mailbox),
-        })
-    }
-
-    /// [`Server::spawn`] on `127.0.0.1:0` with the default configuration —
-    /// the loopback deployment the harness's `Transport::Loopback` mode
-    /// and the integration tests use.
-    pub fn spawn_loopback(service: SpeQuloS) -> io::Result<ServerHandle> {
-        Server::spawn(service, "127.0.0.1:0", ServerConfig::default())
-    }
-}
-
-/// A running server. Dropping the handle shuts the server down (and
-/// discards the service); call [`ServerHandle::into_service`] to shut
-/// down *and* recover the service state.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    sessions: SessionRegistry,
-    accept: Option<JoinHandle<()>>,
-    dispatch: Option<JoinHandle<SpeQuloS>>,
-    mailbox: Option<SyncSender<Job>>,
-}
-
-impl ServerHandle {
-    /// The bound address — with `"127.0.0.1:0"` this carries the actual
-    /// port clients must connect to.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stops the server and returns the service with every state change
-    /// the request stream produced. In-flight requests finish first;
-    /// connections still open are dropped.
-    pub fn into_service(mut self) -> SpeQuloS {
-        self.stop().expect("first stop returns the service")
-    }
-
-    /// Idempotent teardown; returns the service on the first call.
-    fn stop(&mut self) -> Option<SpeQuloS> {
-        let dispatch = self.dispatch.take()?;
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the blocking `accept` so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        // Disconnect lingering sessions; their threads exit on the next
-        // read/write against the closed socket.
-        let drained: Vec<(JoinHandle<()>, TcpStream)> = {
-            let mut guard = self.sessions.lock().expect("registry");
-            guard.drain(..).collect()
-        };
-        for (handle, stream) in drained {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            let _ = handle.join();
-        }
-        // All mailbox senders are gone once this template drops, so the
-        // dispatch loop drains what is queued and returns the service.
-        self.mailbox = None;
-        Some(dispatch.join().expect("dispatch loop never panics"))
-    }
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        let _ = self.stop();
-    }
-}
-
-/// One connection: read frame → mailbox → reply → write frame, until the
-/// client hangs up or the stream desynchronizes.
-fn session(stream: TcpStream, mailbox: SyncSender<Job>, max_frame: usize) {
-    // Loopback exchanges are single small frames; Nagle only adds latency.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let (reply, replies) = mpsc::sync_channel::<ResponseEnvelope>(1);
-
-    loop {
-        let payload = match read_frame(&mut reader, max_frame) {
-            Ok(Some(payload)) => payload,
-            // Clean disconnect, or a framing violation we cannot resync
-            // from (lengths out of agreement): drop the connection. A
-            // *decodable* frame with a bad payload is answered below
-            // instead — the stream itself is still healthy.
-            Ok(None) | Err(_) => return,
-        };
-        let outcome = match RequestEnvelope::from_json(&payload) {
-            Ok(envelope) => {
-                if mailbox
-                    .send(Job {
-                        envelope,
-                        reply: reply.clone(),
-                    })
-                    .is_err()
-                {
-                    return; // server shutting down
-                }
-                match replies.recv() {
-                    Ok(out) => out,
-                    Err(_) => return,
-                }
-            }
-            Err(e) => ResponseEnvelope {
-                id: peek_id(&payload).unwrap_or(0),
-                response: Response::Error(RequestError::Invalid(format!("bad envelope: {e}"))),
+            Parts {
+                shutdown,
+                sessions,
+                accept: Some(accept),
+                dispatch: Some(dispatch),
+                mailbox: Some(mailbox),
             },
+        ))
+    }
+
+    fn session(stream: TcpStream, mailbox: SyncSender<Job>, max_frame: usize) {
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
         };
-        if write_frame(&mut writer, &outcome.to_json()).is_err() {
-            return;
-        }
-        if io::Write::flush(&mut writer).is_err() {
-            return;
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let (reply, replies) = mpsc::sync_channel::<ResponseEnvelope>(1);
+
+        loop {
+            let payload = match read_frame(&mut reader, max_frame) {
+                Ok(Some(payload)) => payload,
+                Ok(None) | Err(_) => return,
+            };
+            let outcome = match RequestEnvelope::from_json(&payload) {
+                Ok(envelope) => {
+                    if mailbox
+                        .send(Job {
+                            envelope,
+                            reply: reply.clone(),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    match replies.recv() {
+                        Ok(out) => out,
+                        Err(_) => return,
+                    }
+                }
+                Err(e) => ResponseEnvelope {
+                    id: peek_id(&payload).unwrap_or(0),
+                    response: Response::Error(RequestError::Invalid(format!("bad envelope: {e}"))),
+                },
+            };
+            if write_frame(&mut writer, &outcome.to_json()).is_err() {
+                return;
+            }
+            if io::Write::flush(&mut writer).is_err() {
+                return;
+            }
         }
     }
 }
@@ -439,6 +922,8 @@ mod tests {
     use simcore::SimTime;
     use spequlos::protocol::Request;
     use spequlos::UserId;
+    use std::io::{BufRead, BufReader, BufWriter};
+    use std::sync::Mutex;
 
     #[test]
     fn serves_one_client_and_returns_the_state() {
@@ -507,6 +992,58 @@ mod tests {
     }
 
     #[test]
+    fn both_codecs_drive_the_same_service() {
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let mut json = RemoteService::connect_with(handle.addr(), Codec::Json).expect("json");
+        let mut bin = RemoteService::connect_with(handle.addr(), Codec::Binary).expect("bin");
+        assert_eq!(json.codec(), Codec::Json);
+        assert_eq!(bin.codec(), Codec::Binary);
+        let r = json.handle(
+            Request::Deposit {
+                user: UserId(1),
+                credits: 10.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Deposited { balance, .. } if balance == 10.0));
+        let r = bin.handle(
+            Request::Deposit {
+                user: UserId(1),
+                credits: 5.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(
+            matches!(r, Response::Deposited { balance, .. } if balance == 15.0),
+            "binary connection sees state built over the JSON one: {r:?}"
+        );
+        drop(json);
+        drop(bin);
+        let service = handle.into_service();
+        assert_eq!(service.credits.balance(UserId(1)), 15.0);
+    }
+
+    #[test]
+    fn a_garbage_hello_is_refused_with_an_err_line() {
+        use std::io::Write;
+
+        let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(b"SPQ/1 gzip\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("refusal line");
+        assert!(
+            line.starts_with("SPQ/1 err"),
+            "unknown codec gets a refusal, got {line:?}"
+        );
+        // …after which the connection closes.
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+    }
+
+    #[test]
     fn tiny_mailbox_backpressures_instead_of_failing() {
         let config = ServerConfig {
             mailbox_depth: 1,
@@ -541,8 +1078,48 @@ mod tests {
     }
 
     #[test]
+    fn a_tiny_write_highwater_still_serves_a_pipelined_flood() {
+        // Force the byte-denominated backpressure path (PROTOCOL.md §9):
+        // with a 64-byte high-water mark, a client that pipelines 200
+        // requests before reading anything must still get every reply.
+        use std::io::Write;
+
+        let config = ServerConfig {
+            write_highwater: 64,
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(SpeQuloS::new(), "127.0.0.1:0", config).expect("bind loopback");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        const N: u64 = 200;
+        for id in 0..N {
+            let env = RequestEnvelope {
+                id,
+                at: SimTime::ZERO,
+                request: Request::Deposit {
+                    user: UserId(1),
+                    credits: 1.0,
+                },
+            };
+            frame::write_frame(&mut writer, &env.to_json()).unwrap();
+        }
+        writer.flush().unwrap();
+        for id in 0..N {
+            let reply = frame::read_frame(&mut reader, MAX_FRAME_BYTES)
+                .expect("read")
+                .expect("reply");
+            let envelope = ResponseEnvelope::from_json(&reply).expect("decodes");
+            assert_eq!(envelope.id, id, "replies arrive in order");
+        }
+        drop(reader);
+        drop(writer);
+        let service = handle.into_service();
+        assert_eq!(service.credits.balance(UserId(1)), N as f64);
+    }
+
+    #[test]
     fn malformed_payloads_get_error_replies_and_the_session_survives() {
-        use crate::frame;
         use std::io::Write;
 
         let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
@@ -651,6 +1228,25 @@ mod tests {
     }
 
     #[test]
+    fn the_threaded_baseline_still_serves_legacy_clients() {
+        let handle =
+            Server::spawn_threaded(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default())
+                .expect("bind loopback");
+        let mut remote = RemoteService::connect_legacy(handle.addr()).expect("connect");
+        let r = remote.handle(
+            Request::Deposit {
+                user: UserId(2),
+                credits: 7.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Deposited { .. }));
+        drop(remote);
+        let service = handle.into_service();
+        assert_eq!(service.credits.balance(UserId(2)), 7.0);
+    }
+
+    #[test]
     fn dropping_the_handle_shuts_the_server_down() {
         let handle = Server::spawn_loopback(SpeQuloS::new()).expect("bind loopback");
         let addr = handle.addr();
@@ -661,7 +1257,7 @@ mod tests {
         if let Ok(stream) = outcome {
             let mut reader = BufReader::new(stream);
             assert!(matches!(
-                read_frame(&mut reader, MAX_FRAME_BYTES),
+                crate::frame::read_frame(&mut reader, MAX_FRAME_BYTES),
                 Ok(None) | Err(_)
             ));
         }

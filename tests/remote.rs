@@ -14,7 +14,7 @@ use simcore::SimTime;
 use spequlos::protocol::{self, Request, Response, SpqService};
 use spequlos::{SpeQuloS, StrategyCombo, UserId};
 use spq_harness::{Experiment, MwKind, Scenario, TenantArrivals};
-use spq_server::{RemoteService, Server};
+use spq_server::{Codec, RemoteService, Server};
 
 fn scenario(seed: u64) -> Scenario {
     let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
@@ -56,6 +56,59 @@ fn quickstart_scenario_over_loopback_is_bit_identical() {
         local_svc.credits.total_outstanding(),
         remote_svc.credits.total_outstanding()
     );
+}
+
+#[test]
+fn the_negotiated_binary_codec_reproduces_the_same_run_bit_identically() {
+    // The codec is a frame-format choice, not a semantic one
+    // (PROTOCOL.md §5): the same scenario driven over loopback under
+    // JSON and under the negotiated binary codec must agree on every
+    // metric and on the server-side transcript bytes.
+    let sc = scenario(2024);
+    let (json, json_svc) = Experiment::new(sc.clone()).loopback().run_qos();
+    let (bin, bin_svc) = Experiment::new(sc)
+        .loopback()
+        .codec(Codec::Binary)
+        .run_qos();
+
+    assert_eq!(json.completed, bin.completed);
+    assert_eq!(json.completion_secs, bin.completion_secs);
+    assert_eq!(json.events, bin.events);
+    assert_eq!(json.credits_provisioned, bin.credits_provisioned);
+    assert_eq!(json.credits_spent, bin.credits_spent);
+    assert_eq!(json.cloud, bin.cloud);
+    assert_eq!(
+        json.completed_series.points(),
+        bin.completed_series.points()
+    );
+    assert_eq!(json_svc.log(), bin_svc.log());
+    assert_eq!(
+        protocol::encode_log(json_svc.log()),
+        protocol::encode_log(bin_svc.log()),
+        "transcripts byte-identical across codecs"
+    );
+    assert_eq!(
+        json_svc.credits.balance(UserId(0)),
+        bin_svc.credits.balance(UserId(0))
+    );
+}
+
+#[test]
+fn multi_tenant_over_loopback_serves_both_codecs_to_one_transcript() {
+    // Same shape for the multi-tenant path: all tenant connections
+    // negotiate the binary codec, results match the JSON run exactly.
+    let base = scenario(64);
+    let exp = Experiment::new(base).tenants(3).pool(5);
+    let json = exp.clone().loopback().run_multi_tenant();
+    let bin = exp.loopback().codec(Codec::Binary).run_multi_tenant();
+
+    assert_eq!(json.events, bin.events);
+    assert_eq!(json.service.log(), bin.service.log());
+    for (a, b) in json.tenants.iter().zip(&bin.tenants) {
+        assert_eq!(a.metrics.completion_secs, b.metrics.completion_secs);
+        assert_eq!(a.metrics.credits_spent, b.metrics.credits_spent);
+        assert_eq!(a.qos, b.qos);
+    }
 }
 
 #[test]
