@@ -13,16 +13,28 @@
 //!    measurement the CI gate has always tracked.
 //! 2. **Wire ladder**: pipelined request/response exchanges over real
 //!    loopback TCP at {1, 64, 1024, 4096} concurrent connections, under
-//!    three server/codec combinations — the poll reactor with the
-//!    negotiated binary codec (PROTOCOL.md §4–§5), the reactor with the
-//!    JSON codec (§3), and the legacy two-threads-per-connection server
-//!    (JSON, §2.3) as the baseline the reactor replaced. The ladder is
-//!    the scaling curve behind the reactor's headline claim: at ≥1k
-//!    connections the reactor sustains ≥10× the baseline's req/s.
+//!    four server/codec combinations — the poll reactor with the
+//!    negotiated binary codec (PROTOCOL.md §4–§5), the sharded server
+//!    ([`LADDER_SHARDS`] shard reactors behind the accept-and-route
+//!    layer, binary codec), the single reactor with the JSON codec (§3),
+//!    and the legacy two-threads-per-connection server (JSON, §2.3) as
+//!    the baseline the reactor replaced. The ladder is the scaling curve
+//!    behind the reactor's headline claim: at ≥1k connections the
+//!    reactor sustains ≥10× the baseline's req/s.
+//!
+//! Each ladder connection deposits as its own user (user = global
+//! connection index), so on the sharded rung the connections spread
+//! evenly across shards and every request stays shard-local. Honesty
+//! note on the sharded rung: shard parallelism needs cores — on a
+//! single-core host the shard reactors time-slice one CPU and
+//! `c<conns>_sharded_speedup` lands ≈1.0 (slightly below, paying for
+//! the router hop); the ≥3× figure is only observable on a multi-core
+//! host. See BENCHMARKS.md § Sharded ladder.
 //!
 //! Emits `BENCH_repro_protocol.json` for the `spq-bench compare` CI
 //! gate; the per-rung req/s and reactor-vs-threaded speedups land in the
-//! telemetry `config` map (keys `c<conns>_<mode>_rps`, `c<conns>_speedup`).
+//! telemetry `config` map (keys `c<conns>_<mode>_rps`, `c<conns>_speedup`,
+//! `c<conns>_sharded_speedup`).
 //!
 //! `--scale` multiplies the number of concurrent BoTs in the in-process
 //! phase (default 200 at scale 1.0); `--seeds` repeats that workload to
@@ -39,7 +51,10 @@ use spq_server::frame::{
     read_binary_frame, read_frame, read_hello_ack, write_binary_frame, write_frame, write_hello,
     Codec,
 };
-use spq_server::{binary, RequestEnvelope, ResponseEnvelope, Server, ServerConfig, ServerHandle};
+use spq_server::{
+    binary, RequestEnvelope, ResponseEnvelope, Server, ServerConfig, ServerHandle, ShardConfig,
+    ShardedHandle, ShardedServer,
+};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
@@ -146,10 +161,33 @@ const RUNG_TARGET: usize = 32_000;
 /// reactor rungs keep climbing.
 const THREADED_MAX_CONNS: usize = 1024;
 
+/// Shard count of the sharded ladder rung. Four keeps the rung honest
+/// on small hosts (thread oversubscription stays mild) while still
+/// exercising the router + per-shard reactors end to end.
+const LADDER_SHARDS: u32 = 4;
+
+/// Keeps whichever server a rung spawned alive for the rung's duration.
+enum LadderServer {
+    Single(ServerHandle),
+    Sharded(ShardedHandle),
+}
+
+impl LadderServer {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            LadderServer::Single(h) => h.addr(),
+            LadderServer::Sharded(h) => h.addr(),
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum WireMode {
     /// Poll reactor, negotiated binary codec (§4–§5).
     ReactorBin,
+    /// Sharded server: [`LADDER_SHARDS`] shard reactors behind the
+    /// accept-and-route layer, negotiated binary codec.
+    ShardedBin,
     /// Poll reactor, negotiated JSON codec (§3).
     ReactorJson,
     /// Legacy two-threads-per-connection server, JSON without a hello
@@ -161,23 +199,30 @@ impl WireMode {
     fn key(self) -> &'static str {
         match self {
             WireMode::ReactorBin => "reactor_bin",
+            WireMode::ShardedBin => "sharded_bin",
             WireMode::ReactorJson => "reactor_json",
             WireMode::ThreadedJson => "threaded_json",
         }
     }
 
-    fn spawn(self) -> io::Result<ServerHandle> {
+    fn spawn(self) -> io::Result<LadderServer> {
         match self {
             WireMode::ThreadedJson => {
                 Server::spawn_threaded(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default())
+                    .map(LadderServer::Single)
             }
-            _ => Server::spawn(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default()),
+            WireMode::ShardedBin => {
+                ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::new(LADDER_SHARDS))
+                    .map(LadderServer::Sharded)
+            }
+            _ => Server::spawn(SpeQuloS::new(), "127.0.0.1:0", ServerConfig::default())
+                .map(LadderServer::Single),
         }
     }
 
     fn codec(self) -> Codec {
         match self {
-            WireMode::ReactorBin => Codec::Binary,
+            WireMode::ReactorBin | WireMode::ShardedBin => Codec::Binary,
             _ => Codec::Json,
         }
     }
@@ -187,11 +232,15 @@ struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// The account this connection deposits into: the global connection
+    /// index, so the sharded rung spreads connections across shards and
+    /// every request stays local to the shard that owns the connection.
+    user: u64,
 }
 
 /// Connects one ladder client, performing the hello exchange on the
 /// reactor modes (the threaded baseline predates negotiation).
-fn connect(addr: SocketAddr, mode: WireMode) -> io::Result<Conn> {
+fn connect(addr: SocketAddr, mode: WireMode, user: u64) -> io::Result<Conn> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::with_capacity(4096, stream.try_clone()?);
@@ -206,19 +255,20 @@ fn connect(addr: SocketAddr, mode: WireMode) -> io::Result<Conn> {
         reader,
         writer,
         next_id: 0,
+        user,
     })
 }
 
 /// Writes one pipelined window (`WINDOW` deposits, one flush) without
 /// waiting for replies, so a client thread can put its whole hand of
 /// connections in flight before it starts reading.
-fn write_window(conn: &mut Conn, codec: Codec, user: u64) -> io::Result<()> {
+fn write_window(conn: &mut Conn, codec: Codec) -> io::Result<()> {
     for _ in 0..WINDOW {
         let envelope = RequestEnvelope {
             id: conn.next_id,
             at: SimTime::ZERO,
             request: Request::Deposit {
-                user: UserId(user),
+                user: UserId(conn.user),
                 credits: 1.0,
             },
         };
@@ -276,8 +326,8 @@ fn rung(mode: WireMode, conns: usize, client_threads: usize) -> io::Result<(u64,
     // rate even on the widest rungs.
     let rounds = (RUNG_TARGET / (conns * WINDOW)).max(4);
     let mut endpoints = Vec::with_capacity(conns);
-    for _ in 0..conns {
-        endpoints.push(connect(addr, mode)?);
+    for i in 0..conns {
+        endpoints.push(connect(addr, mode, i as u64)?);
     }
     // Deal connections round-robin into per-thread hands.
     let mut hands: Vec<Vec<Conn>> = (0..client_threads).map(|_| Vec::new()).collect();
@@ -289,8 +339,7 @@ fn rung(mode: WireMode, conns: usize, client_threads: usize) -> io::Result<(u64,
     let served: u64 = std::thread::scope(|scope| {
         let workers: Vec<_> = hands
             .into_iter()
-            .enumerate()
-            .map(|(t, mut hand)| {
+            .map(|mut hand| {
                 scope.spawn(move || -> io::Result<u64> {
                     let mut served = 0u64;
                     for _ in 0..rounds {
@@ -299,7 +348,7 @@ fn rung(mode: WireMode, conns: usize, client_threads: usize) -> io::Result<(u64,
                         // of ready connections per poll() wait, which is
                         // what the ladder is there to exercise.
                         for conn in &mut hand {
-                            write_window(conn, codec, t as u64)?;
+                            write_window(conn, codec)?;
                         }
                         for conn in &mut hand {
                             served += read_window(conn, codec)? as u64;
@@ -357,10 +406,12 @@ fn main() {
 
         text.push_str(&format!(
             "\nWire ladder — pipelined loopback exchanges, window {WINDOW}\n\
-             (reactor = poll loop, threaded = 2-threads-per-connection baseline)\n\n"
+             (reactor = poll loop, sharded = {LADDER_SHARDS} shard reactors behind the router,\n\
+              threaded = 2-threads-per-connection baseline)\n\n"
         ));
         text.push_str(
-            "conns    reactor+bin req/s   reactor+json req/s   threaded+json req/s   bin speedup\n",
+            "conns    reactor+bin req/s   sharded+bin req/s   reactor+json req/s   \
+             threaded+json req/s   bin speedup   shard speedup\n",
         );
         for &conns in &LADDER {
             let client_threads = if o.threads > 0 {
@@ -371,8 +422,10 @@ fn main() {
             let mut row: Vec<String> = vec![format!("{conns:<8}")];
             let mut threaded_rps = None;
             let mut bin_rps = None;
+            let mut sharded_rps = None;
             for mode in [
                 WireMode::ReactorBin,
+                WireMode::ShardedBin,
                 WireMode::ReactorJson,
                 WireMode::ThreadedJson,
             ] {
@@ -387,6 +440,7 @@ fn main() {
                         curve.push((conns, mode.key(), rps));
                         match mode {
                             WireMode::ReactorBin => bin_rps = Some(rps),
+                            WireMode::ShardedBin => sharded_rps = Some(rps),
                             WireMode::ThreadedJson => threaded_rps = Some(rps),
                             WireMode::ReactorJson => {}
                         }
@@ -402,6 +456,10 @@ fn main() {
                 (Some(b), Some(t)) if t > 0.0 => row.push(format!("{:>12.1}x", b / t)),
                 _ => row.push(format!("{:>13}", "—")),
             }
+            match (sharded_rps, bin_rps) {
+                (Some(s), Some(b)) if b > 0.0 => row.push(format!("{:>14.2}x", s / b)),
+                _ => row.push(format!("{:>15}", "—")),
+            }
             text.push_str(&row.join(""));
             text.push('\n');
         }
@@ -410,8 +468,12 @@ fn main() {
     print!("{report}");
     spq_harness::write_file(opts.out_dir.join("protocol.txt"), &report).expect("write report");
 
-    let mut tele = tele.with_config("bots", bots);
-    let mut by_rung: std::collections::BTreeMap<usize, (Option<f64>, Option<f64>)> =
+    let mut tele = tele
+        .with_config("bots", bots)
+        .with_config("ladder_shards", LADDER_SHARDS);
+    /// Per-rung throughput by mode: (reactor_bin, threaded_json, sharded_bin).
+    type RungRates = (Option<f64>, Option<f64>, Option<f64>);
+    let mut by_rung: std::collections::BTreeMap<usize, RungRates> =
         std::collections::BTreeMap::new();
     for &(conns, key, rps) in &curve {
         tele = tele.with_config(&format!("c{conns}_{key}_rps"), format!("{rps:.0}"));
@@ -419,13 +481,22 @@ fn main() {
         match key {
             "reactor_bin" => entry.0 = Some(rps),
             "threaded_json" => entry.1 = Some(rps),
+            "sharded_bin" => entry.2 = Some(rps),
             _ => {}
         }
     }
-    for (conns, (bin, threaded)) in by_rung {
+    for (conns, (bin, threaded, sharded)) in by_rung {
         if let (Some(b), Some(t)) = (bin, threaded) {
             if t > 0.0 {
                 tele = tele.with_config(&format!("c{conns}_speedup"), format!("{:.1}", b / t));
+            }
+        }
+        if let (Some(s), Some(b)) = (sharded, bin) {
+            if b > 0.0 {
+                tele = tele.with_config(
+                    &format!("c{conns}_sharded_speedup"),
+                    format!("{:.2}", s / b),
+                );
             }
         }
     }

@@ -78,5 +78,7 @@ pub use protocol::{Request, RequestError, Response, SpqService};
 pub use scheduler::{CloudAction, GreedyUntilTc, Scheduler};
 pub use service::{LogEvent, SpeQuloS, SpeQuloSBuilder};
 pub use snapshot::{encode_state, encode_state_json, restore_state, SnapshotError};
-pub use tenancy::{CloudPool, TenantMetrics};
+pub use tenancy::{
+    route_request, shard_of_bot, shard_of_user, CloudPool, PoolLease, PoolLedger, TenantMetrics,
+};
 pub use wal::{FsyncPolicy, Recovery, RecoveryReport, WalError, WalStore};

@@ -20,7 +20,7 @@ use crate::modules::{InfoBackend, OracleStrategy, SchedulingPolicy};
 use crate::oracle::{Oracle, Prediction, StrategyCombo};
 use crate::progress::BotProgress;
 use crate::scheduler::{CloudAction, Scheduler};
-use crate::tenancy::{CloudPool, TenantMetrics};
+use crate::tenancy::{CloudPool, PoolLease, PoolLedger, TenantMetrics};
 use botwork::BotId;
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -163,6 +163,11 @@ pub struct SpeQuloS {
     pub(crate) strategies: HashMap<u64, StrategyCombo>,
     pub(crate) users: HashMap<u64, UserId>,
     pub(crate) next_bot: u64,
+    /// Stride between successive BoT ids. `1` (the default) allocates
+    /// densely; a shard `i` of `n` allocates `i, i+n, i+2n, …` so that
+    /// `bot.0 % n` names the owning shard
+    /// ([`crate::tenancy::shard_of_bot`]).
+    pub(crate) bot_stride: u64,
     pub(crate) log: Vec<(SimTime, LogEvent)>,
     /// Shared cloud-worker pool; `None` (the default) disables arbitration
     /// entirely and preserves single-tenant behaviour bit-for-bit.
@@ -203,6 +208,7 @@ pub struct SpeQuloSBuilder {
     pool: Option<u32>,
     default_strategy: StrategyCombo,
     tick: SimDuration,
+    shard: Option<(u64, u64)>,
 }
 
 impl Default for SpeQuloSBuilder {
@@ -214,6 +220,7 @@ impl Default for SpeQuloSBuilder {
             pool: None,
             default_strategy: StrategyCombo::paper_default(),
             tick: SimDuration::from_secs(60),
+            shard: None,
         }
     }
 }
@@ -261,8 +268,24 @@ impl SpeQuloSBuilder {
         self
     }
 
+    /// Makes the service shard `index` of an `of`-way partition: BoT
+    /// ids start at `index` and advance by `of`, so
+    /// [`crate::tenancy::shard_of_bot`] (`bot.0 % of`) names the owning
+    /// shard without any routing table. `shard(0, 1)` is the default
+    /// dense allocation.
+    ///
+    /// # Panics
+    /// Panics when `of` is zero or `index >= of`.
+    pub fn shard(mut self, index: u64, of: u64) -> Self {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(index < of, "shard index {index} out of range for {of}");
+        self.shard = Some((index, of));
+        self
+    }
+
     /// Assembles the service.
     pub fn build(self) -> SpeQuloS {
+        let (first_bot, stride) = self.shard.unwrap_or((0, 1));
         SpeQuloS {
             info: self.info,
             credits: CreditSystem::new(),
@@ -273,7 +296,8 @@ impl SpeQuloSBuilder {
             tick: self.tick,
             strategies: HashMap::new(),
             users: HashMap::new(),
-            next_bot: 0,
+            next_bot: first_bot,
+            bot_stride: stride,
             log: Vec::new(),
             pool: self.pool.map(CloudPool::new),
             tenants: HashMap::new(),
@@ -344,6 +368,60 @@ impl SpeQuloS {
         self.pool.as_ref()
     }
 
+    /// Stride between successive BoT ids (`1` unless the service is a
+    /// shard of a partition — see [`SpeQuloSBuilder::shard`]).
+    pub fn bot_stride(&self) -> u64 {
+        self.bot_stride
+    }
+
+    /// Re-points the pool at a new capacity — the sharding hook that
+    /// syncs a shard's `CloudPool` to its [`crate::tenancy::PoolLease`]
+    /// quota before admission. A no-op for pool-less services.
+    pub fn set_pool_capacity(&mut self, capacity: u32) {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.set_capacity(capacity);
+        }
+    }
+
+    /// Splits a freshly built template service into `shards`
+    /// independent shard services: shard `i` clones the template's
+    /// modules, allocates BoT ids `i, i+n, i+2n, …`, and (when the
+    /// template has a pool) owns a `CloudPool` sized to its
+    /// [`crate::tenancy::PoolLedger`] quota. Returns the shards plus
+    /// the ledger and per-shard leases when a pool is configured.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or the template already holds state
+    /// (registered BoTs or log entries) — sharding splits a
+    /// configuration, not a live service.
+    pub fn into_shards(
+        self,
+        shards: u32,
+        floor: u32,
+    ) -> (Vec<SpeQuloS>, Option<(PoolLedger, Vec<PoolLease>)>) {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            self.next_bot == 0 && self.log.is_empty(),
+            "into_shards splits a fresh template, not a live service"
+        );
+        let ledger = self
+            .pool
+            .as_ref()
+            .map(|p| PoolLedger::split(p.capacity(), shards, floor));
+        let services = (0..shards)
+            .map(|i| {
+                let mut svc = self.clone();
+                svc.next_bot = u64::from(i);
+                svc.bot_stride = u64::from(shards);
+                if let (Some(pool), Some((ledger, _))) = (svc.pool.as_mut(), ledger.as_ref()) {
+                    pool.set_capacity(ledger.quotas()[i as usize]);
+                }
+                svc
+            })
+            .collect();
+        (services, ledger)
+    }
+
     /// Arbitration counters for a BoT (zeros if it never went through
     /// pool arbitration).
     pub fn tenant_metrics(&self, bot: BotId) -> TenantMetrics {
@@ -359,7 +437,7 @@ impl SpeQuloS {
     /// and returns the `BoTId` the user must tag submissions with.
     pub fn register_qos(&mut self, env: &str, size: u32, user: UserId, now: SimTime) -> BotId {
         let bot = BotId(self.next_bot);
-        self.next_bot += 1;
+        self.next_bot += self.bot_stride;
         self.info.register(bot, env, size, now);
         self.users.insert(bot.0, user);
         self.log.push((

@@ -556,25 +556,29 @@ pub fn encode_state(service: &SpeQuloS) -> Result<Value, SnapshotError> {
         })
         .collect();
 
-    Ok(Value::Obj(vec![
+    let mut config = vec![
+        ("tick".into(), num(service.tick.as_millis() as f64)),
         (
-            "config".into(),
-            Value::Obj(vec![
-                ("tick".into(), num(service.tick.as_millis() as f64)),
-                (
-                    "default_strategy".into(),
-                    strategy_to_value(&service.default_strategy),
-                ),
-                (
-                    "pool_capacity".into(),
-                    service
-                        .pool
-                        .as_ref()
-                        .map(|p| num(f64::from(p.capacity)))
-                        .unwrap_or(Value::Null),
-                ),
-            ]),
+            "default_strategy".into(),
+            strategy_to_value(&service.default_strategy),
         ),
+        (
+            "pool_capacity".into(),
+            service
+                .pool
+                .as_ref()
+                .map(|p| num(f64::from(p.capacity)))
+                .unwrap_or(Value::Null),
+        ),
+    ];
+    // Recorded only for sharded services: omitting the default keeps
+    // every pre-sharding snapshot byte-identical.
+    if service.bot_stride != 1 {
+        config.push(("bot_stride".into(), num(service.bot_stride as f64)));
+    }
+
+    Ok(Value::Obj(vec![
+        ("config".into(), Value::Obj(config)),
         ("credits".into(), credits_to_value(&service.credits)?),
         (
             "favors".into(),
@@ -642,10 +646,32 @@ pub fn restore_state(mut template: SpeQuloS, state: &Value) -> Result<SpeQuloS, 
                 .ok_or_else(|| decode_err("invalid `pool_capacity`"))?,
         ),
     };
-    if pool_capacity != template.pool.as_ref().map(|p| p.capacity) {
+    let bot_stride = match config.get("bot_stride") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .filter(|&s| s >= 1)
+            .ok_or_else(|| decode_err("invalid `bot_stride`"))?,
+    };
+    if bot_stride != template.bot_stride {
         return Err(SnapshotError::ConfigMismatch(format!(
-            "snapshot pool capacity {pool_capacity:?} vs template {:?}",
-            template.pool.as_ref().map(|p| p.capacity)
+            "snapshot bot stride {bot_stride} vs template {}",
+            template.bot_stride
+        )));
+    }
+    let template_capacity = template.pool.as_ref().map(|p| p.capacity);
+    // A shard's pool capacity is its PoolLedger quota, which the
+    // rebalancer moves at runtime — so for sharded templates only the
+    // pool's presence must match; the recorded quota is restored as-is.
+    // Unsharded services keep the strict capacity check.
+    let capacity_ok = if template.bot_stride != 1 {
+        pool_capacity.is_some() == template_capacity.is_some()
+    } else {
+        pool_capacity == template_capacity
+    };
+    if !capacity_ok {
+        return Err(SnapshotError::ConfigMismatch(format!(
+            "snapshot pool capacity {pool_capacity:?} vs template {template_capacity:?}"
         )));
     }
 

@@ -25,8 +25,287 @@
 //!   workers retire, and are released in full when the BoT completes or
 //!   its fleet is stopped.
 
+use crate::credit::UserId;
+use crate::protocol::Request;
 use botwork::BotId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64 finalizer — the stable hash behind user-keyed shard
+/// routing. Fixed constants, no per-process seed: every router, shard
+/// and test agrees on the mapping forever.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The shard that owns `user` in an `shards`-way partition.
+pub fn shard_of_user(user: UserId, shards: u32) -> u32 {
+    debug_assert!(shards >= 1);
+    (splitmix64(user.0) % u64::from(shards.max(1))) as u32
+}
+
+/// The shard that owns `bot` in an `shards`-way partition.
+///
+/// Bot ids are allocated *strided*: shard `i` of `n` starts its
+/// `next_bot` counter at `i` and advances by `n` (see
+/// [`crate::SpeQuloSBuilder::shard`]), so ownership is exactly
+/// `bot.0 % n` — no table lookups, and a bot registered by the shard
+/// that owns its user routes back to that same shard.
+pub fn shard_of_bot(bot: BotId, shards: u32) -> u32 {
+    debug_assert!(shards >= 1);
+    (bot.0 % u64::from(shards.max(1))) as u32
+}
+
+/// Routes one request to its owning shard: user-keyed requests
+/// (`Deposit`, `RegisterQos`) by [`shard_of_user`], bot-keyed requests
+/// by [`shard_of_bot`]. A batch routes by its first routable item;
+/// `None` means the request carries no tenant key (an empty batch) and
+/// the caller may pick any shard.
+pub fn route_request(request: &Request, shards: u32) -> Option<u32> {
+    match request {
+        Request::Deposit { user, .. } | Request::RegisterQos { user, .. } => {
+            Some(shard_of_user(*user, shards))
+        }
+        Request::OrderQos { bot, .. }
+        | Request::Predict { bot }
+        | Request::ReportProgress { bot, .. }
+        | Request::Complete { bot } => Some(shard_of_bot(*bot, shards)),
+        Request::Batch(items) => items.iter().find_map(|r| route_request(r, shards)),
+    }
+}
+
+/// One shard's slot in the [`PoolLedger`]: the quota it may admit
+/// against, and the load it last published.
+#[derive(Debug)]
+struct LedgerSlot {
+    /// Workers this shard's `CloudPool` is currently entitled to.
+    quota: AtomicU32,
+    /// Workers the shard last reported leased (`CloudPool::in_use`).
+    in_use: AtomicU32,
+    /// Outstanding QoS credits on the shard, in milli-credits — the
+    /// weight rebalancing is proportional to.
+    credits_milli: AtomicU64,
+}
+
+struct LedgerInner {
+    slots: Vec<LedgerSlot>,
+    capacity: u32,
+    floor: u32,
+    /// Serializes rebalance passes so quota reads/writes stay coherent.
+    rebalance_lock: Mutex<()>,
+}
+
+/// Global quota accounting for a sharded `CloudPool`: the single
+/// `capacity`-worker pool is split into per-shard quotas, and
+/// [`PoolLedger::rebalance`] periodically moves *slack* quota from
+/// underloaded shards toward the shards holding the most outstanding
+/// QoS credits.
+///
+/// Invariants (checked by tests, preserved by construction):
+///
+/// * **Conservation** — the quotas always sum to exactly `capacity`,
+///   so the global pool bound of PR 2 holds across shards.
+/// * **Floor** — no shard's quota drops below the configured floor, so
+///   a tenant on a cold shard can always be admitted and granted at
+///   least one worker (global no-starvation).
+/// * **Only slack moves** — a shard is never squeezed below the workers
+///   it already leased (`max(floor, in_use)`), so rebalancing can never
+///   push the sum of leases over `capacity`.
+///
+/// The ledger is cheap shared state (`Arc` + atomics): shards publish
+/// load after handling requests and read their quota before admitting;
+/// the rebalancer (a background thread or a deterministic every-K
+/// trigger) is the only writer of quotas.
+#[derive(Clone)]
+pub struct PoolLedger {
+    inner: Arc<LedgerInner>,
+}
+
+impl std::fmt::Debug for PoolLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolLedger")
+            .field("capacity", &self.inner.capacity)
+            .field("floor", &self.inner.floor)
+            .field("quotas", &self.quotas())
+            .finish()
+    }
+}
+
+impl PoolLedger {
+    /// Splits a `capacity`-worker pool across `shards` shards with a
+    /// per-shard quota floor, returning the ledger plus one
+    /// [`PoolLease`] per shard. The initial split is even (remainder to
+    /// the low shards). The floor is clamped to `capacity / shards` so
+    /// the floors themselves always fit.
+    pub fn split(capacity: u32, shards: u32, floor: u32) -> (PoolLedger, Vec<PoolLease>) {
+        let shards = shards.max(1);
+        let floor = floor.min(capacity / shards);
+        let base = capacity / shards;
+        let rem = capacity % shards;
+        let slots = (0..shards)
+            .map(|i| LedgerSlot {
+                quota: AtomicU32::new(base + u32::from(i < rem)),
+                in_use: AtomicU32::new(0),
+                credits_milli: AtomicU64::new(0),
+            })
+            .collect();
+        let ledger = PoolLedger {
+            inner: Arc::new(LedgerInner {
+                slots,
+                capacity,
+                floor,
+                rebalance_lock: Mutex::new(()),
+            }),
+        };
+        let leases = (0..shards as usize)
+            .map(|i| PoolLease {
+                ledger: ledger.clone(),
+                index: i,
+            })
+            .collect();
+        (ledger, leases)
+    }
+
+    /// Total pool capacity across all shards.
+    pub fn capacity(&self) -> u32 {
+        self.inner.capacity
+    }
+
+    /// The configured per-shard quota floor (after clamping).
+    pub fn floor(&self) -> u32 {
+        self.inner.floor
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// A snapshot of every shard's quota, in shard order.
+    pub fn quotas(&self) -> Vec<u32> {
+        self.inner
+            .slots
+            .iter()
+            .map(|s| s.quota.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Sum of all quotas — always equals [`PoolLedger::capacity`].
+    pub fn total_quota(&self) -> u32 {
+        self.quotas().iter().sum()
+    }
+
+    /// One credit-proportional rebalance pass. Each shard is first
+    /// pinned at `max(floor, in_use)` (only slack moves); the remaining
+    /// capacity is apportioned to shards proportionally to their
+    /// outstanding credits (weight `credits + 1`, so idle shards keep a
+    /// claim) by the largest-remainder method with shard-index
+    /// tie-break — fully deterministic in the published loads. Returns
+    /// the number of workers whose quota moved between shards.
+    pub fn rebalance(&self) -> u32 {
+        let _guard = self
+            .inner
+            .rebalance_lock
+            .lock()
+            .expect("pool ledger lock poisoned");
+        let n = self.inner.slots.len();
+        let old: Vec<u32> = self
+            .inner
+            .slots
+            .iter()
+            .map(|s| s.quota.load(Ordering::Acquire))
+            .collect();
+        let pinned: Vec<u32> = self
+            .inner
+            .slots
+            .iter()
+            .map(|s| self.inner.floor.max(s.in_use.load(Ordering::Acquire)))
+            .collect();
+        let pinned_sum: u64 = pinned.iter().map(|&p| u64::from(p)).sum();
+        if pinned_sum > u64::from(self.inner.capacity) {
+            // A transiently over-published load (shards racing the
+            // ledger) — skip this pass rather than shrink a lease.
+            return 0;
+        }
+        let spare = u64::from(self.inner.capacity) - pinned_sum;
+        let weights: Vec<u64> = self
+            .inner
+            .slots
+            .iter()
+            .map(|s| s.credits_milli.load(Ordering::Acquire).saturating_add(1))
+            .collect();
+        let total_w: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+        // Largest-remainder apportionment of `spare` over `weights`.
+        let mut extra = vec![0u64; n];
+        let mut rems: Vec<(u128, usize)> = Vec::with_capacity(n);
+        let mut assigned = 0u64;
+        for i in 0..n {
+            let num = u128::from(spare) * u128::from(weights[i]);
+            extra[i] = (num / total_w) as u64;
+            rems.push((num % total_w, i));
+            assigned += extra[i];
+        }
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut leftover = spare - assigned;
+        for &(_, i) in &rems {
+            if leftover == 0 {
+                break;
+            }
+            extra[i] += 1;
+            leftover -= 1;
+        }
+        let mut moved = 0u32;
+        for i in 0..n {
+            let new = pinned[i] + extra[i] as u32;
+            self.inner.slots[i].quota.store(new, Ordering::Release);
+            moved += new.abs_diff(old[i]);
+        }
+        moved / 2
+    }
+}
+
+/// One shard's handle onto the [`PoolLedger`]: read the quota the shard
+/// may admit against, publish the load rebalancing weighs.
+#[derive(Clone, Debug)]
+pub struct PoolLease {
+    ledger: PoolLedger,
+    index: usize,
+}
+
+impl PoolLease {
+    /// The shard index this lease belongs to.
+    pub fn shard(&self) -> usize {
+        self.index
+    }
+
+    /// The workers this shard's pool is currently entitled to. Shards
+    /// sync their `CloudPool` capacity from this before admitting.
+    pub fn quota(&self) -> u32 {
+        self.ledger.inner.slots[self.index]
+            .quota
+            .load(Ordering::Acquire)
+    }
+
+    /// Publishes the shard's current load: leased workers and
+    /// outstanding QoS credits (the rebalancing weight). Call after
+    /// handling pool-relevant requests; staleness only delays
+    /// rebalancing, it never breaks the conservation invariants.
+    pub fn publish(&self, in_use: u32, outstanding_credits: f64) {
+        let slot = &self.ledger.inner.slots[self.index];
+        slot.in_use.store(in_use, Ordering::Release);
+        let milli = (outstanding_credits.max(0.0) * 1000.0).round() as u64;
+        slot.credits_milli.store(milli, Ordering::Release);
+    }
+
+    /// The ledger this lease draws from.
+    pub fn ledger(&self) -> &PoolLedger {
+        &self.ledger
+    }
+}
 
 /// Lease accounting for the shared cloud-worker pool.
 ///
@@ -98,6 +377,17 @@ impl CloudPool {
     pub(crate) fn release(&mut self, bot: BotId) {
         self.leases.remove(&bot.0);
     }
+
+    /// Re-points the pool at a new capacity — the [`PoolLease`] sync
+    /// hook for sharded deployments, where a shard's quota moves as the
+    /// rebalancer shifts slack between shards. Shrinking below the
+    /// current `in_use` is safe: `available` saturates to zero, so no
+    /// further grants happen until leases retire, and existing leases
+    /// are never revoked (the ledger never shrinks a quota below the
+    /// published `in_use` anyway).
+    pub fn set_capacity(&mut self, capacity: u32) {
+        self.capacity = capacity;
+    }
 }
 
 /// Per-tenant arbitration outcome counters, kept by the service for every
@@ -159,6 +449,94 @@ mod tests {
         pool.sync(A, 2); // workers retired on their own
         assert_eq!(pool.leased(A), 2);
         assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn routing_is_stable_and_congruent_with_striding() {
+        // User routing is a fixed hash: same answer forever.
+        for shards in [1u32, 2, 4, 8] {
+            for u in 0..64u64 {
+                let s = shard_of_user(UserId(u), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_user(UserId(u), shards), "stable");
+            }
+        }
+        // Strided bots: shard i allocates i, i+n, i+2n… so bot routing
+        // is the residue.
+        assert_eq!(shard_of_bot(BotId(5), 4), 1);
+        assert_eq!(shard_of_bot(BotId(8), 4), 0);
+        // Requests route by their tenant key.
+        let dep = Request::Deposit {
+            user: UserId(3),
+            credits: 1.0,
+        };
+        assert_eq!(route_request(&dep, 4), Some(shard_of_user(UserId(3), 4)));
+        let prog = Request::Predict { bot: BotId(6) };
+        assert_eq!(route_request(&prog, 4), Some(2));
+        let batch = Request::Batch(vec![prog.clone(), dep.clone()]);
+        assert_eq!(route_request(&batch, 4), Some(2), "batch routes by head");
+        assert_eq!(route_request(&Request::Batch(vec![]), 4), None);
+    }
+
+    #[test]
+    fn ledger_split_conserves_capacity_and_honors_floor() {
+        let (ledger, leases) = PoolLedger::split(10, 4, 2);
+        assert_eq!(ledger.total_quota(), 10);
+        assert_eq!(ledger.quotas(), vec![3, 3, 2, 2]);
+        assert_eq!(ledger.floor(), 2);
+        assert_eq!(leases.len(), 4);
+        assert_eq!(leases[2].shard(), 2);
+        // Floor larger than an even split clamps.
+        let (ledger, _) = PoolLedger::split(6, 4, 5);
+        assert_eq!(ledger.floor(), 1);
+        assert_eq!(ledger.total_quota(), 6);
+    }
+
+    #[test]
+    fn rebalance_moves_slack_toward_credits_never_below_floor_or_leases() {
+        let (ledger, leases) = PoolLedger::split(16, 4, 1);
+        // Shard 0 holds nearly all outstanding credits; shard 3 leased
+        // 3 workers it must keep.
+        leases[0].publish(0, 90.0);
+        leases[1].publish(0, 0.0);
+        leases[2].publish(0, 0.0);
+        leases[3].publish(3, 10.0);
+        let moved = ledger.rebalance();
+        assert!(moved > 0, "slack must move toward the loaded shard");
+        let q = ledger.quotas();
+        assert_eq!(q.iter().sum::<u32>(), 16, "conservation");
+        assert!(q.iter().all(|&x| x >= 1), "floor holds: {q:?}");
+        assert!(q[3] >= 3, "never squeezed below leased workers: {q:?}");
+        assert!(
+            q[0] > q[1] && q[0] > q[2],
+            "credit-heavy shard gains quota: {q:?}"
+        );
+        // Deterministic: a second pass with identical published loads
+        // is a fixed point.
+        assert_eq!(ledger.rebalance(), 0, "fixed point");
+        assert_eq!(ledger.quotas(), q);
+    }
+
+    #[test]
+    fn rebalance_skips_transiently_overpublished_loads() {
+        let (ledger, leases) = PoolLedger::split(4, 2, 1);
+        let before = ledger.quotas();
+        leases[0].publish(3, 1.0);
+        leases[1].publish(3, 1.0); // sum of pins (3+3) exceeds capacity
+        assert_eq!(ledger.rebalance(), 0);
+        assert_eq!(ledger.quotas(), before, "skipped pass leaves quotas");
+    }
+
+    #[test]
+    fn set_capacity_saturates_grants_without_revoking() {
+        let mut pool = CloudPool::new(10);
+        pool.grant(A, 6);
+        pool.set_capacity(4);
+        assert_eq!(pool.capacity(), 4);
+        assert_eq!(pool.in_use(), 6, "existing leases untouched");
+        assert_eq!(pool.available(), 0, "no further grants");
+        pool.set_capacity(8);
+        assert_eq!(pool.available(), 2);
     }
 
     #[test]

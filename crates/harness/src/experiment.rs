@@ -46,6 +46,7 @@
 //!   your own endpoint (`&mut dyn SpqService` works) for anything beyond
 //!   loopback.
 
+use crate::routed::{RoutedService, SharedRouted};
 use crate::runner::{
     metrics_from, ExecutionMetrics, MultiTenantReport, PairedRun, SessionRecorder, SessionSink,
     SharedService, SharedSpqHook, SpqHook, TenantOutcome,
@@ -56,7 +57,14 @@ use dgrid::{run_many, GridSim, NoQos};
 use simcore::{SimDuration, SimTime};
 use spequlos::protocol::{Request, Response, SpqService};
 use spequlos::{tail_removal_efficiency, SpeQuloS, StrategyCombo, UserId, CREDITS_PER_CPU_HOUR};
-use spq_server::{Codec, RemoteService, Server};
+use spq_server::{Codec, RemoteService, Server, ShardConfig, ShardedServer};
+
+/// Deterministic ledger-rebalance cadence for sharded multi-tenant runs:
+/// one [`spequlos::tenancy::PoolLedger::rebalance`] pass per this many
+/// handled requests, on both transports — part of what keeps the
+/// in-process [`RoutedService`] and the loopback
+/// [`ShardedServer`] bit-identical.
+const SHARD_REBALANCE_EVERY: u64 = 64;
 
 /// Where the SpeQuloS service lives during a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,6 +93,7 @@ pub struct Experiment {
     paired: bool,
     tenants: Option<u32>,
     pool: Option<u32>,
+    shards: u32,
     arrivals: TenantArrivals,
     service: Option<SpeQuloS>,
     transport: Transport,
@@ -183,6 +192,7 @@ impl Experiment {
             paired: false,
             tenants: None,
             pool: None,
+            shards: 1,
             arrivals: TenantArrivals::Simultaneous,
             service: None,
             transport: Transport::InProcess,
@@ -224,6 +234,21 @@ impl Experiment {
     /// Tenant arrival pattern (multi-tenant runs; default simultaneous).
     pub fn arrivals(mut self, arrivals: TenantArrivals) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Partitions a multi-tenant run's service state into `n` shards
+    /// (default 1, unsharded): tenants route by stable hash, the pool
+    /// becomes per-shard quotas under a deterministic rebalancing ledger
+    /// (one pass per `SHARD_REBALANCE_EVERY` = 64 requests). In-process
+    /// runs drive a [`RoutedService`]; loopback runs spawn a real
+    /// `spq_server::ShardedServer`. Results are pinned per shard count:
+    /// the same experiment at the same `n` is bit-identical on either
+    /// transport, but a different `n` partitions the pool differently
+    /// and is a *different* experiment.
+    pub fn shards(mut self, n: u32) -> Self {
+        assert!(n >= 1, "an experiment needs at least one shard");
+        self.shards = n;
         self
     }
 
@@ -483,6 +508,17 @@ impl Experiment {
             .pool(mt.pool_capacity)
             .tick(mt.base.tick)
             .build();
+        if self.shards > 1 {
+            return Self::run_multi_tenant_sharded(
+                &mt,
+                strategy,
+                service,
+                self.shards,
+                self.transport,
+                self.codec,
+                self.record,
+            );
+        }
         match self.transport {
             Transport::InProcess => {
                 let shared = SharedService::new(service);
@@ -540,6 +576,136 @@ impl Experiment {
                 };
                 Self::assemble_report(&mt, runs, meta, handle.into_service())
             }
+        }
+    }
+
+    /// The sharded multi-tenant run: the shared service state is split
+    /// across `shards` services under a rebalancing quota ledger —
+    /// in-process behind a [`RoutedService`], over loopback behind a
+    /// real [`ShardedServer`]. Bit-identical across the two transports
+    /// at a fixed shard count (the driver issues one request at a time,
+    /// so every shard sees the same arrival order either way).
+    fn run_multi_tenant_sharded(
+        mt: &MultiTenantScenario,
+        strategy: StrategyCombo,
+        template: SpeQuloS,
+        shards: u32,
+        transport: Transport,
+        codec: Codec,
+        record: Option<SessionSink>,
+    ) -> MultiTenantReport {
+        match transport {
+            Transport::InProcess => {
+                let shared = SharedRouted::new(RoutedService::new(
+                    template,
+                    shards,
+                    1,
+                    SHARD_REBALANCE_EVERY,
+                ));
+                let (runs, meta) = match record {
+                    Some(sink) => {
+                        let mut admin = SessionRecorder::new(shared.clone(), sink.clone());
+                        let out = Self::drive_multi_tenant(mt, strategy, &mut admin, |_| {
+                            SessionRecorder::new(shared.clone(), sink.clone())
+                        });
+                        drop(admin);
+                        out
+                    }
+                    None => {
+                        let mut admin = shared.clone();
+                        let out =
+                            Self::drive_multi_tenant(mt, strategy, &mut admin, |_| shared.clone());
+                        drop(admin);
+                        out
+                    }
+                };
+                let services = shared
+                    .into_inner()
+                    .unwrap_or_else(|_| panic!("all tenant endpoints dropped with their sims"))
+                    .into_services();
+                Self::assemble_report_sharded(mt, runs, meta, services)
+            }
+            Transport::Loopback => {
+                let shard_cfg = ShardConfig::deterministic(shards, SHARD_REBALANCE_EVERY);
+                let handle = ShardedServer::spawn_loopback(template, shard_cfg)
+                    .expect("bind sharded loopback server");
+                let (runs, meta) = match record {
+                    Some(sink) => {
+                        let mut admin = SessionRecorder::new(
+                            RemoteService::connect_with(handle.addr(), codec)
+                                .expect("connect to sharded loopback server"),
+                            sink.clone(),
+                        );
+                        let out = Self::drive_multi_tenant(mt, strategy, &mut admin, |i| {
+                            SessionRecorder::new(
+                                RemoteService::connect_with(handle.addr(), codec)
+                                    .unwrap_or_else(|e| panic!("connect tenant {i}: {e}")),
+                                sink.clone(),
+                            )
+                        });
+                        drop(admin);
+                        out
+                    }
+                    None => {
+                        let mut admin = RemoteService::connect_with(handle.addr(), codec)
+                            .expect("connect to sharded loopback server");
+                        let out = Self::drive_multi_tenant(mt, strategy, &mut admin, |i| {
+                            RemoteService::connect_with(handle.addr(), codec)
+                                .unwrap_or_else(|e| panic!("connect tenant {i}: {e}"))
+                        });
+                        drop(admin);
+                        out
+                    }
+                };
+                Self::assemble_report_sharded(mt, runs, meta, handle.into_services())
+            }
+        }
+    }
+
+    /// [`Experiment::assemble_report`] over per-shard services: each
+    /// tenant's QoS metrics come from the shard owning its BoT (ids are
+    /// strided, so `bot mod N` names it), and the pool high-water mark
+    /// is the *sum of per-shard peaks* — an upper bound on concurrent
+    /// use, since quotas move between the peaks.
+    fn assemble_report_sharded(
+        mt: &MultiTenantScenario,
+        runs: Vec<TenantRun>,
+        meta: Vec<TenantMeta>,
+        mut services: Vec<SpeQuloS>,
+    ) -> MultiTenantReport {
+        let n = services.len() as u64;
+        let mut tenants = Vec::with_capacity(runs.len());
+        let mut events = 0u64;
+        for (run, (i, user, offset, sc, credits, size)) in runs.into_iter().zip(meta) {
+            events += run.result.events;
+            let provisioned = if run.admitted { credits } else { 0.0 };
+            let metrics = metrics_from(&sc, &run.result, provisioned, run.spent, size);
+            let owner = &services[(run.bot.0 % n) as usize];
+            tenants.push(TenantOutcome {
+                tenant: i,
+                user,
+                bot: run.bot,
+                admitted: run.admitted,
+                offset,
+                metrics,
+                qos: owner.tenant_metrics(run.bot),
+            });
+        }
+        let peak = services
+            .iter()
+            .map(|s| s.pool().map(|p| p.peak_in_use()).unwrap_or_default())
+            .sum();
+        let extra_shards = services.split_off(1);
+        let service = services
+            .pop()
+            .expect("into_shards yields at least one shard");
+        MultiTenantReport {
+            tenants,
+            pool_capacity: mt.pool_capacity,
+            peak_pool_in_use: peak,
+            events,
+            service,
+            extra_shards,
         }
     }
 
@@ -710,6 +876,7 @@ impl Experiment {
             peak_pool_in_use: peak,
             events,
             service,
+            extra_shards: Vec::new(),
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod edgi;
 pub mod experiment;
 pub mod prediction;
 pub mod report;
+pub mod routed;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
@@ -50,6 +51,7 @@ pub use edgi::{run_edgi, EdgiReport};
 pub use experiment::{Experiment, Outcome, Transport};
 pub use prediction::{archive_of, prediction_outcomes, prediction_success_rate};
 pub use report::{pct, secs, write_file, Table};
+pub use routed::{RoutedService, SharedRouted};
 pub use runner::{
     bot_of, ExecutionMetrics, MultiTenantReport, PairedRun, SessionRecorder, SessionSink,
     SharedService, SharedSpqHook, SpqHook, TenantOutcome,

@@ -1,0 +1,233 @@
+//! In-process counterpart of `spq_server::shard`: one [`RoutedService`]
+//! owning N shard services behind a single [`SpqService`] endpoint.
+//!
+//! [`Experiment::shards`](crate::Experiment::shards) runs multi-tenant
+//! experiments against partitioned state on both transports: in-process
+//! it drives a `RoutedService`, over loopback it spawns a real
+//! `ShardedServer`. For the results to be bit-identical the two must
+//! make the same decisions in the same order, so this type mirrors the
+//! server's per-request execute path exactly — route by tenant key
+//! ([`spequlos::tenancy::route_request`]), sync the owning shard's pool
+//! capacity to its [`PoolLease`] quota, dispatch, publish the shard's
+//! load and outstanding credits back to the ledger, and run a
+//! deterministic [`PoolLedger::rebalance`] pass every
+//! `rebalance_every` handled requests. Cross-shard batches are refused
+//! with the same typed error the server gives.
+
+use simcore::SimTime;
+use spequlos::protocol::{Request, RequestError, Response, SpqService};
+use spequlos::tenancy::{route_request, PoolLease, PoolLedger};
+use spequlos::SpeQuloS;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// N shard services behind one endpoint, with quota rebalancing.
+/// Build with [`RoutedService::new`], recover the shards with
+/// [`RoutedService::into_services`].
+#[derive(Debug)]
+pub struct RoutedService {
+    shards: Vec<SpeQuloS>,
+    leases: Vec<Option<PoolLease>>,
+    ledger: Option<PoolLedger>,
+    rebalance_every: u64,
+    handled: u64,
+}
+
+impl RoutedService {
+    /// Splits `template` into `shards` services (shard `i` allocates
+    /// BoT ids `≡ i (mod shards)`; a pooled template's capacity becomes
+    /// per-shard leases with no-starvation floor `floor`) and runs a
+    /// deterministic ledger rebalance every `rebalance_every` handled
+    /// requests.
+    ///
+    /// # Panics
+    /// Panics if the template already has state (see
+    /// [`SpeQuloS::into_shards`]) or `shards == 0`.
+    pub fn new(template: SpeQuloS, shards: u32, floor: u32, rebalance_every: u64) -> Self {
+        assert!(shards >= 1, "a routed service needs at least one shard");
+        let (shards, ledger) = template.into_shards(shards, floor);
+        let (ledger, leases) = match ledger {
+            Some((ledger, leases)) => (Some(ledger), leases.into_iter().map(Some).collect()),
+            None => (None, shards.iter().map(|_| None).collect()),
+        };
+        RoutedService {
+            shards,
+            leases,
+            ledger,
+            rebalance_every: rebalance_every.max(1),
+            handled: 0,
+        }
+    }
+
+    /// Number of shards behind the endpoint.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard services, in shard order.
+    pub fn services(&self) -> &[SpeQuloS] {
+        &self.shards
+    }
+
+    /// Consumes the endpoint and returns the shard services.
+    pub fn into_services(self) -> Vec<SpeQuloS> {
+        self.shards
+    }
+
+    /// The quota ledger, when the template carried a pool.
+    pub fn ledger(&self) -> Option<&PoolLedger> {
+        self.ledger.as_ref()
+    }
+
+    fn execute(&mut self, shard: usize, request: Request, now: SimTime) -> Response {
+        if let Some(lease) = self.leases[shard].as_ref() {
+            self.shards[shard].set_pool_capacity(lease.quota());
+        }
+        let response = self.shards[shard].handle(request, now);
+        if let Some(lease) = self.leases[shard].as_ref() {
+            let in_use = self.shards[shard].pool().map_or(0, |p| p.in_use());
+            lease.publish(in_use, self.shards[shard].credits.total_outstanding());
+        }
+        self.handled += 1;
+        if let Some(ledger) = self.ledger.as_ref() {
+            if self.handled % self.rebalance_every == 0 {
+                ledger.rebalance();
+            }
+        }
+        response
+    }
+}
+
+impl SpqService for RoutedService {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        let n = self.shard_count();
+        if let Request::Batch(items) = &request {
+            let mut targets = items.iter().filter_map(|r| route_request(r, n));
+            if let Some(first) = targets.next() {
+                if targets.any(|t| t != first) {
+                    return Response::Error(RequestError::Invalid(
+                        "batch spans shards: split it per tenant".into(),
+                    ));
+                }
+            }
+        }
+        let shard = route_request(&request, n).unwrap_or(0) as usize;
+        self.execute(shard, request, now)
+    }
+}
+
+/// [`RoutedService`] behind `Rc<RefCell<…>>` clones — the sharded
+/// analogue of [`SharedService`](crate::SharedService), handing every
+/// tenant of an in-process multi-tenant run an endpoint on the same
+/// routed instance.
+#[derive(Clone, Debug)]
+pub struct SharedRouted(Rc<RefCell<RoutedService>>);
+
+impl SharedRouted {
+    /// Wraps a routed service for sharing.
+    pub fn new(routed: RoutedService) -> Self {
+        SharedRouted(Rc::new(RefCell::new(routed)))
+    }
+
+    /// Recovers the routed service once every clone is dropped;
+    /// `Err(self)` while other endpoints are still alive.
+    pub fn into_inner(self) -> Result<RoutedService, SharedRouted> {
+        Rc::try_unwrap(self.0)
+            .map(RefCell::into_inner)
+            .map_err(SharedRouted)
+    }
+}
+
+impl SpqService for SharedRouted {
+    fn handle(&mut self, request: Request, now: SimTime) -> Response {
+        self.0.borrow_mut().handle(request, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spequlos::tenancy::shard_of_user;
+    use spequlos::UserId;
+
+    #[test]
+    fn routes_to_the_owning_shard_and_strides_bot_ids() {
+        const SHARDS: u32 = 4;
+        let mut routed = RoutedService::new(SpeQuloS::with_pool(16), SHARDS, 1, 64);
+        for u in 0..12u64 {
+            let user = UserId(u);
+            let r = routed.handle(
+                Request::Deposit {
+                    user,
+                    credits: 50.0,
+                },
+                SimTime::ZERO,
+            );
+            assert!(matches!(r, Response::Deposited { .. }), "got {r:?}");
+            let r = routed.handle(
+                Request::RegisterQos {
+                    user,
+                    env: "t/XWHEP/R".into(),
+                    size: 8,
+                },
+                SimTime::ZERO,
+            );
+            let Response::Registered { bot } = r else {
+                panic!("expected Registered, got {r:?}");
+            };
+            assert_eq!(
+                bot.0 % u64::from(SHARDS),
+                u64::from(shard_of_user(user, SHARDS))
+            );
+        }
+        let services = routed.into_services();
+        let registered: usize = services.iter().map(|s| s.log().len()).sum();
+        assert!(registered > 0);
+        for u in 0..12u64 {
+            let user = UserId(u);
+            let shard = shard_of_user(user, SHARDS) as usize;
+            assert_eq!(services[shard].credits.balance(user), 50.0);
+        }
+    }
+
+    #[test]
+    fn cross_shard_batch_refused_single_shard_batch_served() {
+        const SHARDS: u32 = 4;
+        let a = UserId(1);
+        let b = (2..999)
+            .map(UserId)
+            .find(|u| shard_of_user(*u, SHARDS) != shard_of_user(a, SHARDS))
+            .expect("some user hashes elsewhere");
+        let mut routed = RoutedService::new(SpeQuloS::new(), SHARDS, 1, 64);
+        let r = routed.handle(
+            Request::Batch(vec![
+                Request::Deposit {
+                    user: a,
+                    credits: 1.0,
+                },
+                Request::Deposit {
+                    user: b,
+                    credits: 1.0,
+                },
+            ]),
+            SimTime::ZERO,
+        );
+        assert!(
+            matches!(&r, Response::Error(RequestError::Invalid(m)) if m.contains("spans shards"))
+        );
+        let r = routed.handle(
+            Request::Batch(vec![
+                Request::Deposit {
+                    user: a,
+                    credits: 1.0,
+                },
+                Request::Deposit {
+                    user: a,
+                    credits: 2.0,
+                },
+            ]),
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Batch(_)));
+    }
+}

@@ -433,19 +433,38 @@ pub struct MultiTenantReport {
     pub tenants: Vec<TenantOutcome>,
     /// Configured pool capacity.
     pub pool_capacity: u32,
-    /// High-water mark of leased cloud workers across all tenants — by
-    /// construction never above `pool_capacity`.
+    /// High-water mark of leased cloud workers across all tenants. On an
+    /// unsharded run this is by construction never above
+    /// `pool_capacity`; on a sharded run
+    /// ([`Experiment::shards`](crate::Experiment::shards)) it is the sum
+    /// of per-shard peaks — an upper bound on concurrent use, which may
+    /// exceed `pool_capacity` because quotas move between the peaks.
     pub peak_pool_in_use: u32,
     /// Total simulation events across all tenants.
     pub events: u64,
-    /// The final service state (credit accounts, archive, favors ledger).
+    /// The final service state (credit accounts, archive, favors
+    /// ledger). On a sharded run, shard 0; the rest are in
+    /// [`MultiTenantReport::extra_shards`].
     pub service: SpeQuloS,
+    /// Shards 1.. of a sharded run, in shard order (empty otherwise).
+    pub extra_shards: Vec<SpeQuloS>,
 }
 
 impl MultiTenantReport {
     /// Tenants whose QoS order was admitted.
     pub fn admitted(&self) -> impl Iterator<Item = &TenantOutcome> {
         self.tenants.iter().filter(|t| t.admitted)
+    }
+
+    /// Every shard's final service, in shard order — `[service]` itself
+    /// on an unsharded run.
+    pub fn shard_services(&self) -> impl Iterator<Item = &SpeQuloS> {
+        std::iter::once(&self.service).chain(self.extra_shards.iter())
+    }
+
+    /// Number of shards the run partitioned state into (1 = unsharded).
+    pub fn shards(&self) -> u32 {
+        1 + self.extra_shards.len() as u32
     }
 }
 

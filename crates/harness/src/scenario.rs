@@ -165,9 +165,12 @@ pub enum TenantArrivals {
 }
 
 impl TenantArrivals {
-    /// Submission offset of each of `n` tenants (deterministic, sorted).
-    pub fn offsets(self, n: u32) -> Vec<SimDuration> {
-        let ramp = |i: u32, shape: fn(f64) -> f64, window: SimDuration| {
+    /// Submission offset of tenant `i` of `n` — O(1), so arrival plans
+    /// for very large tenant populations (the `repro_multitenant
+    /// --tenants 100000` storm) can be generated streamingly instead of
+    /// materialising an O(n) vector up front.
+    pub fn offset_of(self, i: u32, n: u32) -> SimDuration {
+        let ramp = |shape: fn(f64) -> f64, window: SimDuration| {
             let frac = if n <= 1 {
                 0.0
             } else {
@@ -175,15 +178,17 @@ impl TenantArrivals {
             };
             SimDuration::from_secs_f64(window.as_secs_f64() * shape(frac))
         };
-        (0..n)
-            .map(|i| match self {
-                TenantArrivals::Simultaneous => SimDuration::from_secs(0),
-                TenantArrivals::Uniform { window } => ramp(i, |f| f, window),
-                TenantArrivals::TailHeavy { window } => {
-                    ramp(i, |f| 1.0 - (1.0 - f) * (1.0 - f), window)
-                }
-            })
-            .collect()
+        match self {
+            TenantArrivals::Simultaneous => SimDuration::from_secs(0),
+            TenantArrivals::Uniform { window } => ramp(|f| f, window),
+            TenantArrivals::TailHeavy { window } => ramp(|f| 1.0 - (1.0 - f) * (1.0 - f), window),
+        }
+    }
+
+    /// Submission offset of each of `n` tenants (deterministic, sorted);
+    /// the eager form of [`TenantArrivals::offset_of`].
+    pub fn offsets(self, n: u32) -> Vec<SimDuration> {
+        (0..n).map(|i| self.offset_of(i, n)).collect()
     }
 }
 

@@ -65,6 +65,7 @@ pub mod binary;
 pub mod client;
 pub mod frame;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::RemoteService;
@@ -72,4 +73,5 @@ pub use frame::{read_frame, write_frame, Codec, FrameError, MAX_FRAME_BYTES};
 pub use server::{
     DurabilityConfig, DurableError, RequestObserver, Server, ServerConfig, ServerHandle,
 };
+pub use shard::{ShardConfig, ShardedHandle, ShardedServer};
 pub use wire::{RequestEnvelope, ResponseEnvelope};

@@ -148,10 +148,10 @@ impl From<io::Error> for DurableError {
 
 /// Runtime durability state owned by the reactor (or, for the legacy
 /// backend, its dispatch loop).
-struct DurableState {
-    wal: WalStore,
-    snapshot_every: u64,
-    since_snapshot: u64,
+pub(crate) struct DurableState {
+    pub(crate) wal: WalStore,
+    pub(crate) snapshot_every: u64,
+    pub(crate) since_snapshot: u64,
 }
 
 /// Per-request timing observer for [`Server::spawn_observed`]: called

@@ -1,0 +1,1427 @@
+//! Tenant-partitioned sharding: N shard reactors behind one listener.
+//!
+//! The PR 8 reactor serves thousands of connections from one thread —
+//! but it is still *one* thread owning *one* [`SpeQuloS`], so tenant
+//! count cannot scale past one core. This module partitions the service
+//! by tenant: a [`ShardedServer`] runs `N` independent shard reactors
+//! (each a full poll loop owning its own `SpeQuloS`, write-ahead log
+//! and connection set), fronted by an accept-and-route thread.
+//!
+//! # Routing
+//!
+//! Tenant keys map to shards with no routing table
+//! (see [`spequlos::tenancy`]):
+//!
+//! * user-keyed requests (`Deposit`, `RegisterQos`) hash the user id
+//!   ([`spequlos::tenancy::shard_of_user`], a fixed SplitMix64 finalizer);
+//! * bot-keyed requests route by residue ([`spequlos::tenancy::shard_of_bot`], exact
+//!   because shard `i` allocates BoT ids `i, i+N, i+2N, …` — the
+//!   [`SpeQuloSBuilder::shard`](spequlos::SpeQuloSBuilder::shard)
+//!   stride), and the shard that owns a user registers its bots, so a
+//!   tenant's whole session lands on one shard.
+//!
+//! The router classifies each fresh connection — hello exchange, then
+//! the first complete request frame — and hands the whole connection
+//! (socket, negotiated codec, buffered bytes) to the target shard over
+//! a bounded SPSC mailbox. From then on that shard owns the socket and
+//! serves its requests **inline**, exactly like the single reactor: no
+//! cross-thread hop on the steady-state request path.
+//!
+//! A *mixed-tenant* connection (the harness's admin connection, a
+//! multiplexing proxy) may carry requests for other shards. Those are
+//! forwarded to the owning shard over its inbox and the encoded reply
+//! returns through the origin shard's completion queue; a per-connection
+//! reply ledger releases replies strictly in request order, so the
+//! protocol's per-connection FIFO guarantee survives interleaved local
+//! and forwarded requests.
+//!
+//! # The pool under sharding
+//!
+//! The shared `CloudPool` becomes per-shard quotas behind
+//! [`PoolLedger`]/[`PoolLease`]: each shard's pool capacity *is* its
+//! lease quota, synced before every admission decision. A rebalancer —
+//! a wall-clock background thread ([`ShardConfig::rebalance_interval`])
+//! or a deterministic every-K-requests trigger
+//! ([`ShardConfig::rebalance_every`]) — moves slack quota toward the
+//! shards holding the most outstanding QoS credits, never below the
+//! floor and never below what a shard already leased, so PR 2's
+//! credit-conservation and no-starvation invariants hold globally.
+//!
+//! # Determinism caveat
+//!
+//! Results are pinned **per shard count**: admission and fair-share
+//! arbitration see per-shard quotas, so an `N`-shard run is
+//! deterministic (same seed ⇒ same bytes) but is *not* the single-shard
+//! run — changing `N` changes which orders are admitted when. The
+//! single-reactor `Server::spawn` path is untouched by this module.
+
+use crate::binary;
+use crate::frame::{self, Codec, FrameError, HelloOutcome};
+use crate::server::{DurabilityConfig, DurableError, DurableState, ServerConfig};
+use crate::wire::{peek_id, RequestEnvelope, ResponseEnvelope};
+use polling::{Event, Poller};
+use spequlos::protocol::{Request, RequestError, Response, SpqService};
+use spequlos::tenancy::{route_request, PoolLease, PoolLedger};
+use spequlos::wal::{RecoveryReport, WalStore};
+use spequlos::SpeQuloS;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Sharding knobs for [`ShardedServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards (≥ 1). One shard is a valid degenerate
+    /// deployment: one router + one reactor, same service semantics as
+    /// `Server::spawn`.
+    pub shards: u32,
+    /// Depth of the bounded connection-handoff mailbox from the router
+    /// to each shard. The router blocks when a shard's mailbox is full
+    /// — accept backpressure, not drop.
+    pub mailbox_depth: usize,
+    /// Minimum pool quota every shard keeps through rebalancing (the
+    /// global no-starvation floor). Clamped to `capacity / shards`.
+    pub quota_floor: u32,
+    /// Wall-clock rebalancing cadence for the background thread, or
+    /// `None` for no background rebalancer.
+    pub rebalance_interval: Option<Duration>,
+    /// Deterministic rebalancing: run a ledger pass after every this
+    /// many handled requests (counted across all shards). This is the
+    /// trigger tests and experiments use — with a serial driver it
+    /// fires at exactly the same points every run.
+    pub rebalance_every: Option<u64>,
+}
+
+impl ShardConfig {
+    /// `shards`-way sharding with production defaults: 256-deep handoff
+    /// mailboxes, quota floor 1, background rebalance every 100 ms.
+    pub fn new(shards: u32) -> Self {
+        ShardConfig {
+            shards: shards.max(1),
+            mailbox_depth: 256,
+            quota_floor: 1,
+            rebalance_interval: Some(Duration::from_millis(100)),
+            rebalance_every: None,
+        }
+    }
+
+    /// Deterministic variant: no wall-clock rebalancer; a ledger pass
+    /// after every `every` handled requests instead.
+    pub fn deterministic(shards: u32, every: u64) -> Self {
+        ShardConfig {
+            rebalance_interval: None,
+            rebalance_every: Some(every.max(1)),
+            ..Self::new(shards)
+        }
+    }
+}
+
+/// A connection the router classified and is handing to its shard.
+struct Handoff {
+    stream: TcpStream,
+    /// Bytes read but not yet decoded (the first request frame is still
+    /// in here — the shard decodes and serves it).
+    rbuf: Vec<u8>,
+    codec: Codec,
+    /// Bytes already owed to the peer (the hello ack, when the router
+    /// could not flush all of it before handing off). The shard writes
+    /// these before any reply.
+    wbuf: Vec<u8>,
+    /// Peer already half-closed: serve what is buffered, flush, close.
+    read_closed: bool,
+}
+
+/// A request one shard forwards to the shard owning its tenant.
+struct Forward {
+    origin: u32,
+    conn_slot: usize,
+    conn_gen: u64,
+    seq: u64,
+    codec: Codec,
+    envelope: RequestEnvelope,
+}
+
+/// The encoded reply coming back to the origin shard.
+struct Completion {
+    conn_slot: usize,
+    conn_gen: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// Cross-shard traffic into one shard.
+enum Inbound {
+    Forward(Forward),
+    Completion(Completion),
+}
+
+/// One shard's addresses, shared by the router and every peer shard.
+#[derive(Clone)]
+struct ShardLink {
+    adopt: SyncSender<Handoff>,
+    inbox: Arc<Mutex<VecDeque<Inbound>>>,
+    poller: Arc<Poller>,
+}
+
+impl ShardLink {
+    fn push(&self, msg: Inbound) {
+        self.inbox
+            .lock()
+            .expect("shard inbox poisoned")
+            .push_back(msg);
+        let _ = self.poller.notify();
+    }
+}
+
+/// Factory for sharded protocol servers; see the [module docs](self).
+pub struct ShardedServer;
+
+impl ShardedServer {
+    /// Binds `addr` and serves `template` split into
+    /// [`ShardConfig::shards`] shard services (see
+    /// [`SpeQuloS::into_shards`]): shard `i` owns BoT ids `≡ i (mod N)`
+    /// and, when the template has a pool, a [`PoolLease`] on the shared
+    /// capacity.
+    pub fn spawn_sharded(
+        template: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        shard_cfg: ShardConfig,
+    ) -> io::Result<ShardedHandle> {
+        let (services, ledger) = template.into_shards(shard_cfg.shards, shard_cfg.quota_floor);
+        let durables = services.iter().map(|_| None).collect();
+        Self::spawn_parts(services, ledger, durables, addr, config, shard_cfg)
+    }
+
+    /// [`ShardedServer::spawn_sharded`] with per-shard durability:
+    /// shard `i` owns the write-ahead log in `durability.dir/shard-<i>`
+    /// and appends each request it executes *before* dispatching it —
+    /// PR 7's append→fsync→dispatch, shard-locally. Existing state is
+    /// recovered first, all shards in parallel; the reports come back
+    /// in shard order.
+    pub fn spawn_durable_sharded(
+        template: SpeQuloS,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        shard_cfg: ShardConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(ShardedHandle, Vec<RecoveryReport>), DurableError> {
+        let (services, ledger) = template.into_shards(shard_cfg.shards, shard_cfg.quota_floor);
+        // Parallel per-shard recovery: each shard's log replays into its
+        // own template concurrently, so restart cost is the *slowest*
+        // shard, not the sum.
+        let recovered = thread::scope(|scope| {
+            let handles: Vec<_> = services
+                .into_iter()
+                .enumerate()
+                .map(|(i, svc)| {
+                    let dir = durability.dir.join(format!("shard-{i}"));
+                    let fsync = durability.fsync;
+                    scope.spawn(move || -> Result<_, DurableError> {
+                        let (wal, recovery) = WalStore::open(&dir, fsync)?;
+                        let (svc, report) = recovery.recover(svc)?;
+                        Ok((svc, wal, report))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard recovery never panics"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        let mut services = Vec::with_capacity(recovered.len());
+        let mut durables = Vec::with_capacity(recovered.len());
+        let mut reports = Vec::with_capacity(recovered.len());
+        for (svc, wal, report) in recovered {
+            services.push(svc);
+            durables.push(Some(DurableState {
+                wal,
+                snapshot_every: durability.snapshot_every,
+                since_snapshot: 0,
+            }));
+            reports.push(report);
+        }
+        // Publish recovered loads before any traffic so the first
+        // rebalance pass pins quotas at what the shards actually lease.
+        if let Some((_, leases)) = ledger.as_ref() {
+            for (svc, lease) in services.iter().zip(leases) {
+                let in_use = svc.pool().map_or(0, |p| p.in_use());
+                lease.publish(in_use, svc.credits.total_outstanding());
+            }
+        }
+        let handle = Self::spawn_parts(services, ledger, durables, addr, config, shard_cfg)?;
+        Ok((handle, reports))
+    }
+
+    /// [`ShardedServer::spawn_sharded`] on `127.0.0.1:0` with default
+    /// server tuning — the loopback deployment tests use.
+    pub fn spawn_loopback(template: SpeQuloS, shard_cfg: ShardConfig) -> io::Result<ShardedHandle> {
+        Self::spawn_sharded(template, "127.0.0.1:0", ServerConfig::default(), shard_cfg)
+    }
+
+    fn spawn_parts(
+        services: Vec<SpeQuloS>,
+        ledger: Option<(PoolLedger, Vec<PoolLease>)>,
+        durables: Vec<Option<DurableState>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        shard_cfg: ShardConfig,
+    ) -> io::Result<ShardedHandle> {
+        let n = services.len() as u32;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handled = Arc::new(AtomicU64::new(0));
+        let (ledger, mut leases) = match ledger {
+            Some((ledger, leases)) => (Some(ledger), leases.into_iter().map(Some).collect()),
+            None => (None, services.iter().map(|_| None).collect::<Vec<_>>()),
+        };
+
+        let mut links = Vec::with_capacity(services.len());
+        let mut adopt_rxs = Vec::with_capacity(services.len());
+        for _ in 0..services.len() {
+            let (tx, rx) = mpsc::sync_channel::<Handoff>(shard_cfg.mailbox_depth.max(1));
+            links.push(ShardLink {
+                adopt: tx,
+                inbox: Arc::new(Mutex::new(VecDeque::new())),
+                poller: Arc::new(Poller::new()?),
+            });
+            adopt_rxs.push(rx);
+        }
+        let links = Arc::new(links);
+
+        let mut shard_threads = Vec::with_capacity(services.len());
+        let mut shard_pollers = Vec::with_capacity(services.len());
+        for (i, (service, (adopt_rx, durable))) in services
+            .into_iter()
+            .zip(adopt_rxs.into_iter().zip(durables))
+            .enumerate()
+        {
+            let poller = Arc::clone(&links[i].poller);
+            shard_pollers.push(Arc::clone(&poller));
+            let shard = Shard {
+                id: i as u32,
+                shards: n,
+                poller,
+                conns: Vec::new(),
+                free: Vec::new(),
+                service,
+                lease: leases[i].take(),
+                ledger: ledger.clone(),
+                durable,
+                adopt: adopt_rx,
+                inbox: Arc::clone(&links[i].inbox),
+                links: Arc::clone(&links),
+                handled: Arc::clone(&handled),
+                rebalance_every: shard_cfg.rebalance_every,
+                max_frame: config.max_frame_bytes,
+                highwater: config.write_highwater.max(1),
+            };
+            let flag = Arc::clone(&shutdown);
+            shard_threads.push(thread::spawn(move || shard.run(&flag)));
+        }
+
+        let router_poller = Arc::new(Poller::new()?);
+        router_poller.add(&listener, Event::readable(0))?;
+        let router = {
+            let poller = Arc::clone(&router_poller);
+            let links = Arc::clone(&links);
+            let flag = Arc::clone(&shutdown);
+            let max_frame = config.max_frame_bytes;
+            thread::spawn(move || {
+                Router {
+                    poller,
+                    listener,
+                    links,
+                    shards: n,
+                    pending: Vec::new(),
+                    free: Vec::new(),
+                    max_frame,
+                }
+                .run(&flag)
+            })
+        };
+
+        let rebalancer = match (ledger, shard_cfg.rebalance_interval) {
+            (Some(ledger), Some(interval)) if n > 1 => {
+                let flag = Arc::clone(&shutdown);
+                Some(thread::spawn(move || {
+                    let step = interval
+                        .min(Duration::from_millis(50))
+                        .max(Duration::from_millis(1));
+                    let mut last = Instant::now();
+                    while !flag.load(Ordering::Acquire) {
+                        thread::sleep(step);
+                        if last.elapsed() >= interval {
+                            ledger.rebalance();
+                            last = Instant::now();
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
+
+        Ok(ShardedHandle {
+            addr,
+            inner: Some(HandleInner {
+                shutdown,
+                router_poller,
+                router,
+                shard_pollers,
+                shard_threads,
+                rebalancer,
+            }),
+        })
+    }
+}
+
+struct HandleInner {
+    shutdown: Arc<AtomicBool>,
+    router_poller: Arc<Poller>,
+    router: JoinHandle<()>,
+    shard_pollers: Vec<Arc<Poller>>,
+    shard_threads: Vec<JoinHandle<SpeQuloS>>,
+    rebalancer: Option<JoinHandle<()>>,
+}
+
+/// A running sharded server. Dropping the handle shuts everything down
+/// (discarding the shard services); [`ShardedHandle::into_services`]
+/// shuts down *and* recovers every shard's service state.
+pub struct ShardedHandle {
+    addr: SocketAddr,
+    inner: Option<HandleInner>,
+}
+
+impl ShardedHandle {
+    /// The bound address — with `"127.0.0.1:0"` this carries the actual
+    /// port clients must connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of shards serving behind the listener.
+    pub fn shards(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.shard_threads.len())
+    }
+
+    /// Stops the server and returns every shard's service, in shard
+    /// order — the sharded counterpart of `ServerHandle::into_service`.
+    /// Replied requests are applied (a reply cannot exist before its
+    /// request executed, even across a forward); connections still open
+    /// are dropped.
+    pub fn into_services(mut self) -> Vec<SpeQuloS> {
+        self.stop().expect("first stop returns the services")
+    }
+
+    /// Idempotent teardown; returns the services on the first call.
+    fn stop(&mut self) -> Option<Vec<SpeQuloS>> {
+        let inner = self.inner.take()?;
+        inner.shutdown.store(true, Ordering::Release);
+        let _ = inner.router_poller.notify();
+        for poller in &inner.shard_pollers {
+            let _ = poller.notify();
+        }
+        let _ = inner.router.join();
+        if let Some(rebalancer) = inner.rebalancer {
+            let _ = rebalancer.join();
+        }
+        Some(
+            inner
+                .shard_threads
+                .into_iter()
+                .map(|t| t.join().expect("shard reactor never panics"))
+                .collect(),
+        )
+    }
+}
+
+impl Drop for ShardedHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The accept-and-route thread
+// ---------------------------------------------------------------------------
+
+/// A connection still being classified: hello, then the first complete
+/// request frame decides the owning shard.
+struct PendingConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// The hello ack (written by the *router*, so negotiation completes
+    /// even though the shard only sees the connection at its first
+    /// request — clients block on the ack before sending one).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    hello: Option<Codec>,
+    read_closed: bool,
+}
+
+impl PendingConn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// What classification decided about a pending connection.
+enum Classified {
+    /// Not enough bytes yet; keep polling.
+    Wait,
+    /// Hand the connection to this shard.
+    Route(u32),
+    /// Protocol violation or dead peer; drop it (after best-effort
+    /// writing `refusal` when present).
+    Drop(Option<String>),
+}
+
+struct Router {
+    poller: Arc<Poller>,
+    listener: TcpListener,
+    links: Arc<Vec<ShardLink>>,
+    shards: u32,
+    pending: Vec<Option<PendingConn>>,
+    free: Vec<usize>,
+    max_frame: usize,
+}
+
+impl Router {
+    fn run(mut self, shutdown: &AtomicBool) {
+        let mut events: Vec<Event> = Vec::new();
+        while !shutdown.load(Ordering::Acquire) {
+            events.clear();
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .is_err()
+            {
+                break;
+            }
+            for event in events.drain(..) {
+                if event.key == 0 {
+                    self.accept_burst();
+                } else {
+                    self.drive(event.key - 1);
+                }
+            }
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let slot = match self.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    self.pending.push(None);
+                    self.pending.len() - 1
+                }
+            };
+            if self.poller.add(&stream, Event::readable(slot + 1)).is_err() {
+                self.free.push(slot);
+                continue;
+            }
+            self.pending[slot] = Some(PendingConn {
+                stream,
+                rbuf: Vec::new(),
+                rpos: 0,
+                wbuf: Vec::new(),
+                wpos: 0,
+                hello: None,
+                read_closed: false,
+            });
+        }
+        let _ = self.poller.modify(&self.listener, Event::readable(0));
+    }
+
+    fn drive(&mut self, slot: usize) {
+        let Some(mut conn) = self.pending.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        if self.fill(&mut conn).is_err() {
+            let _ = self.poller.delete(&conn.stream);
+            self.free.push(slot);
+            return;
+        }
+        let classified = self.classify(&mut conn);
+        if flush(&mut conn.stream, &mut conn.wbuf, &mut conn.wpos).is_err() {
+            let _ = self.poller.delete(&conn.stream);
+            self.free.push(slot);
+            return;
+        }
+        match classified {
+            Classified::Wait => {
+                if conn.read_closed {
+                    // EOF before the first frame: nothing owed.
+                    let _ = self.poller.delete(&conn.stream);
+                    self.free.push(slot);
+                    return;
+                }
+                let interest = Event {
+                    key: slot + 1,
+                    readable: true,
+                    writable: conn.pending_write() > 0,
+                };
+                if self.poller.modify(&conn.stream, interest).is_err() {
+                    self.free.push(slot);
+                    return;
+                }
+                self.pending[slot] = Some(conn);
+            }
+            Classified::Route(target) => {
+                let _ = self.poller.delete(&conn.stream);
+                self.free.push(slot);
+                let codec = conn.hello.unwrap_or(Codec::Json);
+                let handoff = Handoff {
+                    stream: conn.stream,
+                    rbuf: conn.rbuf.split_off(conn.rpos),
+                    codec,
+                    wbuf: conn.wbuf.split_off(conn.wpos),
+                    read_closed: conn.read_closed,
+                };
+                let link = &self.links[target as usize];
+                // Blocking send: accept backpressure when a shard's
+                // mailbox is full. Only the router ever blocks here, so
+                // no deadlock cycle is possible. A disconnected shard
+                // (shutdown) just drops the connection.
+                if link.adopt.send(handoff).is_ok() {
+                    let _ = link.poller.notify();
+                }
+            }
+            Classified::Drop(refusal) => {
+                if let Some(line) = refusal {
+                    // Best-effort: one nonblocking write of the refusal.
+                    let _ = conn.stream.write(line.as_bytes());
+                }
+                let _ = self.poller.delete(&conn.stream);
+                self.free.push(slot);
+            }
+        }
+    }
+
+    fn fill(&self, conn: &mut PendingConn) -> Result<(), ()> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if conn.rbuf.len() - conn.rpos > self.max_frame + 64 {
+                return Ok(());
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    /// Hello exchange, then peek (without consuming) at the first
+    /// complete request frame and route by its tenant key. The frame
+    /// stays in the buffer: the shard decodes and serves it after
+    /// adoption, so classification is read-only.
+    fn classify(&self, conn: &mut PendingConn) -> Classified {
+        if conn.hello.is_none() {
+            let buf = &conn.rbuf[conn.rpos..];
+            match frame::decode_hello(buf) {
+                Ok(None) => return Classified::Wait,
+                Ok(Some((HelloOutcome::Legacy, consumed))) => {
+                    // Legacy JSON: no ack owed.
+                    conn.rpos += consumed;
+                    conn.hello = Some(Codec::Json);
+                }
+                Ok(Some((HelloOutcome::Hello(codec), consumed))) => {
+                    conn.rpos += consumed;
+                    // Ack now: the client blocks on this line before it
+                    // sends the first request we classify by.
+                    conn.wbuf
+                        .extend_from_slice(frame::hello_ack_line(codec).as_bytes());
+                    conn.hello = Some(codec);
+                }
+                Err(FrameError::BadHello(reason)) => {
+                    let refusal = (buf.first() == Some(&b'S'))
+                        .then(|| frame::hello_err_line(&reason).to_string());
+                    return Classified::Drop(refusal);
+                }
+                Err(_) => return Classified::Drop(None),
+            }
+        }
+        let codec = conn.hello.expect("hello classified above");
+        let buf = &conn.rbuf[conn.rpos..];
+        let payload = match codec {
+            Codec::Json => match frame::decode_json_frame(buf, self.max_frame) {
+                Ok(None) => return Classified::Wait,
+                Ok(Some((payload, _))) => {
+                    RequestEnvelope::from_json(&payload).ok().map(|e| e.request)
+                }
+                Err(_) => return Classified::Drop(None),
+            },
+            Codec::Binary => match frame::decode_binary_frame(buf, self.max_frame) {
+                Ok(None) => return Classified::Wait,
+                Ok(Some((payload, _))) => binary::decode_request(&payload).ok().map(|e| e.request),
+                Err(_) => return Classified::Drop(None),
+            },
+        };
+        // An undecodable or keyless first envelope still gets a shard
+        // (which will answer with the typed error): spread by residue.
+        let target = payload
+            .as_ref()
+            .and_then(|r| route_request(r, self.shards))
+            .unwrap_or(0);
+        Classified::Route(target)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One shard: a full reactor plus cross-shard forwarding
+// ---------------------------------------------------------------------------
+
+/// A reply slot in a connection's in-order ledger: `None` while the
+/// forwarded request is in flight, the encoded frame once ready.
+type ReplySlot = (u64, Option<Vec<u8>>);
+
+struct ShardConn {
+    stream: TcpStream,
+    codec: Codec,
+    gen: u64,
+    /// The `conns` slot this connection lives in — recorded at adoption
+    /// so forwards enqueued while the connection is taken out of its
+    /// slot still know where the completion must land.
+    slot_hint: usize,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    read_closed: bool,
+    next_seq: u64,
+    /// Replies not yet released to `wbuf`, in request order. Empty in
+    /// the single-shard fast path: a local reply with nothing queued
+    /// ahead of it is encoded straight into `wbuf`.
+    ledger: VecDeque<ReplySlot>,
+}
+
+impl ShardConn {
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Releases the longest ready prefix of the reply ledger into the
+    /// write buffer — FIFO per connection, across local and forwarded
+    /// replies alike.
+    fn release_ready(&mut self) {
+        while matches!(self.ledger.front(), Some((_, Some(_)))) {
+            let (_, bytes) = self.ledger.pop_front().expect("front checked");
+            self.wbuf.extend_from_slice(&bytes.expect("ready checked"));
+        }
+    }
+
+    fn forwards_in_flight(&self) -> bool {
+        self.ledger.iter().any(|(_, b)| b.is_none())
+    }
+}
+
+enum Verdict {
+    Keep,
+    Close,
+}
+
+struct Shard {
+    id: u32,
+    shards: u32,
+    poller: Arc<Poller>,
+    conns: Vec<Option<ShardConn>>,
+    free: Vec<usize>,
+    service: SpeQuloS,
+    lease: Option<PoolLease>,
+    ledger: Option<PoolLedger>,
+    durable: Option<DurableState>,
+    adopt: Receiver<Handoff>,
+    inbox: Arc<Mutex<VecDeque<Inbound>>>,
+    links: Arc<Vec<ShardLink>>,
+    handled: Arc<AtomicU64>,
+    rebalance_every: Option<u64>,
+    max_frame: usize,
+    highwater: usize,
+}
+
+impl Shard {
+    fn run(mut self, shutdown: &AtomicBool) -> SpeQuloS {
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_gen: u64 = 1;
+        while !shutdown.load(Ordering::Acquire) {
+            events.clear();
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .is_err()
+            {
+                break;
+            }
+            while let Ok(handoff) = self.adopt.try_recv() {
+                self.adopt_conn(handoff, next_gen);
+                next_gen += 1;
+            }
+            let inbound: Vec<Inbound> = {
+                let mut q = self.inbox.lock().expect("shard inbox poisoned");
+                q.drain(..).collect()
+            };
+            for msg in inbound {
+                match msg {
+                    Inbound::Forward(fwd) => self.execute_forward(fwd),
+                    Inbound::Completion(done) => self.apply_completion(done),
+                }
+            }
+            for event in events.drain(..) {
+                if event.key == 0 {
+                    continue; // shards own no listener
+                }
+                self.drive(event.key - 1, event.readable, event.writable);
+            }
+        }
+        self.service
+    }
+
+    fn adopt_conn(&mut self, handoff: Handoff, gen: u64) {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        if self
+            .poller
+            .add(&handoff.stream, Event::readable(slot + 1))
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        let conn = ShardConn {
+            stream: handoff.stream,
+            codec: handoff.codec,
+            gen,
+            slot_hint: slot,
+            rbuf: handoff.rbuf,
+            rpos: 0,
+            wbuf: handoff.wbuf,
+            wpos: 0,
+            read_closed: handoff.read_closed,
+            next_seq: 0,
+            ledger: VecDeque::new(),
+        };
+        // The handed-off buffer already holds at least one frame: serve
+        // it (and anything pipelined behind it) right now.
+        self.settle(slot, conn, false, true);
+    }
+
+    /// One connection's turn, mirroring the single reactor's `drive`.
+    fn drive(&mut self, slot: usize, readable: bool, writable: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        self.settle(slot, conn, readable, writable);
+    }
+
+    /// Steps the connection and either re-arms it into its slot or
+    /// closes it. `settle` is shared by socket events, adoption and
+    /// completion arrivals.
+    fn settle(&mut self, slot: usize, mut conn: ShardConn, readable: bool, writable: bool) {
+        let verdict = self.step(&mut conn, readable, writable);
+        match verdict {
+            Verdict::Close => {
+                let _ = self.poller.delete(&conn.stream);
+                self.free.push(slot);
+                if slot >= self.conns.len() {
+                    self.conns.resize_with(slot + 1, || None);
+                }
+                self.conns[slot] = None;
+            }
+            Verdict::Keep => {
+                let interest = Event {
+                    key: slot + 1,
+                    readable: !conn.read_closed && conn.pending_write() < self.highwater,
+                    writable: conn.pending_write() > 0,
+                };
+                if self.poller.modify(&conn.stream, interest).is_err() {
+                    self.free.push(slot);
+                    return;
+                }
+                if slot >= self.conns.len() {
+                    self.conns.resize_with(slot + 1, || None);
+                }
+                self.conns[slot] = Some(conn);
+            }
+        }
+    }
+
+    fn step(&mut self, conn: &mut ShardConn, readable: bool, writable: bool) -> Verdict {
+        if readable && !conn.read_closed && self.fill(conn).is_err() {
+            return Verdict::Close;
+        }
+        if self.serve_buffered(conn).is_err() {
+            return Verdict::Close;
+        }
+        if (writable || conn.pending_write() > 0) && self.flush(conn).is_err() {
+            return Verdict::Close;
+        }
+        if self.serve_buffered(conn).is_err() {
+            return Verdict::Close;
+        }
+        // Half-close drain: close only once every buffered request is
+        // served, every forwarded reply returned, and every byte
+        // flushed.
+        if conn.read_closed && conn.pending_write() == 0 && !conn.forwards_in_flight() {
+            return Verdict::Close;
+        }
+        Verdict::Keep
+    }
+
+    fn fill(&mut self, conn: &mut ShardConn) -> Result<(), ()> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if conn.rbuf.len() - conn.rpos > self.max_frame + 64 {
+                return Ok(());
+            }
+            if conn.pending_write() >= self.highwater {
+                return Ok(());
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    fn serve_buffered(&mut self, conn: &mut ShardConn) -> Result<(), ()> {
+        loop {
+            if conn.pending_write() >= self.highwater {
+                break;
+            }
+            let buf = &conn.rbuf[conn.rpos..];
+            let envelope = match conn.codec {
+                Codec::Json => match frame::decode_json_frame(buf, self.max_frame) {
+                    Ok(None) => break,
+                    Ok(Some((payload, consumed))) => {
+                        conn.rpos += consumed;
+                        match RequestEnvelope::from_json(&payload) {
+                            Ok(envelope) => Ok(envelope),
+                            Err(e) => Err(ResponseEnvelope {
+                                id: peek_id(&payload).unwrap_or(0),
+                                response: Response::Error(RequestError::Invalid(format!(
+                                    "bad envelope: {e}"
+                                ))),
+                            }),
+                        }
+                    }
+                    Err(_) => {
+                        self.compact(conn);
+                        return Err(());
+                    }
+                },
+                Codec::Binary => match frame::decode_binary_frame(buf, self.max_frame) {
+                    Ok(None) => break,
+                    Ok(Some((payload, consumed))) => {
+                        conn.rpos += consumed;
+                        match binary::decode_request(&payload) {
+                            Ok(envelope) => Ok(envelope),
+                            Err(e) => Err(ResponseEnvelope {
+                                id: binary::peek_id(&payload).unwrap_or(0),
+                                response: Response::Error(RequestError::Invalid(format!(
+                                    "bad envelope: {e}"
+                                ))),
+                            }),
+                        }
+                    }
+                    Err(_) => {
+                        self.compact(conn);
+                        return Err(());
+                    }
+                },
+            };
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            match envelope {
+                Err(error_reply) => {
+                    self.queue_reply(conn, seq, encode_reply(conn.codec, &error_reply))
+                }
+                Ok(envelope) => self.route_and_serve(conn, seq, envelope),
+            }
+            conn.release_ready();
+        }
+        self.compact(conn);
+        Ok(())
+    }
+
+    /// Serves one decoded envelope: inline when this shard owns its
+    /// tenant (the fast path — every single-shard request takes it),
+    /// forwarded to the owning shard otherwise.
+    fn route_and_serve(&mut self, conn: &mut ShardConn, seq: u64, envelope: RequestEnvelope) {
+        if let Request::Batch(items) = &envelope.request {
+            // A batch is atomic on one service; one spanning shards
+            // cannot be — refuse it with a typed error rather than
+            // half-apply it.
+            let mut targets = items.iter().filter_map(|r| route_request(r, self.shards));
+            if let Some(first) = targets.next() {
+                if targets.any(|t| t != first) {
+                    let reply = ResponseEnvelope {
+                        id: envelope.id,
+                        response: Response::Error(RequestError::Invalid(
+                            "batch spans shards: split it per tenant".into(),
+                        )),
+                    };
+                    self.queue_reply(conn, seq, encode_reply(conn.codec, &reply));
+                    return;
+                }
+            }
+        }
+        let target = route_request(&envelope.request, self.shards).unwrap_or(self.id);
+        if target == self.id {
+            let reply = self.execute(envelope);
+            if conn.ledger.is_empty() {
+                // Fast path: nothing queued ahead, encode straight into
+                // the write buffer.
+                write_reply(conn.codec, &mut conn.wbuf, &reply);
+            } else {
+                self.queue_reply(conn, seq, encode_reply(conn.codec, &reply));
+            }
+        } else {
+            conn.ledger.push_back((seq, None));
+            self.links[target as usize].push(Inbound::Forward(Forward {
+                origin: self.id,
+                conn_slot: self.slot_of(conn),
+                conn_gen: conn.gen,
+                seq,
+                codec: conn.codec,
+                envelope,
+            }));
+        }
+    }
+
+    fn slot_of(&self, conn: &ShardConn) -> usize {
+        conn.slot_hint
+    }
+
+    fn queue_reply(&mut self, conn: &mut ShardConn, seq: u64, bytes: Vec<u8>) {
+        conn.ledger.push_back((seq, Some(bytes)));
+    }
+
+    /// Executes a request this shard owns: lease sync → write-ahead →
+    /// dispatch → publish load → deterministic rebalance trigger →
+    /// snapshot bookkeeping.
+    fn execute(&mut self, envelope: RequestEnvelope) -> ResponseEnvelope {
+        let RequestEnvelope { id, at, request } = envelope;
+        if let Some(lease) = self.lease.as_ref() {
+            self.service.set_pool_capacity(lease.quota());
+        }
+        if let Some(d) = self.durable.as_mut() {
+            if let Err(e) = d.wal.append(at, &request) {
+                let response = Response::Error(RequestError::Transport(format!(
+                    "write-ahead log append failed: {e}"
+                )));
+                return ResponseEnvelope { id, response };
+            }
+        }
+        let response = self.service.handle(request, at);
+        if let Some(lease) = self.lease.as_ref() {
+            let in_use = self.service.pool().map_or(0, |p| p.in_use());
+            lease.publish(in_use, self.service.credits.total_outstanding());
+        }
+        if let (Some(every), Some(ledger)) = (self.rebalance_every, self.ledger.as_ref()) {
+            let n = self.handled.fetch_add(1, Ordering::AcqRel) + 1;
+            if n % every == 0 {
+                ledger.rebalance();
+            }
+        }
+        if let Some(d) = self.durable.as_mut() {
+            d.since_snapshot += 1;
+            if d.snapshot_every > 0 && d.since_snapshot >= d.snapshot_every {
+                let _ = d.wal.snapshot(&self.service);
+                d.since_snapshot = 0;
+            }
+        }
+        ResponseEnvelope { id, response }
+    }
+
+    /// A request another shard forwarded here: execute it (this shard
+    /// owns the tenant — the append goes to *this* shard's WAL) and
+    /// send the encoded reply back to the origin.
+    fn execute_forward(&mut self, fwd: Forward) {
+        let reply = self.execute(fwd.envelope);
+        let bytes = encode_reply(fwd.codec, &reply);
+        self.links[fwd.origin as usize].push(Inbound::Completion(Completion {
+            conn_slot: fwd.conn_slot,
+            conn_gen: fwd.conn_gen,
+            seq: fwd.seq,
+            bytes,
+        }));
+    }
+
+    /// A forwarded request's reply came back: fill its ledger slot,
+    /// release the ready prefix, flush, and re-arm the connection (its
+    /// readiness interest may have changed now that bytes are queued).
+    fn apply_completion(&mut self, done: Completion) {
+        let Some(mut conn) = self.conns.get_mut(done.conn_slot).and_then(Option::take) else {
+            return; // connection closed while the forward was in flight
+        };
+        if conn.gen != done.conn_gen {
+            // The slot was reused; this reply belongs to a dead
+            // connection.
+            self.conns[done.conn_slot] = Some(conn);
+            return;
+        }
+        if let Some(slot) = conn.ledger.iter_mut().find(|(seq, _)| *seq == done.seq) {
+            slot.1 = Some(done.bytes);
+        }
+        conn.release_ready();
+        self.settle(done.conn_slot, conn, false, true);
+    }
+
+    fn compact(&self, conn: &mut ShardConn) {
+        if conn.rpos > 0 {
+            conn.rbuf.drain(..conn.rpos);
+            conn.rpos = 0;
+        }
+    }
+
+    fn flush(&self, conn: &mut ShardConn) -> Result<(), ()> {
+        flush(&mut conn.stream, &mut conn.wbuf, &mut conn.wpos)
+    }
+}
+
+/// Writes `wbuf[wpos..]` until drained or the kernel stops accepting;
+/// `Err(())` = dead peer.
+fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, wpos: &mut usize) -> Result<(), ()> {
+    while *wpos < wbuf.len() {
+        match stream.write(&wbuf[*wpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => *wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    wbuf.clear();
+    *wpos = 0;
+    Ok(())
+}
+
+/// Encodes a reply as one complete frame in `codec`.
+fn encode_reply(codec: Codec, reply: &ResponseEnvelope) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_reply(codec, &mut buf, reply);
+    buf
+}
+
+fn write_reply(codec: Codec, buf: &mut Vec<u8>, reply: &ResponseEnvelope) {
+    match codec {
+        Codec::Json => {
+            frame::write_frame(buf, &reply.to_json()).expect("Vec<u8> writes are infallible")
+        }
+        Codec::Binary => frame::write_binary_frame(buf, &binary::encode_response(reply))
+            .expect("Vec<u8> writes are infallible"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteService;
+    use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+    use simcore::SimTime;
+    use spequlos::tenancy::shard_of_user;
+    use spequlos::{Request, Response, SpqService, UserId};
+    use std::io::BufReader;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spq-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Two user ids guaranteed to live on different shards of `n`.
+    fn split_pair(n: u32) -> (UserId, UserId) {
+        let a = UserId(1);
+        let b = (2..999)
+            .map(UserId)
+            .find(|u| shard_of_user(*u, n) != shard_of_user(a, n))
+            .expect("some user hashes elsewhere");
+        (a, b)
+    }
+
+    #[test]
+    fn single_shard_round_trip_and_into_services() {
+        let handle =
+            ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::deterministic(1, 1_000))
+                .expect("spawn");
+        let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+        let r = remote.handle(
+            Request::Deposit {
+                user: UserId(9),
+                credits: 250.0,
+            },
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Deposited { .. }), "got {r:?}");
+        drop(remote);
+        let services = handle.into_services();
+        assert_eq!(services.len(), 1);
+        assert_eq!(services[0].credits.balance(UserId(9)), 250.0);
+    }
+
+    #[test]
+    fn sessions_land_on_the_owning_shard() {
+        const SHARDS: u32 = 4;
+        let handle = ShardedServer::spawn_loopback(
+            SpeQuloS::new(),
+            ShardConfig::deterministic(SHARDS, 1_000),
+        )
+        .expect("spawn");
+        let mut bots = Vec::new();
+        for u in 0..16u64 {
+            let user = UserId(100 + u);
+            let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+            let r = remote.handle(
+                Request::Deposit {
+                    user,
+                    credits: 100.0,
+                },
+                SimTime::ZERO,
+            );
+            assert!(matches!(r, Response::Deposited { .. }), "got {r:?}");
+            let r = remote.handle(
+                Request::RegisterQos {
+                    user,
+                    env: "t/XWHEP/SHARD".into(),
+                    size: 10,
+                },
+                SimTime::ZERO,
+            );
+            let Response::Registered { bot } = r else {
+                panic!("expected Registered, got {r:?}");
+            };
+            // Bot ids are congruent with the owning shard: the shard
+            // that owns hash(user) allocated the id on its stride.
+            assert_eq!(bot.0 % SHARDS as u64, shard_of_user(user, SHARDS) as u64);
+            bots.push((user, bot));
+        }
+        let services = handle.into_services();
+        assert_eq!(services.len(), SHARDS as usize);
+        for (user, bot) in bots {
+            let shard = shard_of_user(user, SHARDS) as usize;
+            assert_eq!(services[shard].credits.balance(user), 100.0);
+            assert_eq!(services[shard].user_of(bot), Some(user));
+            for (i, svc) in services.iter().enumerate() {
+                if i != shard {
+                    assert_eq!(svc.user_of(bot), None, "bot leaked to shard {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_tenant_connection_keeps_fifo_across_forwards() {
+        const SHARDS: u32 = 4;
+        let handle = ShardedServer::spawn_loopback(
+            SpeQuloS::new(),
+            ShardConfig::deterministic(SHARDS, 1_000),
+        )
+        .expect("spawn");
+        // Legacy JSON connection, fully pipelined: 40 deposits for
+        // users spread across every shard, written before any reply is
+        // read. Interleaves local serves with forwards on every shard.
+        let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        for id in 1..=40u64 {
+            let env = RequestEnvelope {
+                id,
+                at: SimTime::ZERO,
+                request: Request::Deposit {
+                    user: UserId(id % 11),
+                    credits: 1.0,
+                },
+            };
+            write_frame(&mut stream, &env.to_json()).expect("write");
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for id in 1..=40u64 {
+            let payload = read_frame(&mut reader, MAX_FRAME_BYTES)
+                .expect("read")
+                .expect("reply before EOF");
+            let reply = ResponseEnvelope::from_json(&payload).expect("decode");
+            assert_eq!(reply.id, id, "replies must come back in request order");
+            assert!(matches!(reply.response, Response::Deposited { .. }));
+        }
+        drop(reader);
+        drop(stream);
+        let services = handle.into_services();
+        let total: f64 = (0..11u64)
+            .map(|u| {
+                services[shard_of_user(UserId(u), SHARDS) as usize]
+                    .credits
+                    .balance(UserId(u))
+            })
+            .sum();
+        assert_eq!(total, 40.0, "every deposit applied exactly once");
+    }
+
+    #[test]
+    fn cross_shard_batch_is_refused_atomically() {
+        const SHARDS: u32 = 4;
+        let handle = ShardedServer::spawn_loopback(
+            SpeQuloS::new(),
+            ShardConfig::deterministic(SHARDS, 1_000),
+        )
+        .expect("spawn");
+        let (a, b) = split_pair(SHARDS);
+        let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+        let r = remote.handle(
+            Request::Batch(vec![
+                Request::Deposit {
+                    user: a,
+                    credits: 5.0,
+                },
+                Request::Deposit {
+                    user: b,
+                    credits: 5.0,
+                },
+            ]),
+            SimTime::ZERO,
+        );
+        assert!(
+            matches!(&r, Response::Error(RequestError::Invalid(msg)) if msg.contains("spans shards")),
+            "got {r:?}"
+        );
+        // A single-shard batch still works.
+        let r = remote.handle(
+            Request::Batch(vec![
+                Request::Deposit {
+                    user: a,
+                    credits: 5.0,
+                },
+                Request::Deposit {
+                    user: a,
+                    credits: 5.0,
+                },
+            ]),
+            SimTime::ZERO,
+        );
+        assert!(matches!(r, Response::Batch(_)), "got {r:?}");
+        drop(remote);
+        let services = handle.into_services();
+        assert_eq!(
+            services[shard_of_user(a, SHARDS) as usize]
+                .credits
+                .balance(a),
+            10.0,
+            "refused batch applied nothing"
+        );
+        assert_eq!(
+            services[shard_of_user(b, SHARDS) as usize]
+                .credits
+                .balance(b),
+            0.0
+        );
+    }
+
+    #[test]
+    fn durable_sharded_recovers_every_shard() {
+        const SHARDS: u32 = 3;
+        let dir = temp_dir("recover");
+        let durability = DurabilityConfig::new(&dir);
+        let (handle, reports) = ShardedServer::spawn_durable_sharded(
+            SpeQuloS::new(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            ShardConfig::deterministic(SHARDS, 1_000),
+            durability.clone(),
+        )
+        .expect("first spawn");
+        assert_eq!(reports.len(), SHARDS as usize);
+        assert!(reports
+            .iter()
+            .all(|r| r.snapshot_applied == 0 && r.replayed == 0));
+        let mut remote = RemoteService::connect(handle.addr()).expect("connect");
+        for u in 0..9u64 {
+            let r = remote.handle(
+                Request::Deposit {
+                    user: UserId(u),
+                    credits: 10.0,
+                },
+                SimTime::ZERO,
+            );
+            assert!(matches!(r, Response::Deposited { .. }), "got {r:?}");
+        }
+        drop(remote);
+        drop(handle);
+
+        let (handle, reports) = ShardedServer::spawn_durable_sharded(
+            SpeQuloS::new(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            ShardConfig::deterministic(SHARDS, 1_000),
+            durability,
+        )
+        .expect("respawn");
+        let applied: u64 = reports
+            .iter()
+            .map(|r| r.snapshot_applied + r.replayed)
+            .sum();
+        assert_eq!(applied, 9, "all acknowledged deposits recovered");
+        let services = handle.into_services();
+        for u in 0..9u64 {
+            let user = UserId(u);
+            let shard = shard_of_user(user, SHARDS) as usize;
+            assert_eq!(services[shard].credits.balance(user), 10.0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_is_idempotent_via_drop_after_into_services() {
+        let handle =
+            ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::new(2)).expect("spawn");
+        let addr = handle.addr();
+        let services = handle.into_services();
+        assert_eq!(services.len(), 2);
+        // The listener is gone: a fresh connect must fail (possibly
+        // after the kernel backlog drains, so allow one ECONNREFUSED or
+        // a read of zero bytes).
+        match std::net::TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                let mut reader = BufReader::new(stream);
+                let frame = read_frame(&mut reader, MAX_FRAME_BYTES);
+                assert!(
+                    matches!(frame, Ok(None) | Err(_)),
+                    "server must not answer after shutdown"
+                );
+            }
+        }
+    }
+}

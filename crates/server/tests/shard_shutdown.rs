@@ -1,0 +1,131 @@
+//! Sharded counterpart of `shutdown.rs`: [`ShardedHandle::into_services`]
+//! must keep every acknowledged request even when the shutdown races
+//! active clients — including clients whose requests cross shards
+//! through the forwarding path, where a reply transits two reactor
+//! threads before the client sees it. The invariant is the same either
+//! way: a reply can only exist *after* the owning shard executed the
+//! request, so replied ⇒ applied holds globally.
+
+use simcore::SimTime;
+use spequlos::protocol::{Request, Response, SpqService};
+use spequlos::tenancy::shard_of_user;
+use spequlos::{RequestError, SpeQuloS, UserId};
+use spq_server::{RemoteService, ShardConfig, ShardedServer};
+use std::thread;
+use std::time::Duration;
+
+const SHARDS: u32 = 4;
+
+fn balance_of(services: &[SpeQuloS], user: UserId) -> f64 {
+    services[shard_of_user(user, SHARDS) as usize]
+        .credits
+        .balance(user)
+}
+
+/// Four clients, each a single-tenant connection (so every request is
+/// served locally by its shard): every acknowledged deposit must be in
+/// the recovered shard state, plus at most one in-flight per client.
+#[test]
+fn into_services_mid_stream_keeps_every_acknowledged_request() {
+    const CLIENTS: u64 = 4;
+    const ATTEMPTS: u64 = 10_000;
+
+    let handle = ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::new(SHARDS))
+        .expect("bind loopback");
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|user| {
+            thread::spawn(move || {
+                let mut remote = RemoteService::connect(addr).expect("connect");
+                let mut acked = 0u64;
+                for k in 0..ATTEMPTS {
+                    let response = remote.handle(
+                        Request::Deposit {
+                            user: UserId(user),
+                            credits: 1.0,
+                        },
+                        SimTime::from_secs(k),
+                    );
+                    match response {
+                        Response::Deposited { .. } => acked += 1,
+                        Response::Error(RequestError::Transport(_)) => break,
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(25));
+    let services = handle.into_services();
+    assert_eq!(services.len(), SHARDS as usize);
+
+    for (user, worker) in workers.into_iter().enumerate() {
+        let acked = worker.join().expect("client thread");
+        let balance = balance_of(&services, UserId(user as u64));
+        assert!(
+            balance >= acked as f64,
+            "user {user}: {acked} deposits acknowledged but balance is {balance}"
+        );
+        assert!(
+            balance <= (acked + 1) as f64,
+            "user {user}: balance {balance} exceeds acked {acked} + one in-flight"
+        );
+    }
+}
+
+/// A mixed-tenant connection round-robins users owned by *different*
+/// shards, so most requests take the forward → execute → completion
+/// path. Shutdown mid-stream must still satisfy replied ⇒ applied, and
+/// at most one request (the one whose ack was cut off) may be applied
+/// but unacknowledged — the connection is synchronous, so only one
+/// request is ever in flight.
+#[test]
+fn into_services_mid_forward_keeps_every_acknowledged_request() {
+    const USERS: u64 = 8;
+
+    let handle = ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::new(SHARDS))
+        .expect("bind loopback");
+    let addr = handle.addr();
+    let worker = thread::spawn(move || {
+        let mut remote = RemoteService::connect(addr).expect("connect");
+        let mut acked = vec![0u64; USERS as usize];
+        for k in 0..40_000u64 {
+            let user = UserId(k % USERS);
+            let response = remote.handle(
+                Request::Deposit { user, credits: 1.0 },
+                SimTime::from_secs(k),
+            );
+            match response {
+                Response::Deposited { .. } => acked[user.0 as usize] += 1,
+                Response::Error(RequestError::Transport(_)) => break,
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        acked
+    });
+
+    thread::sleep(Duration::from_millis(25));
+    let services = handle.into_services();
+    let acked = worker.join().expect("client thread");
+
+    let total_acked: u64 = acked.iter().sum();
+    let total_balance: f64 = (0..USERS).map(|u| balance_of(&services, UserId(u))).sum();
+    assert!(
+        total_balance >= total_acked as f64,
+        "{total_acked} deposits acknowledged but {total_balance} recovered"
+    );
+    assert!(
+        total_balance <= (total_acked + 1) as f64,
+        "balance {total_balance} exceeds acked {total_acked} + the single in-flight request"
+    );
+    for u in 0..USERS {
+        let balance = balance_of(&services, UserId(u));
+        assert!(
+            balance >= acked[u as usize] as f64,
+            "user {u}: {} acknowledged but balance is {balance}",
+            acked[u as usize]
+        );
+    }
+}

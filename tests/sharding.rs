@@ -1,0 +1,214 @@
+//! Cross-shard invariants of the sharded service
+//! (`spq_server::shard`, `spq_harness::RoutedService`,
+//! `Experiment::shards`): partitioning tenants across N shard services
+//! under the rebalancing quota ledger must preserve every guarantee the
+//! single shared service made — credits conserved globally, no admitted
+//! tenant starved (even when one shard is saturated and another idle),
+//! per-connection FIFO at shard boundaries, and bit-for-bit determinism
+//! at a fixed shard count on either transport.
+
+use betrace::Preset;
+use botwork::BotClass;
+use simcore::SimTime;
+use spequlos::protocol::{Request, Response, SpqService};
+use spequlos::tenancy::shard_of_user;
+use spequlos::{RequestError, SpeQuloS, StrategyCombo, UserId};
+use spq_harness::{Experiment, MultiTenantScenario, MwKind, RoutedService, Scenario};
+use spq_server::{ShardConfig, ShardedServer};
+
+fn base(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(Preset::G5kLyon, MwKind::Xwhep, BotClass::Big, seed)
+        .with_strategy(StrategyCombo::paper_default());
+    sc.scale = 0.3;
+    sc
+}
+
+/// First `k` user ids (from 0 upward) owned by shard `shard` of `n`.
+fn users_on_shard(shard: u32, n: u32, k: usize) -> Vec<UserId> {
+    (0u64..)
+        .map(UserId)
+        .filter(|u| shard_of_user(*u, n) == shard)
+        .take(k)
+        .collect()
+}
+
+/// Deposits, registers and orders QoS for `user`, returning the order's
+/// admission verdict.
+fn order_for(service: &mut impl SpqService, user: UserId, credits: f64) -> bool {
+    match service.handle(Request::Deposit { user, credits }, SimTime::ZERO) {
+        Response::Deposited { .. } => {}
+        other => panic!("deposit refused: {other:?}"),
+    }
+    let bot = match service.handle(
+        Request::RegisterQos {
+            user,
+            env: "t/XWHEP/SHARDING".into(),
+            size: 50,
+        },
+        SimTime::ZERO,
+    ) {
+        Response::Registered { bot } => bot,
+        other => panic!("registration refused: {other:?}"),
+    };
+    match service.handle(
+        Request::OrderQos {
+            bot,
+            credits,
+            strategy: Some(StrategyCombo::paper_default()),
+        },
+        SimTime::ZERO,
+    ) {
+        Response::Ordered { .. } => true,
+        Response::Error(RequestError::Credit(_)) => false,
+        other => panic!("unexpected order response: {other:?}"),
+    }
+}
+
+/// Credit conservation is global: across every shard, total outstanding
+/// credits equal deposits minus billed cloud usage, exactly as on the
+/// unsharded service — rebalancing moves *quota*, never credits.
+#[test]
+fn credits_are_conserved_globally_under_rebalancing() {
+    let mt = MultiTenantScenario::new(base(71), 4, 6);
+    let report = Experiment::from_multi_tenant(mt.clone())
+        .shards(4)
+        .run_multi_tenant();
+    assert_eq!(report.shards(), 4);
+    let deposited: f64 = report
+        .tenants
+        .iter()
+        .map(|t| {
+            let sc = mt.tenant_scenario(t.tenant);
+            sc.credit_fraction
+                * spq_harness::bot_of(&sc).workload_cpu_hours()
+                * spequlos::CREDITS_PER_CPU_HOUR
+        })
+        .sum();
+    let burned: f64 = report.tenants.iter().map(|t| t.metrics.credits_spent).sum();
+    let outstanding: f64 = report
+        .shard_services()
+        .map(|s| s.credits.total_outstanding())
+        .sum();
+    assert!(
+        (outstanding - (deposited - burned)).abs() < 1e-6,
+        "outstanding {outstanding} vs deposited {deposited} − burned {burned}"
+    );
+}
+
+/// The quota floor is a no-starvation guarantee: a tenant on an idle
+/// shard can still order QoS when another shard holds every other
+/// worker. (On the unsharded pool the same fourth order would be
+/// refused outright — capacity is genuinely shared; the floor is what
+/// the idle shard keeps.)
+#[test]
+fn idle_shard_tenant_is_admitted_despite_a_saturated_shard() {
+    const SHARDS: u32 = 2;
+    const CAPACITY: u32 = 4;
+    // Shard 0 saturates: more orders than the whole pool could take.
+    let busy = users_on_shard(0, SHARDS, (CAPACITY + 1) as usize);
+    let idle = users_on_shard(1, SHARDS, 1)[0];
+    let mut routed = RoutedService::new(
+        SpeQuloS::builder().pool(CAPACITY).build(),
+        SHARDS,
+        1, // floor: every shard keeps ≥ 1 worker of quota
+        1, // rebalance after every request — maximum quota drift
+    );
+    let admitted_busy = busy
+        .iter()
+        .filter(|u| order_for(&mut routed, **u, 100.0))
+        .count();
+    assert!(
+        admitted_busy >= (CAPACITY / SHARDS) as usize,
+        "saturated shard admits at least its initial quota, got {admitted_busy}"
+    );
+    assert!(
+        admitted_busy < busy.len(),
+        "over-subscribed shard must refuse something, admitted all {admitted_busy}"
+    );
+    assert!(
+        order_for(&mut routed, idle, 100.0),
+        "tenant on the idle shard starved: rebalancing must never take a shard below the floor"
+    );
+}
+
+/// Same seed + same shard count ⇒ identical run, shard by shard.
+#[test]
+fn sharded_run_is_deterministic_at_fixed_shard_count() {
+    let mt = MultiTenantScenario::new(base(72), 4, 6);
+    let a = Experiment::from_multi_tenant(mt.clone())
+        .shards(3)
+        .run_multi_tenant();
+    let b = Experiment::from_multi_tenant(mt)
+        .shards(3)
+        .run_multi_tenant();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.peak_pool_in_use, b.peak_pool_in_use);
+    for (sa, sb) in a.shard_services().zip(b.shard_services()) {
+        assert_eq!(sa.log(), sb.log(), "per-shard protocol logs must match");
+    }
+    for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+        assert_eq!(ta.admitted, tb.admitted);
+        assert_eq!(ta.metrics.completion_secs, tb.metrics.completion_secs);
+        assert_eq!(ta.metrics.credits_spent, tb.metrics.credits_spent);
+        assert_eq!(ta.qos, tb.qos);
+    }
+}
+
+/// The in-process `RoutedService` and the real `ShardedServer` behind
+/// loopback TCP are the same experiment: bit-identical per-shard state.
+#[test]
+fn sharded_loopback_is_bit_identical_to_in_process() {
+    let mt = MultiTenantScenario::new(base(73), 3, 5);
+    let local = Experiment::from_multi_tenant(mt.clone())
+        .shards(2)
+        .run_multi_tenant();
+    let remote = Experiment::from_multi_tenant(mt)
+        .shards(2)
+        .loopback()
+        .run_multi_tenant();
+    assert_eq!(local.events, remote.events);
+    assert_eq!(local.peak_pool_in_use, remote.peak_pool_in_use);
+    for (a, b) in local.shard_services().zip(remote.shard_services()) {
+        assert_eq!(a.log(), b.log(), "per-shard protocol logs must match");
+    }
+    for (a, b) in local.tenants.iter().zip(&remote.tenants) {
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.metrics.completion_secs, b.metrics.completion_secs);
+        assert_eq!(a.metrics.credits_spent, b.metrics.credits_spent);
+        assert_eq!(a.qos, b.qos);
+    }
+}
+
+/// Two tenants whose user ids hash to the *same* shard (a hash
+/// collision at the shard boundary) share one connection: their
+/// interleaved requests stay FIFO and land on exactly one shard.
+#[test]
+fn colliding_tenant_pair_stays_fifo_on_one_shard() {
+    const SHARDS: u32 = 4;
+    let pair = users_on_shard(2, SHARDS, 2);
+    let (a, b) = (pair[0], pair[1]);
+    let handle =
+        ShardedServer::spawn_loopback(SpeQuloS::new(), ShardConfig::deterministic(SHARDS, 1_000))
+            .expect("spawn");
+    let mut remote = spq_server::RemoteService::connect(handle.addr()).expect("connect");
+    for k in 0..50u64 {
+        let user = if k % 2 == 0 { a } else { b };
+        let r = remote.handle(
+            Request::Deposit { user, credits: 1.0 },
+            SimTime::from_secs(k),
+        );
+        assert!(matches!(r, Response::Deposited { .. }), "got {r:?}");
+    }
+    drop(remote);
+    let services = handle.into_services();
+    let shard = &services[2];
+    assert_eq!(shard.credits.balance(a), 25.0);
+    assert_eq!(shard.credits.balance(b), 25.0);
+    // No other shard saw either tenant.
+    for (i, svc) in services.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(svc.credits.balance(a), 0.0, "user a leaked to shard {i}");
+            assert_eq!(svc.credits.balance(b), 0.0, "user b leaked to shard {i}");
+        }
+    }
+}
