@@ -9,7 +9,7 @@
 //! worker costs 15 credits.
 
 use botwork::BotId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Fixed exchange rate (§3.3): credits billed per CPU·hour of cloud
 /// worker usage.
@@ -68,10 +68,16 @@ pub(crate) struct Order {
 }
 
 /// The Credit System: accounts, orders, billing.
+///
+/// Both maps are `BTreeMap`, not `HashMap`, on purpose: `pay` and
+/// `total_outstanding` fold `f64` sums over iteration, and float
+/// addition is order-dependent — a randomly seeded hash map would make
+/// otherwise identical runs diverge bit-wise (caught by
+/// `det-unordered-iter` in `spq-lint`).
 #[derive(Clone, Debug, Default)]
 pub struct CreditSystem {
-    pub(crate) accounts: HashMap<u64, f64>,
-    pub(crate) orders: HashMap<u64, Order>,
+    pub(crate) accounts: BTreeMap<u64, f64>,
+    pub(crate) orders: BTreeMap<u64, Order>,
 }
 
 impl CreditSystem {

@@ -101,6 +101,7 @@ fn fin(field: &'static str, v: f64) -> Result<Value, SnapshotError> {
 }
 
 fn sorted_keys<T>(map: &HashMap<u64, T>) -> Vec<u64> {
+    // spq-lint: allow(det-unordered-iter) — keys are sorted on the next line
     let mut keys: Vec<u64> = map.keys().copied().collect();
     keys.sort_unstable();
     keys
@@ -190,6 +191,7 @@ pub(crate) fn info_to_value(info: &Information) -> Value {
             ])
         })
         .collect();
+    // spq-lint: allow(det-unordered-iter) — keys are sorted on the next line
     let mut envs: Vec<&String> = info.archive.keys().collect();
     envs.sort();
     let archive = envs
@@ -355,6 +357,7 @@ pub(crate) fn scheduler_from_value(v: &Value) -> Result<Scheduler, String> {
 
 /// Encodes the deadline-aware [`GreedyUntilTc`] policy.
 pub(crate) fn greedy_to_value(policy: &GreedyUntilTc) -> Value {
+    // spq-lint: allow(det-unordered-iter) — set members are sorted on the next line
     let mut started: Vec<u64> = policy.started.iter().copied().collect();
     started.sort_unstable();
     Value::Obj(vec![
@@ -362,6 +365,7 @@ pub(crate) fn greedy_to_value(policy: &GreedyUntilTc) -> Value {
         ("target".into(), num(policy.target.as_millis() as f64)),
         (
             "started".into(),
+            // spq-lint: allow(det-unordered-iter) — `started` is the sorted Vec built above, not the set
             Value::Arr(started.into_iter().map(|b| num(b as f64)).collect()),
         ),
     ])
@@ -387,15 +391,15 @@ pub(crate) fn greedy_from_value(v: &Value) -> Result<GreedyUntilTc, String> {
 
 fn credits_to_value(credits: &CreditSystem) -> Result<Value, SnapshotError> {
     let mut accounts = Vec::with_capacity(credits.accounts.len());
-    for user in sorted_keys(&credits.accounts) {
+    // The credit maps are BTreeMaps: iteration is already key-sorted.
+    for (&user, &balance) in &credits.accounts {
         accounts.push(Value::Obj(vec![
             ("user".into(), num(user as f64)),
-            ("balance".into(), fin("balance", credits.accounts[&user])?),
+            ("balance".into(), fin("balance", balance)?),
         ]));
     }
     let mut orders = Vec::with_capacity(credits.orders.len());
-    for bot in sorted_keys(&credits.orders) {
-        let order = &credits.orders[&bot];
+    for (&bot, order) in &credits.orders {
         orders.push(Value::Obj(vec![
             ("bot".into(), num(bot as f64)),
             ("user".into(), num(order.user.0 as f64)),
@@ -411,7 +415,7 @@ fn credits_to_value(credits: &CreditSystem) -> Result<Value, SnapshotError> {
 }
 
 fn credits_from_value(v: &Value) -> Result<CreditSystem, SnapshotError> {
-    let mut accounts = HashMap::new();
+    let mut accounts = std::collections::BTreeMap::new();
     for entry in array_field(v, "accounts")? {
         let user = u64_field(entry, "user").map_err(decode_err)?;
         let balance = f64_field(entry, "balance").map_err(decode_err)?;
@@ -419,7 +423,7 @@ fn credits_from_value(v: &Value) -> Result<CreditSystem, SnapshotError> {
             return Err(decode_err(format!("duplicate account for user {user}")));
         }
     }
-    let mut orders = HashMap::new();
+    let mut orders = std::collections::BTreeMap::new();
     for entry in array_field(v, "orders")? {
         let bot = u64_field(entry, "bot").map_err(decode_err)?;
         let order = Order {

@@ -338,6 +338,7 @@ impl CloudPool {
 
     /// Workers currently leased across all tenants.
     pub fn in_use(&self) -> u32 {
+        // spq-lint: allow(det-unordered-iter) — u32 addition is commutative; any order sums the same
         self.leases.values().sum()
     }
 

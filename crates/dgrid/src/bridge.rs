@@ -93,6 +93,7 @@ impl ThreeGBridge {
     /// Tasks bridged from a specific grid.
     pub fn bridged_from(&self, grid: &str) -> u64 {
         self.origins
+            // spq-lint: allow(det-unordered-iter) — counting matches is iteration-order-insensitive
             .values()
             .filter(|o| matches!(o, Origin::Bridged { grid: g } if *g == grid))
             .count() as u64

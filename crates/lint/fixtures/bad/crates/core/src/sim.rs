@@ -1,0 +1,19 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn wall() -> Instant {
+    Instant::now()
+}
+
+fn seed() -> String {
+    std::env::var("SPQ_SEED").unwrap_or_default()
+}
+
+fn total(map: HashMap<u64, u32>) -> u32 {
+    map.values().sum()
+}
+
+// spq-lint: allow(det-wall-clock)
+fn suppressed_without_reason() -> u32 {
+    0
+}

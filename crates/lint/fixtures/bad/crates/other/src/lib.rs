@@ -1,0 +1,3 @@
+pub fn fine() {}
+
+unsafe fn reinterpret() {}

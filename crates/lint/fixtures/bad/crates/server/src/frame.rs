@@ -1,0 +1,7 @@
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf.iter().next().unwrap();
+    if *first > 9 {
+        panic!("bad byte");
+    }
+    buf[0]
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn tick(counts: HashMap<u64, u32>) -> u32 {
+    // spq-lint: allow(det-unordered-iter) — u32 addition is commutative
+    counts.values().sum()
+}

@@ -1,0 +1,435 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! source lints to tell *code* apart from the places where lint trigger
+//! words legitimately appear: string literals (`"unwrap()"`), raw
+//! strings (`r#"unsafe"#`), char literals, and both comment styles.
+//!
+//! The scanner is total: any input produces a token stream, never a
+//! panic (pinned by a proptest over arbitrary byte soup), and lexing is
+//! prefix-stable — truncating the input at any token boundary yields
+//! exactly the tokens before that boundary (also proptested). Malformed
+//! input degrades gracefully: an unterminated string or comment simply
+//! extends to end of input as one token.
+
+/// Token classes. The lexer does not distinguish keywords from
+/// identifiers — rules match on the token text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// Numeric literal (integer or float; suffixes included).
+    Number,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"` — escapes and hash-guards handled.
+    Str,
+    /// Char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting honored; unterminated runs to end of input.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind plus the byte span and 1-based start line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Restorable scan position: byte offset + line counter.
+#[derive(Clone, Copy)]
+struct Pos {
+    at: usize,
+    line: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: Pos,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: Pos { at: 0, line: 1 },
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos.at..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos.at..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos.at += c.len_utf8();
+        if c == '\n' {
+            self.pos.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete token stream. Total: never panics,
+/// whatever the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace between tokens.
+        while matches!(cur.peek(), Some(c) if c.is_whitespace()) {
+            cur.bump();
+        }
+        let start = cur.pos;
+        let Some(c) = cur.peek() else { break };
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.pos.at > start.at, "scanner must always advance");
+        out.push(Token {
+            kind,
+            start: start.at,
+            end: cur.pos.at,
+            line: start.line,
+        });
+    }
+    out
+}
+
+/// Scans one token starting at `c` (the current peek). Always advances.
+fn scan_token(cur: &mut Cursor<'_>, c: char) -> Kind {
+    match c {
+        '/' => match cur.peek2() {
+            Some('/') => {
+                while matches!(cur.peek(), Some(ch) if ch != '\n') {
+                    cur.bump();
+                }
+                Kind::LineComment
+            }
+            Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match cur.bump() {
+                        Some('*') if cur.peek() == Some('/') => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        Some('/') if cur.peek() == Some('*') => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                Kind::BlockComment
+            }
+            _ => {
+                cur.bump();
+                Kind::Punct
+            }
+        },
+        '"' => {
+            cur.bump();
+            scan_string_body(cur);
+            Kind::Str
+        }
+        '\'' => scan_quote(cur),
+        'r' | 'b' | 'c' => scan_literal_prefix(cur),
+        _ if is_ident_start(c) => {
+            scan_ident(cur);
+            Kind::Ident
+        }
+        _ if c.is_ascii_digit() => {
+            scan_number(cur);
+            Kind::Number
+        }
+        _ => {
+            cur.bump();
+            Kind::Punct
+        }
+    }
+}
+
+/// Consumes the body of a `"`-delimited string; the opening quote is
+/// already consumed. Unterminated bodies run to end of input.
+fn scan_string_body(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body `#…#"…"#…#` given `hashes` guard hashes;
+/// the leading hashes and opening quote are already consumed.
+fn scan_raw_body(cur: &mut Cursor<'_>, hashes: usize) {
+    'outer: while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            let save = cur.pos;
+            for _ in 0..hashes {
+                if !cur.eat('#') {
+                    cur.pos = save;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'`: char literal, lifetime, or a lone quote punct.
+fn scan_quote(cur: &mut Cursor<'_>) -> Kind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote or
+            // end of line — bounded, never panics on garbage like '\.
+            cur.bump();
+            cur.bump(); // the escaped char, if any
+            while matches!(cur.peek(), Some(ch) if ch != '\'' && ch != '\n') {
+                cur.bump();
+            }
+            cur.eat('\'');
+            Kind::Char
+        }
+        Some(ch) if is_ident_start(ch) => {
+            cur.bump();
+            if cur.eat('\'') {
+                Kind::Char // 'a'
+            } else {
+                while matches!(cur.peek(), Some(c2) if is_ident_continue(c2)) {
+                    cur.bump();
+                }
+                Kind::Lifetime // 'a as in &'a
+            }
+        }
+        Some(ch) if ch != '\'' && ch != '\n' => {
+            // '?' — a non-identifier char: a char literal iff the very
+            // next char closes it, else the quote stands alone.
+            let save = cur.pos;
+            cur.bump();
+            if cur.eat('\'') {
+                Kind::Char
+            } else {
+                cur.pos = save;
+                Kind::Punct
+            }
+        }
+        _ => Kind::Punct,
+    }
+}
+
+/// Handles `r` / `b` / `c`, which may begin a literal (`r"…"`, `r#"…"#`,
+/// `b'x'`, `br#"…"#`, `c"…"`, raw identifiers `r#ident`) or be a plain
+/// identifier. Backtracks to plain-identifier scanning when no literal
+/// form matches.
+fn scan_literal_prefix(cur: &mut Cursor<'_>) -> Kind {
+    let start = cur.pos;
+    let first = cur.bump().unwrap_or('r');
+    // Byte / c-string prefixes may chain a raw marker: br"…", cr#"…"#.
+    let raw = if first == 'r' {
+        true
+    } else {
+        // b or c: an immediate quote form?
+        match cur.peek() {
+            Some('"') => {
+                cur.bump();
+                scan_string_body(cur);
+                return Kind::Str;
+            }
+            Some('\'') if first == 'b' => {
+                return scan_quote(cur);
+            }
+            Some('r') => {
+                cur.bump();
+                true
+            }
+            _ => false,
+        }
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            cur.bump();
+            hashes += 1;
+        }
+        if cur.peek() == Some('"') {
+            cur.bump();
+            scan_raw_body(cur, hashes);
+            return Kind::Str;
+        }
+        // `r#ident` raw identifier: exactly one hash then ident chars.
+        if first == 'r' && hashes == 1 && matches!(cur.peek(), Some(ch) if is_ident_start(ch)) {
+            scan_ident(cur);
+            return Kind::Ident;
+        }
+    }
+    // No literal form: rewind and lex a plain identifier.
+    cur.pos = start;
+    cur.bump();
+    scan_ident(cur);
+    Kind::Ident
+}
+
+fn scan_ident(cur: &mut Cursor<'_>) {
+    while matches!(cur.peek(), Some(ch) if is_ident_continue(ch)) {
+        cur.bump();
+    }
+}
+
+/// Numbers: digits, `_`, alphanumeric suffixes, and a `.` only when a
+/// digit follows (so `0..5` lexes as number, punct, punct, number).
+fn scan_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    loop {
+        match cur.peek() {
+            Some(ch) if ch == '_' || ch.is_alphanumeric() => {
+                cur.bump();
+            }
+            Some('.') if matches!(cur.peek2(), Some(d) if d.is_ascii_digit()) => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn trigger_words_inside_strings_are_one_str_token() {
+        let src = r#"let s = "x.unwrap() and unsafe { panic!() }";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == Kind::Str && t.contains("unwrap")));
+        // No Ident token carries the trigger words.
+        assert!(
+            !toks
+                .iter()
+                .any(|(k, t)| *k == Kind::Ident
+                    && (*t == "unwrap" || *t == "unsafe" || *t == "panic"))
+        );
+    }
+
+    #[test]
+    fn comments_swallow_trigger_words() {
+        let src = "// unsafe unwrap()\n/* panic! /* nested unsafe */ still */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, Kind::LineComment);
+        assert_eq!(toks[1].0, Kind::BlockComment);
+        assert!(toks[1].1.contains("nested unsafe"), "nesting honored");
+        assert_eq!(toks[2], (Kind::Ident, "code"));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_guards() {
+        let src = r###"let s = r#"inner " quote unsafe"# ;"###;
+        let toks = kinds(src);
+        let s = toks.iter().find(|(k, _)| *k == Kind::Str).expect("str");
+        assert!(s.1.starts_with("r#\"") && s.1.ends_with("\"#"));
+        assert!(s.1.contains("unsafe"));
+        // Byte and c-string prefixes too.
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, Kind::Str);
+        assert_eq!(kinds(r###"br##"x"##"###)[0].0, Kind::Str);
+        assert_eq!(kinds(r#"c"cstr""#)[0].0, Kind::Str);
+    }
+
+    #[test]
+    fn char_literals_lifetimes_and_raw_idents_disambiguate() {
+        assert_eq!(kinds("'a'")[0].0, Kind::Char);
+        assert_eq!(kinds(r"'\n'")[0].0, Kind::Char);
+        assert_eq!(kinds("b'x'")[0].0, Kind::Char);
+        assert_eq!(kinds("&'a str")[1].0, Kind::Lifetime);
+        assert_eq!(kinds("r#type")[0], (Kind::Ident, "r#type"));
+        // `r` alone is a plain identifier, not a stuck raw-string scan.
+        assert_eq!(kinds("r + 1")[0], (Kind::Ident, "r"));
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_float_literals() {
+        let toks = kinds("0..5");
+        assert_eq!(
+            toks,
+            vec![
+                (Kind::Number, "0"),
+                (Kind::Punct, "."),
+                (Kind::Punct, "."),
+                (Kind::Number, "5"),
+            ]
+        );
+        assert_eq!(kinds("1.5e3_f64")[0], (Kind::Number, "1.5e3_f64"));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_without_panicking() {
+        for src in ["\"never closed", "r#\"still open", "/* no close", "'\\"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines_in_tokens() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2, "string starts on line 2");
+        assert_eq!(toks[2].line, 4, "the embedded newline counts");
+    }
+}

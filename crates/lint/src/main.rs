@@ -1,0 +1,83 @@
+//! `spq-lint` — run the workspace static-analysis pass.
+//!
+//! ```console
+//! $ cargo run -p spq-lint --release            # lint the repository
+//! $ spq-lint --root <path>                     # lint another tree
+//! ```
+//!
+//! Findings print one per line as `file:line: rule-id: message`; the
+//! process exits 1 when any finding survives suppression, 0 otherwise.
+//! Honored suppressions are listed in the summary so waived debt stays
+//! visible in every run.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: spq-lint [--root <path>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: spq-lint [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+    // Default: the workspace root, two levels above this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match spq_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spq-lint: i/o error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let used: Vec<_> = report.suppressions.iter().filter(|s| s.used).collect();
+    let unused: Vec<_> = report.suppressions.iter().filter(|s| !s.used).collect();
+    println!(
+        "spq-lint: {} finding{}, {} file{} scanned, {} suppression{} honored",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+        used.len(),
+        if used.len() == 1 { "" } else { "s" },
+    );
+    for s in &used {
+        println!("  {}:{}: allow({}) — {}", s.file, s.line, s.rule, s.reason);
+    }
+    if !unused.is_empty() {
+        println!("  unused suppressions (stale — remove them):");
+        for s in &unused {
+            println!("  {}:{}: allow({}) — {}", s.file, s.line, s.rule, s.reason);
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end tests of the `spq-lint` binary against checked-in fixture
+//! trees (`crates/lint/fixtures/`, which the real repository walk skips)
+//! and against the repository itself.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_lint(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_spq-lint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn spq-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().unwrap_or(-1), stdout)
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_fixture_tree_fails_with_pinned_findings() {
+    let (code, out) = run_lint(&fixture("bad"));
+    assert_eq!(code, 1, "bad tree must exit 1:\n{out}");
+    for expect in [
+        "crates/core/src/sim.rs:5: det-wall-clock:",
+        "crates/core/src/sim.rs:9: det-env:",
+        "crates/core/src/sim.rs:13: det-unordered-iter:",
+        "crates/core/src/sim.rs:16: lint-bad-suppression:",
+        "crates/other/src/lib.rs:1: forbid-unsafe-missing:",
+        "crates/other/src/lib.rs:3: unsafe-outside-polling:",
+        "crates/server/src/frame.rs:2: panic-unwrap:",
+        "crates/server/src/frame.rs:4: panic-macro:",
+        "crates/server/src/frame.rs:6: panic-index:",
+    ] {
+        assert!(out.contains(expect), "missing {expect:?} in:\n{out}");
+    }
+    assert!(
+        out.contains("spq-lint: 9 findings, 3 files scanned"),
+        "{out}"
+    );
+}
+
+#[test]
+fn clean_fixture_tree_passes_and_lists_honored_suppressions() {
+    let (code, out) = run_lint(&fixture("clean"));
+    assert_eq!(code, 0, "clean tree must exit 0:\n{out}");
+    assert!(
+        out.contains("spq-lint: 0 findings, 1 file scanned, 1 suppression honored"),
+        "{out}"
+    );
+    assert!(
+        out.contains("crates/core/src/lib.rs:6: allow(det-unordered-iter)"),
+        "honored suppressions stay visible in the summary:\n{out}"
+    );
+}
+
+#[test]
+fn the_repository_itself_lints_clean_at_head() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, out) = run_lint(&root);
+    assert_eq!(code, 0, "the workspace must lint clean:\n{out}");
+    assert!(out.contains("0 findings"), "{out}");
+}
+
+#[test]
+fn help_exits_zero_and_unknown_flags_exit_two() {
+    let help = Command::new(env!("CARGO_BIN_EXE_spq-lint"))
+        .arg("--help")
+        .output()
+        .expect("spawn spq-lint");
+    assert_eq!(help.status.code(), Some(0));
+
+    let unknown = Command::new(env!("CARGO_BIN_EXE_spq-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn spq-lint");
+    assert_eq!(unknown.status.code(), Some(2));
+}

@@ -1,0 +1,102 @@
+//! Property coverage for the lint's hand-rolled lexer.
+//!
+//! The lexer runs over every `.rs` file in the workspace — including
+//! any malformed scratch file someone leaves behind — so its contract
+//! is totality, pinned adversarially here:
+//!
+//! * arbitrary byte soup (lossily decoded) never panics the lexer, and
+//!   the resulting spans are sane: in-bounds, strictly advancing,
+//!   non-overlapping, with monotone 1-based line numbers;
+//! * lexing is **prefix-stable**: truncating the input at any token
+//!   boundary yields exactly the tokens before that boundary — the
+//!   property that guarantees one bad region cannot corrupt how the
+//!   rest of a file is classified;
+//! * every byte of real-looking Rust is covered by a token or by
+//!   inter-token whitespace (nothing is silently skipped).
+
+use proptest::{any, prop_assert, prop_assert_eq, proptest};
+use spq_lint::lexer::{lex, Kind};
+
+/// Bytes biased toward lexer-relevant structure: quotes, hashes,
+/// slashes, newlines, and raw-literal prefixes appear far more often
+/// than in uniform soup.
+fn structured(bytes: Vec<u8>) -> String {
+    const PALETTE: [&str; 16] = [
+        "\"", "'", "#", "/", "*", "\n", "r", "b", "c", "\\", "x", "_", "0", " ", "!", "é",
+    ];
+    bytes
+        .into_iter()
+        .map(|b| PALETTE[(b % PALETTE.len() as u8) as usize])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn byte_soup_never_panics_and_spans_are_sane(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = lex(&src);
+        let mut prev_end = 0usize;
+        let mut prev_line = 1u32;
+        for t in &toks {
+            prop_assert!(t.start < t.end, "empty span");
+            prop_assert!(t.start >= prev_end, "overlap");
+            prop_assert!(t.end <= src.len(), "out of bounds");
+            prop_assert!(t.line >= prev_line, "line went backwards");
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+            prev_line = t.line;
+        }
+    }
+
+    #[test]
+    fn structured_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let src = structured(bytes);
+        let toks = lex(&src);
+        // Every non-whitespace byte is inside some token.
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for c in covered.get_mut(t.start..t.end).unwrap_or(&mut []) {
+                *c = true;
+            }
+        }
+        for (i, ch) in src.char_indices() {
+            if !ch.is_whitespace() {
+                prop_assert!(covered.get(i) == Some(&true), "byte {i} ({ch:?}) uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn lexing_is_prefix_stable(bytes in proptest::collection::vec(any::<u8>(), 0..200), pick in any::<u8>()) {
+        let src = structured(bytes);
+        let toks = lex(&src);
+        if toks.is_empty() {
+            return Ok(());
+        }
+        // Truncate at the boundary after token `pick % len`.
+        let cut_at = toks[pick as usize % toks.len()].end;
+        let prefix = &src[..cut_at];
+        let again = lex(prefix);
+        let expect: Vec<_> = toks.iter().copied().take_while(|t| t.end <= cut_at).collect();
+        prop_assert_eq!(again, expect);
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_ident_tokens(payload in proptest::collection::vec(any::<u8>(), 0..40)) {
+        // Whatever garbage sits inside a (terminated) string or line
+        // comment, it must never surface as an Ident the rules could
+        // match on.
+        let inner: String = payload
+            .into_iter()
+            .map(|b| if b.is_ascii_alphanumeric() || b == b' ' { b as char } else { 'x' })
+            .collect();
+        let src = format!("let s = \"{inner}\"; // {inner}\nnext");
+        let toks = lex(&src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s", "next"]);
+    }
+}

@@ -105,30 +105,36 @@ impl<'a> Rd<'a> {
     }
 
     fn bytes(&mut self, n: usize, ctx: &'static str) -> Result<&'a [u8], BinError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+        let end = self.pos.checked_add(n).ok_or(BinError::Truncated(ctx))?;
+        let out = self
+            .buf
+            .get(self.pos..end)
             .ok_or(BinError::Truncated(ctx))?;
-        let out = &self.buf[self.pos..end];
         self.pos = end;
         Ok(out)
     }
 
     fn u8(&mut self, ctx: &'static str) -> Result<u8, BinError> {
-        Ok(self.bytes(1, ctx)?[0])
+        self.bytes(1, ctx)?
+            .first()
+            .copied()
+            .ok_or(BinError::Truncated(ctx))
     }
 
     fn u32(&mut self, ctx: &'static str) -> Result<u32, BinError> {
-        let b = self.bytes(4, ctx)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .bytes(4, ctx)?
+            .try_into()
+            .map_err(|_| BinError::Truncated(ctx))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self, ctx: &'static str) -> Result<u64, BinError> {
-        let b = self.bytes(8, ctx)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .bytes(8, ctx)?
+            .try_into()
+            .map_err(|_| BinError::Truncated(ctx))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn f64(&mut self, ctx: &'static str) -> Result<f64, BinError> {
@@ -586,10 +592,7 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, BinError> {
 /// — the envelope id travels first (§5.2), so eight readable bytes are
 /// enough. The binary twin of [`crate::wire::peek_id`].
 pub fn peek_id(payload: &[u8]) -> Option<u64> {
-    let b = payload.get(..8)?;
-    Some(u64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    payload.first_chunk::<8>().map(|b| u64::from_le_bytes(*b))
 }
 
 #[cfg(test)]

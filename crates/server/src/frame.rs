@@ -158,6 +158,16 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
     w.write_all(b"\n")
 }
 
+/// Appends one JSON frame to an in-memory write buffer — the reactor's
+/// write path, where [`write_frame`]'s `io::Error` has no failure mode
+/// and would otherwise force an `expect` on the hot path.
+pub fn write_frame_vec(buf: &mut Vec<u8>, payload: &str) {
+    buf.extend_from_slice(payload.len().to_string().as_bytes());
+    buf.push(b'\n');
+    buf.extend_from_slice(payload.as_bytes());
+    buf.push(b'\n');
+}
+
 /// Reads one frame, enforcing `max` on the declared payload length.
 ///
 /// Returns `Ok(None)` on a clean end of stream *at a frame boundary*
@@ -184,14 +194,8 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, F
         };
     }
     header.pop();
-    if header.is_empty() || !header.iter().all(u8::is_ascii_digit) {
-        return Err(FrameError::BadHeader(printable(&header)));
-    }
-    // ≤ 10 ASCII digits always parse as u64; the range check is ours.
-    let declared = std::str::from_utf8(&header)
-        .expect("digits are UTF-8")
-        .parse::<u64>()
-        .map_err(|_| FrameError::BadHeader(printable(&header)))?;
+    let declared =
+        parse_header_digits(&header).ok_or_else(|| FrameError::BadHeader(printable(&header)))?;
     let declared = usize::try_from(declared).map_err(|_| FrameError::TooLarge {
         declared: usize::MAX,
         max,
@@ -219,7 +223,7 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, F
             FrameError::Io(e)
         }
     })?;
-    if terminator[0] != b'\n' {
+    if terminator != [b'\n'] {
         return Err(FrameError::MissingTerminator);
     }
     String::from_utf8(payload)
@@ -229,6 +233,24 @@ pub fn read_frame<R: BufRead>(r: &mut R, max: usize) -> Result<Option<String>, F
 
 fn printable(bytes: &[u8]) -> String {
     String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Folds a length header's ASCII digits into a `u64` directly — no UTF-8
+/// round-trip, no slicing, no panic path. `None` for empty input, any
+/// non-digit byte, or more than [`MAX_HEADER_DIGITS`] digits (whose
+/// maximum value, 9 999 999 999, cannot overflow the fold).
+fn parse_header_digits(header: &[u8]) -> Option<u64> {
+    if header.is_empty() || header.len() > MAX_HEADER_DIGITS {
+        return None;
+    }
+    let mut n: u64 = 0;
+    for &b in header {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        n = n * 10 + u64::from(b - b'0');
+    }
+    Some(n)
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +270,18 @@ pub fn write_binary_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()>
     w.write_all(payload)
 }
 
+/// Appends one binary frame to an in-memory write buffer; the infallible
+/// twin of [`write_binary_frame`]. The length prefix saturates at
+/// `u32::MAX` for payloads the wire format cannot represent — the
+/// protocol encoder never produces one (responses sit far below
+/// [`MAX_FRAME_BYTES`]), and if it ever did the peer's length check
+/// would reject the frame instead of this side panicking mid-reactor.
+pub fn write_binary_frame_vec(buf: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
 /// Reads one binary frame, enforcing `max` on the declared length.
 /// `Ok(None)` on clean EOF at a frame boundary; EOF inside a frame is
 /// [`FrameError::Truncated`].
@@ -255,6 +289,7 @@ pub fn read_binary_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8
     let mut header = [0u8; 4];
     let mut filled = 0;
     while filled < header.len() {
+        // spq-lint: allow(panic-index) — the loop condition bounds `filled` within the array
         match r.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
             Ok(0) => return Err(FrameError::Truncated { context: "header" }),
@@ -378,7 +413,7 @@ pub fn decode_hello(buf: &[u8]) -> Result<Option<(HelloOutcome, usize)>, FrameEr
             Ok(None)
         };
     };
-    let line = std::str::from_utf8(&buf[..newline])
+    let line = std::str::from_utf8(buf.get(..newline).unwrap_or(buf))
         .map_err(|_| FrameError::BadHello("hello line is not UTF-8".to_string()))?;
     let mut words = line.split(' ');
     match (words.next(), words.next(), words.next()) {
@@ -407,21 +442,15 @@ pub fn decode_json_frame(buf: &[u8], max: usize) -> Result<Option<(String, usize
         .position(|&b| b == b'\n')
     else {
         return if buf.len() > MAX_HEADER_DIGITS {
-            Err(FrameError::BadHeader(printable(
-                &buf[..=MAX_HEADER_DIGITS.min(buf.len() - 1)],
-            )))
+            let shown = buf.get(..=MAX_HEADER_DIGITS).unwrap_or(buf);
+            Err(FrameError::BadHeader(printable(shown)))
         } else {
             Ok(None)
         };
     };
-    let header = &buf[..newline];
-    if header.is_empty() || !header.iter().all(u8::is_ascii_digit) {
-        return Err(FrameError::BadHeader(printable(header)));
-    }
-    let declared = std::str::from_utf8(header)
-        .expect("digits are UTF-8")
-        .parse::<u64>()
-        .map_err(|_| FrameError::BadHeader(printable(header)))?;
+    let header = buf.get(..newline).unwrap_or(buf);
+    let declared =
+        parse_header_digits(header).ok_or_else(|| FrameError::BadHeader(printable(header)))?;
     let declared = usize::try_from(declared).map_err(|_| FrameError::TooLarge {
         declared: usize::MAX,
         max,
@@ -429,34 +458,35 @@ pub fn decode_json_frame(buf: &[u8], max: usize) -> Result<Option<(String, usize
     if declared > max {
         return Err(FrameError::TooLarge { declared, max });
     }
-    // header + '\n' + payload + '\n'
+    // header + '\n' + payload + '\n'; `get` returns None while the frame
+    // is still incomplete, replacing an explicit length check.
     let total = newline + 1 + declared + 1;
-    if buf.len() < total {
+    let Some(frame) = buf.get(..total) else {
         return Ok(None);
-    }
-    if buf[total - 1] != b'\n' {
+    };
+    if frame.last() != Some(&b'\n') {
         return Err(FrameError::MissingTerminator);
     }
-    let payload =
-        String::from_utf8(buf[newline + 1..total - 1].to_vec()).map_err(FrameError::NotUtf8)?;
+    let body = frame.get(newline + 1..total - 1).unwrap_or_default();
+    let payload = String::from_utf8(body.to_vec()).map_err(FrameError::NotUtf8)?;
     Ok(Some((payload, total)))
 }
 
 /// Tries to decode one binary frame (§4) from the front of `buf` without
 /// consuming it; same contract as [`decode_json_frame`].
 pub fn decode_binary_frame(buf: &[u8], max: usize) -> Result<Option<(Vec<u8>, usize)>, FrameError> {
-    if buf.len() < 4 {
+    let Some(header) = buf.first_chunk::<4>() else {
         return Ok(None);
-    }
-    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    };
+    let declared = u32::from_le_bytes(*header) as usize;
     if declared > max {
         return Err(FrameError::TooLarge { declared, max });
     }
     let total = 4 + declared;
-    if buf.len() < total {
-        return Ok(None);
+    match buf.get(4..total) {
+        Some(payload) => Ok(Some((payload.to_vec(), total))),
+        None => Ok(None),
     }
-    Ok(Some((buf[4..total].to_vec(), total)))
 }
 
 #[cfg(test)]
@@ -485,6 +515,21 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, "{\"x\":1.0}").unwrap();
         assert_eq!(buf, b"9\n{\"x\":1.0}\n");
+    }
+
+    #[test]
+    fn vec_writers_emit_the_same_bytes_as_the_io_writers() {
+        let mut io_buf = Vec::new();
+        write_frame(&mut io_buf, "{\"x\":1.0}").unwrap();
+        let mut vec_buf = Vec::new();
+        write_frame_vec(&mut vec_buf, "{\"x\":1.0}");
+        assert_eq!(io_buf, vec_buf);
+
+        let mut io_buf = Vec::new();
+        write_binary_frame(&mut io_buf, &[0xff, 0x00, 0x7f]).unwrap();
+        let mut vec_buf = Vec::new();
+        write_binary_frame_vec(&mut vec_buf, &[0xff, 0x00, 0x7f]);
+        assert_eq!(io_buf, vec_buf);
     }
 
     #[test]

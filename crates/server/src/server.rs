@@ -323,6 +323,7 @@ impl ServerHandle {
     /// the request stream produced. In-flight requests finish first;
     /// connections still open are dropped.
     pub fn into_service(mut self) -> SpeQuloS {
+        // spq-lint: allow(panic-unwrap) — `self` is consumed whole, so this is provably the first stop
         self.stop().expect("first stop returns the service")
     }
 
@@ -336,7 +337,13 @@ impl ServerHandle {
             } => {
                 shutdown.store(true, Ordering::Release);
                 let _ = poller.notify();
-                Some(thread.join().expect("reactor never panics"))
+                // A join fails only if the reactor panicked; re-raise
+                // that panic on this thread instead of minting a new one.
+                Some(
+                    thread
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+                )
             }
             Backend::Threaded(parts) => Some(parts.stop(self.addr)),
         }
@@ -638,8 +645,7 @@ mod reactor {
                             Ok(Some((payload, consumed))) => {
                                 conn.rpos += consumed;
                                 let reply = self.serve_json(&payload);
-                                frame::write_frame(&mut conn.wbuf, &reply.to_json())
-                                    .expect("Vec<u8> writes are infallible");
+                                frame::write_frame_vec(&mut conn.wbuf, &reply.to_json());
                             }
                             Err(_) => {
                                 // Framing violation: reader and writer
@@ -655,11 +661,10 @@ mod reactor {
                             Ok(Some((payload, consumed))) => {
                                 conn.rpos += consumed;
                                 let reply = self.serve_binary(&payload);
-                                frame::write_binary_frame(
+                                frame::write_binary_frame_vec(
                                     &mut conn.wbuf,
                                     &binary::encode_response(&reply),
-                                )
-                                .expect("Vec<u8> writes are infallible");
+                                );
                             }
                             Err(_) => {
                                 self.compact(conn);
@@ -785,22 +790,28 @@ mod threaded {
     pub(super) struct Parts {
         shutdown: Arc<AtomicBool>,
         sessions: SessionRegistry,
-        accept: Option<JoinHandle<()>>,
-        dispatch: Option<JoinHandle<SpeQuloS>>,
-        mailbox: Option<SyncSender<Job>>,
+        accept: JoinHandle<()>,
+        dispatch: JoinHandle<SpeQuloS>,
+        mailbox: SyncSender<Job>,
     }
 
     impl Parts {
-        pub(super) fn stop(mut self, addr: SocketAddr) -> SpeQuloS {
-            let dispatch = self.dispatch.take().expect("stop is called once");
-            self.shutdown.store(true, Ordering::Release);
+        pub(super) fn stop(self, addr: SocketAddr) -> SpeQuloS {
+            let Parts {
+                shutdown,
+                sessions,
+                accept,
+                dispatch,
+                mailbox,
+            } = self;
+            shutdown.store(true, Ordering::Release);
             // Wake the blocking `accept` so it observes the flag.
             let _ = TcpStream::connect(addr);
-            if let Some(accept) = self.accept.take() {
-                let _ = accept.join();
-            }
+            let _ = accept.join();
             let drained: Vec<(JoinHandle<()>, TcpStream)> = {
-                let mut guard = self.sessions.lock().expect("registry");
+                let mut guard = sessions
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 guard.drain(..).collect()
             };
             for (handle, stream) in drained {
@@ -809,8 +820,10 @@ mod threaded {
             }
             // All mailbox senders are gone once this drops, so the
             // dispatch loop drains what is queued and returns the service.
-            self.mailbox = None;
-            dispatch.join().expect("dispatch loop never panics")
+            drop(mailbox);
+            dispatch
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
         }
     }
 
@@ -851,7 +864,11 @@ mod threaded {
                     };
                     let mailbox = mailbox.clone();
                     let handle = thread::spawn(move || session(stream, mailbox, max_frame));
-                    let mut registry = sessions.lock().expect("registry");
+                    // Poison means a session thread panicked mid-push;
+                    // the registry Vec is still structurally sound.
+                    let mut registry = sessions
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     registry.retain(|(h, _)| !h.is_finished());
                     registry.push((handle, registered));
                 }
@@ -863,9 +880,9 @@ mod threaded {
             Parts {
                 shutdown,
                 sessions,
-                accept: Some(accept),
-                dispatch: Some(dispatch),
-                mailbox: Some(mailbox),
+                accept,
+                dispatch,
+                mailbox,
             },
         ))
     }

@@ -170,9 +170,11 @@ struct ShardLink {
 
 impl ShardLink {
     fn push(&self, msg: Inbound) {
+        // Poison means a peer panicked mid-push; the deque itself is
+        // still structurally sound, so keep delivering.
         self.inbox
             .lock()
-            .expect("shard inbox poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push_back(msg);
         let _ = self.poller.notify();
     }
@@ -231,7 +233,7 @@ impl ShardedServer {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard recovery never panics"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect::<Result<Vec<_>, _>>()
         })?;
         let mut services = Vec::with_capacity(recovered.len());
@@ -417,6 +419,7 @@ impl ShardedHandle {
     /// request executed, even across a forward); connections still open
     /// are dropped.
     pub fn into_services(mut self) -> Vec<SpeQuloS> {
+        // spq-lint: allow(panic-unwrap) — `self` is consumed whole, so this is provably the first stop
         self.stop().expect("first stop returns the services")
     }
 
@@ -436,7 +439,7 @@ impl ShardedHandle {
             inner
                 .shard_threads
                 .into_iter()
-                .map(|t| t.join().expect("shard reactor never panics"))
+                .map(|t| t.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect(),
         )
     }
@@ -665,7 +668,11 @@ impl Router {
                 Err(_) => return Classified::Drop(None),
             }
         }
-        let codec = conn.hello.expect("hello classified above");
+        let Some(codec) = conn.hello else {
+            // Classified above; an impossible `None` drops the
+            // connection rather than panicking the router.
+            return Classified::Drop(None);
+        };
         let buf = &conn.rbuf[conn.rpos..];
         let payload = match codec {
             Codec::Json => match frame::decode_json_frame(buf, self.max_frame) {
@@ -728,9 +735,10 @@ impl ShardConn {
     /// write buffer — FIFO per connection, across local and forwarded
     /// replies alike.
     fn release_ready(&mut self) {
-        while matches!(self.ledger.front(), Some((_, Some(_)))) {
-            let (_, bytes) = self.ledger.pop_front().expect("front checked");
-            self.wbuf.extend_from_slice(&bytes.expect("ready checked"));
+        while let Some((_, slot)) = self.ledger.front_mut() {
+            let Some(bytes) = slot.take() else { break };
+            self.wbuf.extend_from_slice(&bytes);
+            self.ledger.pop_front();
         }
     }
 
@@ -781,7 +789,10 @@ impl Shard {
                 next_gen += 1;
             }
             let inbound: Vec<Inbound> = {
-                let mut q = self.inbox.lock().expect("shard inbox poisoned");
+                let mut q = self
+                    .inbox
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 q.drain(..).collect()
             };
             for msg in inbound {
@@ -1140,11 +1151,8 @@ fn encode_reply(codec: Codec, reply: &ResponseEnvelope) -> Vec<u8> {
 
 fn write_reply(codec: Codec, buf: &mut Vec<u8>, reply: &ResponseEnvelope) {
     match codec {
-        Codec::Json => {
-            frame::write_frame(buf, &reply.to_json()).expect("Vec<u8> writes are infallible")
-        }
-        Codec::Binary => frame::write_binary_frame(buf, &binary::encode_response(reply))
-            .expect("Vec<u8> writes are infallible"),
+        Codec::Json => frame::write_frame_vec(buf, &reply.to_json()),
+        Codec::Binary => frame::write_binary_frame_vec(buf, &binary::encode_response(reply)),
     }
 }
 

@@ -130,12 +130,14 @@ impl CloudDriver {
     /// Stops every active instance at `now`; returns how many were
     /// stopped.
     pub fn stop_all(&mut self, now: SimTime) -> u32 {
-        let ids: Vec<u64> = self
+        let mut ids: Vec<u64> = self
             .instances
+            // spq-lint: allow(det-unordered-iter) — ids are sorted below before any stateful use
             .iter()
             .filter(|(_, i)| i.stopped_at.is_none())
             .map(|(&id, _)| id)
             .collect();
+        ids.sort_unstable();
         let n = ids.len() as u32;
         for id in ids {
             let _ = self.stop_instance(InstanceId(id), now);
@@ -173,6 +175,7 @@ impl CloudDriver {
     pub fn cpu_hours(&self, now: SimTime) -> f64 {
         let open_ms: u64 = self
             .instances
+            // spq-lint: allow(det-unordered-iter) — u64 addition is commutative; any order sums the same
             .values()
             .filter(|i| i.stopped_at.is_none())
             .map(|i| now.since(i.started_at).as_millis())
